@@ -1,0 +1,11 @@
+"""Benchmark harness reproducing every figure and evaluation claim.
+
+One module per experiment row of DESIGN.md §4.  Each bench prints the
+reproduced table/series and also writes it to ``benchmarks/results/``
+so the output survives pytest's capture; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

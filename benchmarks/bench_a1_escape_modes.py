@@ -1,0 +1,72 @@
+"""A1 — ablation: FULL vs AGGRESSIVE successor generation.
+
+DESIGN.md §3 documents the two readings of the paper's successor rule.
+This ablation quantifies the trade: nodes expanded/generated and wall
+time per mode, plus the optimality agreement between them.
+"""
+
+import time
+
+from repro.core.escape import EscapeMode
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import corner_pair, report, scaling_layout
+
+
+def bench_a1_escape_modes(benchmark):
+    sizes = (10, 20, 40, 60)
+    cases = []
+    for n in sizes:
+        layout = scaling_layout(n, seed=n + 7)
+        s, d = corner_pair(layout, seed=n)
+        cases.append((n, layout.obstacles(), s, d))
+
+    def run_aggressive():
+        return [
+            find_path(
+                PathRequest(
+                    obstacles=obs,
+                    sources=[(s, 0.0)],
+                    targets=TargetSet(points=[d]),
+                    mode=EscapeMode.AGGRESSIVE,
+                )
+            )
+            for _n, obs, s, d in cases
+        ]
+
+    aggressive_results = benchmark(run_aggressive)
+
+    rows = []
+    equal_lengths = 0
+    for (n, obs, s, d), aggressive in zip(cases, aggressive_results):
+        t0 = time.perf_counter()
+        full = find_path(
+            PathRequest(
+                obstacles=obs, sources=[(s, 0.0)], targets=TargetSet(points=[d]),
+                mode=EscapeMode.FULL,
+            )
+        )
+        t_full = time.perf_counter() - t0
+        equal_lengths += int(full.path.length == aggressive.path.length)
+        rows.append(
+            [
+                n,
+                full.stats.nodes_expanded,
+                aggressive.stats.nodes_expanded,
+                full.stats.nodes_generated,
+                aggressive.stats.nodes_generated,
+                f"{t_full * 1e3:.2f}",
+                "yes" if full.path.length == aggressive.path.length else "NO",
+            ]
+        )
+    table = format_table(
+        ["cells", "FULL expanded", "AGGR expanded", "FULL generated",
+         "AGGR generated", "FULL ms", "equal length"],
+        rows,
+        title="A1: escape-mode ablation (AGGRESSIVE = the paper's two literal rules)",
+    )
+    report("a1_escape_modes", table)
+
+    assert equal_lengths == len(cases)

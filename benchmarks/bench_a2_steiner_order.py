@@ -1,0 +1,79 @@
+"""A2 — ablation: Steiner connection order.
+
+DESIGN.md §3: the paper's "adaptation of Dijkstra's minimum spanning
+tree algorithm" needs an order in which terminals join the tree.  We
+default to cheapest-lower-bound-first; the exact-Prim mode pays one
+full search per candidate per step.  The ablation measures wirelength
+and time for both.
+"""
+
+import random
+import time
+
+from repro.core.refine import refine_tree
+from repro.core.steiner import route_net
+from repro.geometry.point import Point
+from repro.layout.net import Net
+from repro.layout.terminal import Terminal
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import report, scaling_layout
+
+
+def make_net(layout, k: int, seed: int) -> Net:
+    rng = random.Random(seed)
+    obs = layout.obstacles()
+    outline = layout.outline
+    terminals = []
+    while len(terminals) < k:
+        p = Point(rng.randint(outline.x0, outline.x1), rng.randint(outline.y0, outline.y1))
+        if obs.point_free(p):
+            terminals.append(Terminal.single(f"t{len(terminals)}", p))
+    return Net(f"net{seed}", terminals)
+
+
+def bench_a2_steiner_order(benchmark):
+    layout = scaling_layout(12, seed=31)
+    obs = layout.obstacles()
+    counts = (4, 6, 8)
+    nets = {k: [make_net(layout, k, seed) for seed in range(4)] for k in counts}
+
+    def run_greedy():
+        return {
+            k: [route_net(net, obs) for net in group] for k, group in nets.items()
+        }
+
+    greedy = benchmark(run_greedy)
+
+    rows = []
+    for k in counts:
+        greedy_len = sum(t.total_length for t in greedy[k])
+        t0 = time.perf_counter()
+        exact = [route_net(net, obs, exact_order=True) for net in nets[k]]
+        t_exact = time.perf_counter() - t0
+        exact_len = sum(t.total_length for t in exact)
+        t0 = time.perf_counter()
+        refined = [
+            refine_tree(net, tree, obs) for net, tree in zip(nets[k], greedy[k])
+        ]
+        t_refine = time.perf_counter() - t0
+        refined_len = sum(t.total_length for t in refined)
+        assert refined_len <= greedy_len
+        rows.append(
+            [
+                k,
+                greedy_len,
+                exact_len,
+                refined_len,
+                f"{greedy_len / exact_len:.3f}",
+                f"{t_exact * 1e3:.1f}",
+                f"{t_refine * 1e3:.1f}",
+            ]
+        )
+    table = format_table(
+        ["terminals", "greedy", "exact-Prim", "greedy+refine", "greedy/exact",
+         "exact ms", "refine ms"],
+        rows,
+        title="A2: Steiner connection-order ablation (with rip-up refinement)",
+    )
+    report("a2_steiner_order", table)

@@ -1,0 +1,87 @@
+"""E10 — admissibility: "algorithm A* will always find an optimal route".
+
+A randomized sweep comparing the router's path length to the
+independent track-graph Dijkstra oracle on every case; the reproduced
+number is the agreement rate, which must be 100%.
+"""
+
+import random
+
+from repro.core.escape import EscapeMode
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.errors import UnroutableError
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import random_free_pair, report, scaling_layout
+from tests.conftest import oracle_shortest_length
+
+CASES = 30
+
+
+def bench_e10_admissibility(benchmark):
+    scenarios = []
+    for seed in range(3):
+        layout = scaling_layout(10 + 5 * seed, seed=seed + 50)
+        obs = layout.obstacles()
+        rng = random.Random(seed)
+        pairs = [random_free_pair(obs, rng) for _ in range(CASES // 3)]
+        scenarios.append((obs, pairs))
+
+    def run_router():
+        out = []
+        for obs, pairs in scenarios:
+            for s, d in pairs:
+                try:
+                    result = find_path(
+                        PathRequest(
+                            obstacles=obs,
+                            sources=[(s, 0.0)],
+                            targets=TargetSet(points=[d]),
+                            mode=EscapeMode.FULL,
+                        )
+                    )
+                    out.append((obs, s, d, result.path.length))
+                except UnroutableError:
+                    out.append((obs, s, d, None))
+        return out
+
+    routed = benchmark(run_router)
+
+    agree = 0
+    total = 0
+    mode_rows = {}
+    for obs, s, d, length in routed:
+        expected = oracle_shortest_length(obs, s, d)
+        total += 1
+        agree += int(length == expected)
+    mode_rows["FULL"] = (agree, total)
+
+    agg_agree = 0
+    for obs, s, d, _length in routed:
+        expected = oracle_shortest_length(obs, s, d)
+        try:
+            result = find_path(
+                PathRequest(
+                    obstacles=obs,
+                    sources=[(s, 0.0)],
+                    targets=TargetSet(points=[d]),
+                    mode=EscapeMode.AGGRESSIVE,
+                )
+            )
+            agg_agree += int(result.path.length == expected)
+        except UnroutableError:
+            agg_agree += int(expected is None)
+    mode_rows["AGGRESSIVE"] = (agg_agree, total)
+
+    rows = [
+        [mode, f"{a}/{t}", f"{100 * a / t:.1f}%"] for mode, (a, t) in mode_rows.items()
+    ]
+    table = format_table(
+        ["escape mode", "matches oracle", "agreement"],
+        rows,
+        title="E10: admissibility — router length vs track-graph Dijkstra oracle",
+    )
+    report("e10_admissibility", table)
+
+    assert mode_rows["FULL"] == (total, total)

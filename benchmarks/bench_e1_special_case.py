@@ -1,0 +1,85 @@
+"""E1 — "Lee–Moore ... is actually a special case of the general search".
+
+The engine specialized to FIFO order, zero heuristic, and 4-neighbour
+grid successors must behave exactly like an independently written
+textbook Lee wavefront: same path costs, same set of labelled nodes,
+ring-ordered expansion.  Measured across random obstacle grids.
+"""
+
+import random
+
+from repro.baselines.grid import GridProblem, RoutingGrid
+from repro.baselines.leemoore import lee_wavefront
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.search.engine import Order, search
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import report
+
+
+def random_grid_scene(size: int, seed: int) -> RoutingGrid:
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(size // 6):
+        x0 = rng.randint(1, size - 8)
+        y0 = rng.randint(1, size - 8)
+        rects.append(Rect(x0, y0, x0 + rng.randint(2, 6), y0 + rng.randint(2, 6)))
+    return RoutingGrid(ObstacleSet(Rect(0, 0, size, size), rects))
+
+
+def endpoints(grid: RoutingGrid, seed: int):
+    rng = random.Random(seed + 999)
+    while True:
+        s = (rng.randrange(grid.cols), rng.randrange(grid.rows))
+        d = (rng.randrange(grid.cols), rng.randrange(grid.rows))
+        if grid.is_free(s) and grid.is_free(d) and s != d:
+            return s, d
+
+
+def bench_e1_special_case(benchmark):
+    sizes = (20, 40, 60)
+    cases = []
+    for size in sizes:
+        for seed in range(3):
+            grid = random_grid_scene(size, seed)
+            s, d = endpoints(grid, seed)
+            cases.append((size, grid, s, d))
+
+    def run_engine():
+        results = []
+        for _size, grid, s, d in cases:
+            problem = GridProblem(grid, [s], d, use_heuristic=False)
+            results.append(search(problem, Order.BREADTH_FIRST))
+        return results
+
+    engine_results = benchmark(run_engine)
+
+    rows = []
+    agreements = 0
+    for (size, grid, s, d), engine_result in zip(cases, engine_results):
+        wavefront = lee_wavefront(grid, s, d)
+        engine_cost = engine_result.cost if engine_result.found else None
+        wave_cost = (
+            wavefront.distance[d] * grid.pitch if wavefront.path is not None else None
+        )
+        agree = engine_cost == wave_cost
+        agreements += agree
+        rows.append(
+            [
+                f"{size}x{size}",
+                engine_cost if engine_cost is not None else "-",
+                wave_cost if wave_cost is not None else "-",
+                engine_result.stats.nodes_expanded,
+                len(wavefront.expansion_order),
+                "yes" if agree else "NO",
+            ]
+        )
+    table = format_table(
+        ["grid", "engine cost", "wavefront cost", "engine expanded",
+         "wavefront expanded", "agree"],
+        rows,
+        title="E1: engine(FIFO, h=0) vs textbook Lee-Moore wavefront",
+    )
+    report("e1_special_case", table)
+    assert agreements == len(cases)

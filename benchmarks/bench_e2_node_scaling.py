@@ -1,0 +1,73 @@
+"""E2 — node-count and time scaling vs the grid family.
+
+"Using the grid-based approach tends to require large amounts of
+memory and processor time since so many nodes are expanded" while the
+line-search "efficiency for large problems is very acceptable".  The
+sweep routes a corner-to-corner connection on growing layouts and
+reports nodes expanded and wall time for each router.
+"""
+
+import time
+
+from repro.core.escape import EscapeMode
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.baselines.leemoore import grid_astar_route, lee_moore_route
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import corner_pair, report, scaling_layout
+
+
+def gridless(obs, s, d, mode):
+    return find_path(
+        PathRequest(obstacles=obs, sources=[(s, 0.0)], targets=TargetSet(points=[d]),
+                    mode=mode)
+    )
+
+
+def bench_e2_node_scaling(benchmark):
+    sizes = (5, 10, 20, 40)
+    cases = []
+    for n in sizes:
+        layout = scaling_layout(n, seed=n)
+        s, d = corner_pair(layout, seed=n)
+        cases.append((n, layout.obstacles(), s, d))
+
+    def run_all_gridless():
+        return [gridless(obs, s, d, EscapeMode.FULL) for _n, obs, s, d in cases]
+
+    full_results = benchmark(run_all_gridless)
+
+    rows = []
+    for (n, obs, s, d), full in zip(cases, full_results):
+        t0 = time.perf_counter()
+        aggressive = gridless(obs, s, d, EscapeMode.AGGRESSIVE)
+        t_aggr = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        gastar = grid_astar_route(obs, s, d)
+        t_gastar = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        lee = lee_moore_route(obs, s, d)
+        t_lee = time.perf_counter() - t0
+        assert full.path.length == lee.path.length == gastar.path.length
+        assert aggressive.path.length == full.path.length
+        rows.append(
+            [
+                n,
+                full.stats.nodes_expanded,
+                aggressive.stats.nodes_expanded,
+                gastar.stats.nodes_expanded,
+                lee.stats.nodes_expanded,
+                f"{lee.stats.nodes_expanded / max(1, full.stats.nodes_expanded):.0f}x",
+                f"{t_aggr * 1e3:.2f}",
+                f"{t_gastar * 1e3:.2f}",
+                f"{t_lee * 1e3:.2f}",
+            ]
+        )
+    table = format_table(
+        ["cells", "gridless FULL", "gridless AGGR", "grid A*", "Lee-Moore",
+         "Lee/FULL", "t_aggr ms", "t_gridA* ms", "t_lee ms"],
+        rows,
+        title="E2: nodes expanded (all routers find equal-length optima)",
+    )
+    report("e2_node_scaling", table)

@@ -1,0 +1,86 @@
+"""E3 — the Search Techniques section: one engine, four disciplines.
+
+Depth-first, breadth-first, best-first (branch-and-bound), and A* run
+the identical grid routing problem; the table shows cost found,
+optimality, and nodes expanded — the paper's qualitative ranking
+("best-first can show a dramatic improvement ... A* better still")
+made quantitative.
+"""
+
+import random
+
+from repro.baselines.grid import GridProblem, RoutingGrid
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.search.engine import Order, search
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import report
+
+
+def make_cases(n_cases: int = 5, size: int = 40):
+    cases = []
+    for seed in range(n_cases):
+        rng = random.Random(seed)
+        rects = []
+        for _ in range(6):
+            x0 = rng.randint(2, size - 10)
+            y0 = rng.randint(2, size - 10)
+            rects.append(Rect(x0, y0, x0 + rng.randint(3, 8), y0 + rng.randint(3, 8)))
+        grid = RoutingGrid(ObstacleSet(Rect(0, 0, size, size), rects))
+        while True:
+            s = (rng.randrange(grid.cols), rng.randrange(grid.rows))
+            d = (rng.randrange(grid.cols), rng.randrange(grid.rows))
+            if grid.is_free(s) and grid.is_free(d) and s != d:
+                break
+        cases.append((grid, s, d))
+    return cases
+
+
+def bench_e3_strategies(benchmark):
+    cases = make_cases()
+
+    def run_astar():
+        out = []
+        for grid, s, d in cases:
+            problem = GridProblem(grid, [s], d, use_heuristic=True)
+            out.append(search(problem, Order.A_STAR))
+        return out
+
+    astar_results = benchmark(run_astar)
+
+    totals = {order: {"cost": 0.0, "expanded": 0, "optimal": 0} for order in Order}
+    for (grid, s, d), astar in zip(cases, astar_results):
+        optimum = astar.cost
+        for order in Order:
+            if order is Order.A_STAR:
+                result = astar
+            else:
+                problem = GridProblem(grid, [s], d, use_heuristic=(order is Order.A_STAR))
+                result = search(problem, order)
+            totals[order]["cost"] += result.cost
+            totals[order]["expanded"] += result.stats.nodes_expanded
+            totals[order]["optimal"] += int(result.cost == optimum)
+
+    rows = []
+    for order in (Order.DEPTH_FIRST, Order.BREADTH_FIRST, Order.BEST_FIRST, Order.A_STAR):
+        data = totals[order]
+        rows.append(
+            [
+                order.value,
+                f"{data['cost']:.0f}",
+                f"{data['optimal']}/{len(cases)}",
+                data["expanded"],
+            ]
+        )
+    table = format_table(
+        ["strategy", "total cost", "optimal", "nodes expanded"],
+        rows,
+        title="E3: search strategies on identical routing problems",
+    )
+    report("e3_strategies", table)
+
+    assert totals[Order.A_STAR]["optimal"] == len(cases)
+    assert totals[Order.BEST_FIRST]["optimal"] == len(cases)
+    assert totals[Order.A_STAR]["expanded"] <= totals[Order.BEST_FIRST]["expanded"]
+    assert totals[Order.BEST_FIRST]["expanded"] <= totals[Order.BREADTH_FIRST]["expanded"]

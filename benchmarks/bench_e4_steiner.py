@@ -1,0 +1,97 @@
+"""E4 — multi-terminal nets: the Steiner adaptation vs pin-only trees.
+
+"The modification of the spanning tree algorithm considers all line
+segments in the spanning tree being built as potential connection
+points.  A spanning tree would only consider the pins (vertices)."
+This bench quantifies the wirelength advantage per terminal count.
+"""
+
+import random
+
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.core.steiner import route_net
+from repro.geometry.point import Point
+from repro.layout.net import Net
+from repro.layout.terminal import Terminal
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import report, scaling_layout
+
+
+def pin_only_tree_length(net: Net, obstacles) -> int:
+    """Baseline: grow the tree allowing connections at *pins only*."""
+    remaining = list(net.terminals)
+    seed = remaining.pop(0)
+    connected_points = [p.location for p in seed.pins]
+    total = 0
+    while remaining:
+        remaining.sort(
+            key=lambda t: min(
+                loc.manhattan(c) for loc in t.locations for c in connected_points
+            )
+        )
+        terminal = remaining.pop(0)
+        result = find_path(
+            PathRequest(
+                obstacles=obstacles,
+                sources=[(loc, 0.0) for loc in terminal.locations],
+                targets=TargetSet(points=connected_points),
+            )
+        )
+        total += result.path.length
+        connected_points.extend(loc for loc in terminal.locations)
+        connected_points.extend(result.path.points)
+    return total
+
+
+def make_net(layout, k: int, seed: int) -> Net:
+    rng = random.Random(seed)
+    obs = layout.obstacles()
+    outline = layout.outline
+    terminals = []
+    while len(terminals) < k:
+        p = Point(
+            rng.randint(outline.x0, outline.x1), rng.randint(outline.y0, outline.y1)
+        )
+        if obs.point_free(p):
+            terminals.append(Terminal.single(f"t{len(terminals)}", p))
+    return Net(f"net{seed}", terminals)
+
+
+def bench_e4_steiner(benchmark):
+    layout = scaling_layout(10, seed=3)
+    obs = layout.obstacles()
+    terminal_counts = (3, 5, 7, 10)
+    nets = {k: [make_net(layout, k, seed) for seed in range(5)] for k in terminal_counts}
+
+    def run_steiner():
+        return {
+            k: [route_net(net, obs) for net in group] for k, group in nets.items()
+        }
+
+    steiner_results = benchmark(run_steiner)
+
+    rows = []
+    for k in terminal_counts:
+        steiner_total = sum(t.total_length for t in steiner_results[k])
+        pin_total = sum(pin_only_tree_length(net, obs) for net in nets[k])
+        rows.append(
+            [
+                k,
+                steiner_total,
+                pin_total,
+                f"{100 * (pin_total - steiner_total) / pin_total:.1f}%",
+            ]
+        )
+    table = format_table(
+        ["terminals", "segment-Steiner length", "pin-only tree length", "saving"],
+        rows,
+        title="E4: Steiner adaptation (segments as connection points) vs pin-only",
+    )
+    report("e4_steiner", table)
+
+    for k in terminal_counts:
+        steiner_total = sum(t.total_length for t in steiner_results[k])
+        pin_total = sum(pin_only_tree_length(net, obs) for net in nets[k])
+        assert steiner_total <= pin_total

@@ -1,0 +1,63 @@
+"""E5 — multi-pin terminals: equivalent pins shorten routes.
+
+"Multi-pin terminals are handled by logically grouping all pins which
+belong to a terminal."  The bench routes the same nets once with the
+full pin groups and once restricted to each terminal's first pin,
+reporting the wirelength the grouping saves.
+"""
+
+from repro.core.steiner import route_net
+from repro.layout.net import Net
+from repro.layout.terminal import Terminal
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import netted_layout, report
+
+
+def first_pin_only(net: Net) -> Net:
+    terminals = [
+        Terminal(t.name, [t.pins[0]]) for t in net.terminals
+    ]
+    return Net(net.name, terminals)
+
+
+def bench_e5_multipin(benchmark):
+    pin_ranges = ((1, 1), (2, 2), (3, 3), (4, 4))
+    layouts = {
+        pins: netted_layout(10, 8, seed=17, terminals=(2, 3), pins=pins)
+        for pins in pin_ranges
+    }
+
+    def run_grouped():
+        out = {}
+        for pins, layout in layouts.items():
+            obs = layout.obstacles()
+            out[pins] = sum(
+                route_net(net, obs).total_length for net in layout.nets
+            )
+        return out
+
+    grouped = benchmark(run_grouped)
+
+    rows = []
+    for pins, layout in layouts.items():
+        obs = layout.obstacles()
+        single = sum(
+            route_net(first_pin_only(net), obs).total_length for net in layout.nets
+        )
+        saving = 100 * (single - grouped[pins]) / single if single else 0.0
+        rows.append([f"{pins[0]}", grouped[pins], single, f"{saving:.1f}%"])
+
+    table = format_table(
+        ["pins/terminal", "grouped length", "first-pin-only length", "saving"],
+        rows,
+        title="E5: multi-pin terminal grouping vs single-pin routing",
+    )
+    report("e5_multipin", table)
+
+    for pins, layout in layouts.items():
+        obs = layout.obstacles()
+        single = sum(
+            route_net(first_pin_only(net), obs).total_length for net in layout.nets
+        )
+        assert grouped[pins] <= single

@@ -1,0 +1,61 @@
+"""E8 — phase time breakdown of the full flow.
+
+"The processor time consumed by global routing is always less than the
+time consumed by detailed routing and layer assignment."  The bench
+runs global + detailed routing across layout sizes and reports both
+phases' wall time.  Note (EXPERIMENTS.md): on our substrate the ratio
+direction depends on implementation constants — we report the measured
+shape honestly either way.
+"""
+
+import time
+
+from repro.core.router import GlobalRouter
+from repro.detail.detailed import DetailedRouter
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import netted_layout, report
+
+
+def bench_e8_flow_breakdown(benchmark):
+    sizes = ((8, 8), (14, 14), (20, 22), (26, 30))
+    layouts = [netted_layout(cells, nets, seed=cells) for cells, nets in sizes]
+
+    def run_full_flow():
+        out = []
+        for layout in layouts:
+            t0 = time.perf_counter()
+            global_route = GlobalRouter(layout).route_all()
+            t_global = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            detailed = DetailedRouter(layout).run(global_route)
+            t_detail = time.perf_counter() - t0
+            out.append((layout, global_route, detailed, t_global, t_detail))
+        return out
+
+    flows = benchmark.pedantic(run_full_flow, rounds=3, iterations=1)
+
+    rows = []
+    for layout, global_route, detailed, t_global, t_detail in flows:
+        rows.append(
+            [
+                f"{len(layout.cells)}c/{len(layout.nets)}n",
+                f"{t_global * 1e3:.1f}",
+                f"{t_detail * 1e3:.1f}",
+                f"{t_global / max(t_detail, 1e-9):.2f}",
+                global_route.total_length,
+                detailed.total_wirelength,
+                detailed.via_count,
+            ]
+        )
+    table = format_table(
+        ["layout", "global ms", "detailed ms", "global/detailed",
+         "global len", "detailed len", "vias"],
+        rows,
+        title="E8: phase breakdown (paper: global < detailed)",
+    )
+    report("e8_flow_breakdown", table)
+
+    for layout, global_route, detailed, _tg, _td in flows:
+        assert global_route.routed_count == len(layout.nets)
+        assert detailed.total_wirelength >= global_route.total_length

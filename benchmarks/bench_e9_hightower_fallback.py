@@ -1,0 +1,88 @@
+"""E9 — Hightower quick-try plus full maze-search fallback.
+
+"Some routers use Hightower's algorithm for a quick first try, and if
+it fails, then the full power of the Lee–Moore maze search algorithm
+is used."  Sweeping obstacle density: the probe's completion rate,
+its optimality gap when it does connect, and the cost profile of the
+combined strategy.
+"""
+
+import random
+import time
+
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.baselines.fallback import route_with_fallback
+from repro.baselines.hightower import hightower_route
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import random_free_pair, report, scaling_layout
+
+CASES_PER_DENSITY = 12
+
+
+def bench_e9_hightower_fallback(benchmark):
+    densities = (5, 12, 25, 45)
+    scenarios = []
+    for n_cells in densities:
+        layout = scaling_layout(n_cells, seed=n_cells + 1)
+        obs = layout.obstacles()
+        rng = random.Random(n_cells)
+        pairs = [random_free_pair(obs, rng) for _ in range(CASES_PER_DENSITY)]
+        scenarios.append((n_cells, obs, pairs))
+
+    def run_fallback_everywhere():
+        results = []
+        for _n, obs, pairs in scenarios:
+            for s, d in pairs:
+                results.append(route_with_fallback(obs, s, d, max_level=3, max_lines=48))
+        return results
+
+    benchmark(run_fallback_everywhere)
+
+    rows = []
+    for n_cells, obs, pairs in scenarios:
+        found = 0
+        quick_found = 0
+        optimal = 0
+        gap_total = 0.0
+        t_probe = 0.0
+        t_astar = 0.0
+        for s, d in pairs:
+            quick = hightower_route(obs, s, d, max_level=1, max_lines=8)
+            quick_found += int(quick.found)
+            t0 = time.perf_counter()
+            probe = hightower_route(obs, s, d, max_level=3, max_lines=48)
+            t_probe += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            astar = find_path(
+                PathRequest(
+                    obstacles=obs, sources=[(s, 0.0)], targets=TargetSet(points=[d])
+                )
+            )
+            t_astar += time.perf_counter() - t0
+            if probe.found:
+                found += 1
+                optimal += int(probe.path.length == astar.path.length)
+                gap_total += probe.path.length / max(1, astar.path.length)
+        rows.append(
+            [
+                n_cells,
+                f"{quick_found}/{len(pairs)}",
+                f"{found}/{len(pairs)}",
+                f"{optimal}/{found}" if found else "-",
+                f"{gap_total / found:.3f}" if found else "-",
+                f"{t_probe * 1e3:.1f}",
+                f"{t_astar * 1e3:.1f}",
+            ]
+        )
+    table = format_table(
+        ["cells", "quick probe found", "probe found", "probe optimal",
+         "mean len ratio", "probe ms", "A* ms"],
+        rows,
+        title=(
+            "E9: line probe completion/quality vs admissible line-search A*\n"
+            "(quick probe: 1 escape level, 8 lines — the 'fast first try')"
+        ),
+    )
+    report("e9_hightower_fallback", table)

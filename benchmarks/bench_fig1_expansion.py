@@ -1,0 +1,71 @@
+"""F1 — Figure 1: node expansion of the line-search A*.
+
+The paper's Figure 1 shows the A* expansion on a multi-block scene and
+claims "surprisingly few nodes are generated before an optimal path is
+found".  This bench reproduces the figure (as ASCII art, saved to
+results) and the node-count comparison against the grid family on the
+reconstructed scene.
+"""
+
+from repro.core.escape import EscapeMode
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.baselines.leemoore import grid_astar_route, lee_moore_route
+from repro.layout.generators import figure1_layout
+from repro.analysis.render import render_expansion
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import report
+
+
+def bench_fig1_expansion(benchmark):
+    layout, start, dest = figure1_layout()
+    obs = layout.obstacles()
+
+    def run():
+        return find_path(
+            PathRequest(
+                obstacles=obs,
+                sources=[(start, 0.0)],
+                targets=TargetSet(points=[dest]),
+                mode=EscapeMode.FULL,
+                trace=True,
+            )
+        )
+
+    gridless = benchmark(run)
+    aggressive = find_path(
+        PathRequest(
+            obstacles=obs,
+            sources=[(start, 0.0)],
+            targets=TargetSet(points=[dest]),
+            mode=EscapeMode.AGGRESSIVE,
+        )
+    )
+    grid_astar = grid_astar_route(obs, start, dest)
+    lee = lee_moore_route(obs, start, dest)
+
+    rows = [
+        ["line-search A* (FULL)", gridless.path.length,
+         gridless.stats.nodes_expanded, gridless.stats.nodes_generated],
+        ["line-search A* (AGGRESSIVE)", aggressive.path.length,
+         aggressive.stats.nodes_expanded, aggressive.stats.nodes_generated],
+        ["grid A*", grid_astar.path.length,
+         grid_astar.stats.nodes_expanded, grid_astar.stats.nodes_generated],
+        ["Lee-Moore wavefront", lee.path.length,
+         lee.stats.nodes_expanded, lee.stats.nodes_generated],
+    ]
+    table = format_table(
+        ["router", "path length", "nodes expanded", "nodes generated"],
+        rows,
+        title="F1: node expansion on the Figure 1 scene "
+        f"(grid has {lee.grid_nodes} nodes total)",
+    )
+    art = render_expansion(
+        layout, gridless.trace, list(gridless.path.points), start=start, goal=dest
+    )
+    report("fig1_expansion", table + "\n\nFigure 1 reproduction (.: explored, -|: route):\n" + art)
+
+    # the figure's claim, asserted
+    assert gridless.path.length == lee.path.length
+    assert gridless.stats.nodes_expanded * 10 < lee.stats.nodes_expanded

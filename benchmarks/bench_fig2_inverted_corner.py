@@ -1,0 +1,112 @@
+"""F2 — Figure 2: the inverted corner.
+
+"By detecting the inverted corner and penalizing the non-preferred
+route in the cost function calculation we can cause the router to
+always take the preferred route."  This bench reconstructs the Figure
+2 situation (a route rounding a block corner with two equal-length
+candidates) and measures how often each cost model picks the
+preferred, boundary-hugging corner — the epsilon model must pick it
+100% of the time.
+"""
+
+import random
+
+from repro.core.costs import InvertedCornerCost, WirelengthCost
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.analysis.tables import format_table
+
+from benchmarks.workloads import report
+
+BOUND = Rect(0, 0, 100, 100)
+
+
+def bends_on_boundary(path, obs) -> bool:
+    """True when every bend of *path* sits on a cell/surface boundary."""
+    pts = path.points
+    for prev, here, nxt in zip(pts, pts[1:], pts[2:]):
+        straight = (prev.x == here.x == nxt.x) or (prev.y == here.y == nxt.y)
+        if straight:
+            continue
+        on_boundary = any(r.on_boundary(here) for r in obs.rects) or obs.bound.on_boundary(
+            here
+        )
+        if not on_boundary:
+            return False
+    return True
+
+
+def corner_scene(seed: int) -> tuple[ObstacleSet, Point, Point]:
+    """A corner-rounding scene with a genuine equal-length tie.
+
+    A block sits on the floor; the destination lies beyond it at a
+    height below the block's top.  The route must climb over, then
+    descend — either hugging the block's right edge down to the goal
+    height (every bend on a boundary: Figure 2's preferred route), or
+    overshooting east and descending at the goal column, which bends in
+    free space (the inverted corner).  Both candidates have identical
+    length, so only the epsilon distinguishes them.
+    """
+    rng = random.Random(seed)
+    x0 = rng.randint(25, 40)
+    top = rng.randint(30, 50)
+    block = Rect(x0, 0, x0 + rng.randint(15, 25), top)
+    obs = ObstacleSet(BOUND, [block])
+    # Endpoints sit high on either side so climbing over the top is
+    # strictly cheaper than ducking under along the floor.
+    s = Point(rng.randint(0, x0 - 5), top - rng.randint(3, 8))
+    d = Point(rng.randint(block.x1 + 10, 100), top - rng.randint(10, 20))
+    return obs, s, d
+
+
+def route_once(obs, s, d, model):
+    return find_path(
+        PathRequest(
+            obstacles=obs, sources=[(s, 0.0)], targets=TargetSet(points=[d]),
+            cost_model=model,
+        )
+    )
+
+
+def bench_fig2_inverted_corner(benchmark):
+    scenes = [corner_scene(seed) for seed in range(40)]
+
+    def run_epsilon():
+        hugged = 0
+        for obs, s, d in scenes:
+            model = InvertedCornerCost(obs, epsilon=1 / 16)
+            result = route_once(obs, s, d, model)
+            if bends_on_boundary(result.path, obs):
+                hugged += 1
+        return hugged
+
+    hugged_eps = benchmark(run_epsilon)
+
+    hugged_plain = 0
+    length_equal = 0
+    for obs, s, d in scenes:
+        plain = route_once(obs, s, d, WirelengthCost())
+        eps = route_once(obs, s, d, InvertedCornerCost(obs, epsilon=1 / 16))
+        if bends_on_boundary(plain.path, obs):
+            hugged_plain += 1
+        if plain.path.length == eps.path.length:
+            length_equal += 1
+
+    table = format_table(
+        ["cost model", "preferred-corner routes", "scenes"],
+        [
+            ["wirelength only", hugged_plain, len(scenes)],
+            ["inverted-corner epsilon", hugged_eps, len(scenes)],
+        ],
+        title=(
+            "F2: inverted corner — routes whose every bend hugs a boundary\n"
+            f"(epsilon never changes lengths: {length_equal}/{len(scenes)} equal)"
+        ),
+    )
+    report("fig2_inverted_corner", table)
+
+    assert hugged_eps == len(scenes)  # "always take the preferred route"
+    assert length_equal == len(scenes)  # epsilon below coordinate resolution

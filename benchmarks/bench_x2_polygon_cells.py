@@ -1,0 +1,113 @@
+"""X2 — the orthogonal-polygon cell extension.
+
+"Another useful extension would be to allow orthogonal polygons for
+the cell boundaries."  The router supports them via slab
+decomposition; this experiment measures what that support buys by
+routing identical netlists twice: once against the true polygon
+outlines (wires may use the notches), once with every polygon replaced
+by its bounding box (the fallback a rectangles-only router must take).
+"""
+
+from repro.core.router import GlobalRouter
+from repro.geometry.orthpoly import OrthoPolygon
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.analysis.tables import format_table
+from repro.analysis.verify import verify_global_route
+
+from benchmarks.workloads import report
+
+
+def l_macro(name: str, x: int, y: int, size: int = 30, notch: int = 18) -> Cell:
+    """An L-shaped macro with a notch cut from its top-right."""
+    arm = size - notch
+    return Cell(
+        name,
+        OrthoPolygon(
+            [
+                Point(x, y),
+                Point(x + size, y),
+                Point(x + size, y + arm),
+                Point(x + arm, y + arm),
+                Point(x + arm, y + size),
+                Point(x, y + size),
+            ]
+        ),
+    )
+
+
+def polygon_layout() -> Layout:
+    layout = Layout(Rect(0, 0, 140, 110))
+    layout.add_cell(l_macro("l0", 15, 12))
+    layout.add_cell(l_macro("l1", 15, 62))
+    layout.add_cell(l_macro("l2", 70, 12))
+    layout.add_cell(l_macro("l3", 70, 62))
+    layout.add_cell(Cell.rect("sq", 110, 40, 20, 30))
+    # nets that can profit from cutting through the notches
+    layout.add_net(Net.two_point("n0", Point(30, 32), Point(85, 32)))
+    layout.add_net(Net.two_point("n1", Point(30, 82), Point(85, 82)))
+    layout.add_net(Net.two_point("n2", Point(40, 40), Point(40, 76)))
+    layout.add_net(Net.two_point("n3", Point(95, 40), Point(110, 55)))
+    layout.add_net(Net.two_point("n4", Point(5, 5), Point(135, 105)))
+    layout.add_net(Net.two_point("n5", Point(33, 30), Point(33, 90)))
+    return layout
+
+
+def bbox_layout(source: Layout) -> Layout:
+    """The same layout with every cell replaced by its bounding box.
+
+    Pins that end up strictly inside a bounding box (they sat in a
+    notch) are kept; the router will report those nets unroutable,
+    which is part of what the comparison measures.
+    """
+    layout = Layout(source.outline)
+    for cell in source.cells:
+        layout.add_cell(Cell(cell.name, cell.bounding_box))
+    for net in source.nets:
+        layout.add_net(net)
+    return layout
+
+
+def bench_x2_polygon_cells(benchmark):
+    poly = polygon_layout()
+    bbox = bbox_layout(poly)
+
+    def run_polygon():
+        return GlobalRouter(poly).route_all(on_unroutable="skip")
+
+    poly_route = benchmark(run_polygon)
+    bbox_route = GlobalRouter(bbox).route_all(on_unroutable="skip")
+    assert verify_global_route(poly_route, poly) == {}
+
+    shared = set(poly_route.trees) & set(bbox_route.trees)
+    poly_shared = sum(poly_route.tree(n).total_length for n in shared)
+    bbox_shared = sum(bbox_route.tree(n).total_length for n in shared)
+
+    rows = [
+        [
+            "true polygons",
+            f"{poly_route.routed_count}/{len(poly.nets)}",
+            poly_shared,
+            poly_route.total_length,
+        ],
+        [
+            "bounding boxes",
+            f"{bbox_route.routed_count}/{len(bbox.nets)}",
+            bbox_shared,
+            bbox_route.total_length,
+        ],
+    ]
+    table = format_table(
+        ["cell model", "nets routed", f"length over {len(shared)} shared nets",
+         "total length"],
+        rows,
+        title="X2: orthogonal-polygon outlines vs bounding-box approximation",
+    )
+    report("x2_polygon_cells", table)
+
+    assert poly_route.routed_count == len(poly.nets)
+    assert poly_route.routed_count >= bbox_route.routed_count
+    assert poly_shared <= bbox_shared

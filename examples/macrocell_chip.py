@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Chip assembly from a macro library — the paper's motivating scenario.
+
+"Large components, or macros as they are sometimes called, are produced
+independently.  These components or cells can then be connected
+together, along with the pads, to form a complete chip."
+
+This example instances macros from a tiny library (with rotation),
+places pads on the chip boundary, builds multi-terminal / multi-pin
+nets, routes everything, and writes an SVG of the assembled chip.
+
+Run:  python examples/macrocell_chip.py [out.svg]
+"""
+
+import sys
+
+from repro import (
+    Cell,
+    GlobalRouter,
+    Layout,
+    Net,
+    Pin,
+    Point,
+    Rect,
+    RouterConfig,
+    Terminal,
+    render_layout,
+    summarize_route,
+    validate_layout,
+    verify_global_route,
+)
+from repro.analysis.svg import layout_to_svg, save_svg
+
+# ----------------------------------------------------------------------
+# A miniature macro library: prototypes at the origin.
+# ----------------------------------------------------------------------
+LIBRARY = {
+    "alu16": Cell.rect("alu16", 0, 0, 42, 28),
+    "regfile": Cell.rect("regfile", 0, 0, 30, 36),
+    "ctrl": Cell.rect("ctrl", 0, 0, 24, 20),
+    "io": Cell.rect("io", 0, 0, 16, 12),
+}
+
+
+def place(proto: str, name: str, x: int, y: int, *, rotate: bool = False) -> Cell:
+    """Instance a library macro at (x, y), optionally rotated 90 degrees."""
+    cell = LIBRARY[proto].renamed(name)
+    if rotate:
+        cell = cell.rotated90()
+    return cell.translated(x, y)
+
+
+def main() -> None:
+    chip = Layout(Rect(0, 0, 170, 130))
+    chip.add_cell(place("alu16", "alu", 18, 70))
+    chip.add_cell(place("regfile", "regs", 80, 66))
+    chip.add_cell(place("ctrl", "ctrl", 126, 78))
+    chip.add_cell(place("alu16", "mac", 20, 16, rotate=True))
+    chip.add_cell(place("regfile", "cache", 76, 14, rotate=True))
+    chip.add_cell(place("io", "io0", 132, 22))
+    chip.add_cell(place("io", "io1", 132, 44))
+
+    # A 4-terminal result bus; the regs terminal exposes two
+    # electrically equivalent pins (east and south edge).
+    chip.add_net(
+        Net(
+            "result_bus",
+            [
+                Terminal("alu.out", [Pin("p0", Point(60, 84), "alu")]),
+                Terminal(
+                    "regs.in",
+                    [
+                        Pin("east", Point(110, 80), "regs"),
+                        Pin("south", Point(95, 66), "regs"),
+                    ],
+                ),
+                Terminal("mac.in", [Pin("p0", Point(48, 58), "mac")]),
+                Terminal("cache.in", [Pin("p0", Point(76, 40), "cache")]),
+            ],
+        )
+    )
+    chip.add_net(Net.two_point("ctrl_alu", Point(126, 88), Point(60, 90)))
+    chip.add_net(Net.two_point("ctrl_mac", Point(138, 78), Point(48, 30)))
+    chip.add_net(Net.two_point("io0_cache", Point(132, 28), Point(112, 30)))
+    chip.add_net(Net.two_point("io1_regs", Point(132, 50), Point(110, 72)))
+    # Pads on the chip boundary.
+    chip.add_net(Net.two_point("pad_clk", Point(0, 110), Point(18, 92)))
+    chip.add_net(Net.two_point("pad_din", Point(85, 0), Point(90, 14)))
+
+    validate_layout(chip)
+    route = GlobalRouter(chip, RouterConfig(inverted_corner=True)).route_all()
+    assert verify_global_route(route, chip) == {}
+
+    summary = summarize_route(route, chip)
+    print(f"chip: {len(chip.cells)} macros, {len(chip.nets)} nets")
+    print(
+        f"routed {summary.nets_routed}/{summary.nets_total}, "
+        f"wirelength {summary.total_length}, "
+        f"len/hpwl {summary.length_over_hpwl:.3f}"
+    )
+    print(render_layout(chip, route, width=76))
+
+    out = sys.argv[1] if len(sys.argv) > 1 else "macrocell_chip.svg"
+    save_svg(out, layout_to_svg(chip, route))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Placement feedback: let routing congestion adjust the floorplan.
+
+The paper's introduction defers this to "further research": feed
+routing congestion back into placement and worry about convergence.
+This example runs the loop on a deliberately tight 2x2 floorplan and
+prints the overflow trajectory, the cell moves applied, and the final
+(adjusted) floorplan.
+
+Run:  python examples/placement_feedback.py
+"""
+
+import random
+
+from repro.core.feedback import adjust_placement
+from repro.layout.generators import LayoutSpec, grid_layout, random_netlist
+from repro.analysis.render import render_layout
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    layout = grid_layout(2, 2, cell_width=20, cell_height=20, gap=2, margin=14)
+    rng = random.Random(7)
+    spec = LayoutSpec(terminals_per_net=(2, 2), pad_fraction=0.0)
+    for net in random_netlist(layout, 16, rng=rng, spec=spec):
+        layout.add_net(net)
+
+    print("original floorplan (2-unit passages):")
+    print(render_layout(layout, width=60, show_pins=False))
+    print()
+
+    result = adjust_placement(layout, step=2, max_rounds=8)
+
+    print("overflow trajectory:", " -> ".join(str(v) for v in result.overflow_history))
+    outcome = "converged" if result.converged else (
+        "stalled" if result.stalled else "stopped (budget or no legal move)"
+    )
+    print("outcome:", outcome)
+    print()
+    if result.moves:
+        print(format_table(
+            ["cell", "dx", "dy"],
+            [[name, dx, dy] for name, dx, dy in result.moves],
+            title="placement adjustments applied:",
+        ))
+        print()
+
+    print("adjusted floorplan with final routing:")
+    print(render_layout(result.layout, result.route, width=60, show_pins=False))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: place two blocks, route a few nets, inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Cell,
+    GlobalRouter,
+    Layout,
+    Net,
+    Point,
+    Rect,
+    render_layout,
+    summarize_route,
+    validate_layout,
+    verify_global_route,
+)
+
+
+def main() -> None:
+    # 1. A routing surface with two macros a comfortable distance apart.
+    layout = Layout(Rect(0, 0, 120, 80))
+    layout.add_cell(Cell.rect("alu", 15, 20, 30, 40))
+    layout.add_cell(Cell.rect("ram", 70, 25, 35, 30))
+
+    # 2. Nets between pins on the cell boundaries (and one pad).
+    layout.add_net(Net.two_point("data0", Point(45, 40), Point(70, 40)))
+    layout.add_net(Net.two_point("data1", Point(45, 30), Point(70, 30)))
+    layout.add_net(Net.two_point("clk", Point(0, 70), Point(85, 55)))
+
+    # 3. Validate against the paper's placement restrictions.
+    validate_layout(layout)
+
+    # 4. Route every net independently with line-search A*.
+    router = GlobalRouter(layout)
+    route = router.route_all()
+
+    # 5. Check and report.
+    assert verify_global_route(route, layout) == {}
+    summary = summarize_route(route, layout)
+    print("routed:", summary.nets_routed, "of", summary.nets_total)
+    print("total wirelength:", summary.total_length)
+    print("nodes expanded:", summary.nodes_expanded)
+    print()
+    print(render_layout(layout, route, width=70))
+
+    for name, tree in route.trees.items():
+        print(f"{name}: length={tree.total_length} bends={tree.total_bends}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Figure 1, live: watch the line-search A* explore the routing plane.
+
+Renders the expansion of the gridless A* on the reconstructed Figure 1
+scene as a sequence of ASCII snapshots, then prints the node-count
+comparison against the Lee–Moore wavefront on the same problem.
+
+Run:  python examples/search_visualization.py
+"""
+
+from repro import EscapeMode, PathRequest, Point, TargetSet, find_path, lee_moore_route
+from repro.layout.generators import figure1_layout
+from repro.search.stats import ExpansionTrace
+from repro.analysis.render import render_expansion
+from repro.analysis.tables import format_table
+
+
+def snapshot(layout, trace: ExpansionTrace, upto: int, start, goal) -> str:
+    partial = ExpansionTrace(entries=trace.entries[:upto])
+    return render_expansion(layout, partial, None, start=start, goal=goal, width=66)
+
+
+def main() -> None:
+    layout, start, goal = figure1_layout()
+    obs = layout.obstacles()
+
+    result = find_path(
+        PathRequest(
+            obstacles=obs,
+            sources=[(start, 0.0)],
+            targets=TargetSet(points=[goal]),
+            mode=EscapeMode.FULL,
+            trace=True,
+        )
+    )
+    trace = result.trace
+    assert trace is not None
+
+    total = len(trace)
+    for fraction in (0.25, 0.5, 1.0):
+        upto = max(1, int(total * fraction))
+        print(f"--- expansion after {upto} of {total} node expansions ---")
+        print(snapshot(layout, trace, upto, start, goal))
+        print()
+
+    print("--- final route ---")
+    print(
+        render_expansion(
+            layout, trace, list(result.path.points), start=start, goal=goal, width=66
+        )
+    )
+
+    lee = lee_moore_route(obs, start, goal)
+    table = format_table(
+        ["router", "path length", "nodes expanded"],
+        [
+            ["line-search A*", result.path.length, result.stats.nodes_expanded],
+            ["Lee-Moore wavefront", lee.path.length, lee.stats.nodes_expanded],
+        ],
+        title="same optimum, very different effort:",
+    )
+    print()
+    print(table)
+
+
+if __name__ == "__main__":
+    main()

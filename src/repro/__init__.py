@@ -1,0 +1,126 @@
+"""repro — gridless line-search A* global routing for general cells.
+
+A full reproduction of Gary W. Clow, "A Global Routing Algorithm for
+General Cells", 21st Design Automation Conference, 1984.
+
+The top-level namespace re-exports the public API; subpackages:
+
+* :mod:`repro.geometry` — exact rectilinear geometry and ray tracing.
+* :mod:`repro.layout` — cells, pins, terminals, nets, generators, I/O.
+* :mod:`repro.search` — the OPEN/CLOSED search family (DFS, BFS,
+  best-first, A*).
+* :mod:`repro.core` — the paper's router: escape-point successor
+  generation, generalized cost functions, Steiner trees, congestion
+  two-pass, :class:`~repro.core.router.GlobalRouter`.
+* :mod:`repro.baselines` — Lee–Moore, grid A*, Hightower, sequential.
+* :mod:`repro.detail` — dynamic-channel detailed routing.
+* :mod:`repro.analysis` — metrics, verification, rendering.
+"""
+
+from repro.errors import (
+    GeometryError,
+    LayoutError,
+    ReproError,
+    RoutingError,
+    SearchError,
+    UnroutableError,
+    ValidationError,
+)
+from repro.geometry import Direction, Interval, ObstacleSet, OrthoPolygon, Point, Rect, Segment
+from repro.layout import (
+    Cell,
+    Layout,
+    LayoutSpec,
+    Net,
+    Pin,
+    Terminal,
+    grid_layout,
+    random_layout,
+    validate_layout,
+)
+from repro.search import Order, SearchProblem, SearchStats, search
+from repro.core import (
+    CostModel,
+    EscapeMode,
+    GlobalRoute,
+    GlobalRouter,
+    InvertedCornerCost,
+    PathRequest,
+    RoutePath,
+    RouteTree,
+    RouterConfig,
+    TargetSet,
+    WirelengthCost,
+    find_path,
+    route_net,
+)
+from repro.baselines import (
+    SequentialRouter,
+    grid_astar_route,
+    hightower_route,
+    lee_moore_route,
+    route_with_fallback,
+)
+from repro.detail import DetailedResult, DetailedRouter
+from repro.analysis import (
+    render_expansion,
+    render_layout,
+    summarize_route,
+    verify_global_route,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cell",
+    "CostModel",
+    "DetailedResult",
+    "DetailedRouter",
+    "Direction",
+    "EscapeMode",
+    "GeometryError",
+    "GlobalRoute",
+    "GlobalRouter",
+    "Interval",
+    "InvertedCornerCost",
+    "Layout",
+    "LayoutError",
+    "LayoutSpec",
+    "Net",
+    "ObstacleSet",
+    "Order",
+    "OrthoPolygon",
+    "PathRequest",
+    "Pin",
+    "Point",
+    "Rect",
+    "ReproError",
+    "RoutePath",
+    "RouteTree",
+    "RouterConfig",
+    "RoutingError",
+    "SearchError",
+    "SearchProblem",
+    "SearchStats",
+    "Segment",
+    "SequentialRouter",
+    "TargetSet",
+    "Terminal",
+    "UnroutableError",
+    "ValidationError",
+    "WirelengthCost",
+    "find_path",
+    "grid_astar_route",
+    "grid_layout",
+    "hightower_route",
+    "lee_moore_route",
+    "random_layout",
+    "render_expansion",
+    "render_layout",
+    "route_net",
+    "route_with_fallback",
+    "search",
+    "summarize_route",
+    "validate_layout",
+    "verify_global_route",
+]

@@ -1,0 +1,39 @@
+"""Analysis: metrics, verification, and rendering.
+
+Everything the experiment harness needs to *report*: routing summaries
+and comparisons (:mod:`repro.analysis.metrics`), independent validity
+checking of routes (:mod:`repro.analysis.verify`), terminal-friendly
+ASCII rendering and SVG export of layouts, routes, and search
+expansions (:mod:`repro.analysis.render`, :mod:`repro.analysis.svg`),
+and plain-text tables (:mod:`repro.analysis.tables`).
+"""
+
+from repro.analysis.metrics import RoutingSummary, summarize_route, wirelength_ratio
+from repro.analysis.report import routing_report
+from repro.analysis.tables import format_table
+from repro.analysis.verify import (
+    verify_detailed,
+    verify_global_route,
+    verify_path,
+    verify_route_tree,
+)
+from repro.analysis.render import render_expansion, render_layout
+from repro.analysis.svg import layout_to_svg, save_svg
+from repro.analysis.expansion import trace_segments
+
+__all__ = [
+    "RoutingSummary",
+    "format_table",
+    "layout_to_svg",
+    "render_expansion",
+    "render_layout",
+    "routing_report",
+    "save_svg",
+    "summarize_route",
+    "trace_segments",
+    "verify_detailed",
+    "verify_global_route",
+    "verify_path",
+    "verify_route_tree",
+    "wirelength_ratio",
+]

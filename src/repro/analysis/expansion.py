@@ -1,0 +1,51 @@
+"""Expansion-trace utilities for the Figure 1 reproduction.
+
+An :class:`~repro.search.stats.ExpansionTrace` records every expanded
+state with its parent; joining each pair with a straight segment
+recreates the tree of explored line segments that the paper's Figure 1
+draws.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+from repro.search.stats import ExpansionTrace
+
+
+def trace_segments(trace: ExpansionTrace) -> list[Segment]:
+    """Explored tree edges: one segment per expanded child state.
+
+    States that are not points (e.g. grid tuples) are converted when
+    possible; entries without a parent (start states) contribute
+    nothing.
+    """
+    segments: list[Segment] = []
+    for state, parent in trace.entries:
+        if parent is None:
+            continue
+        a = _as_point(parent)
+        b = _as_point(state)
+        if a is not None and b is not None and a != b:
+            segments.append(Segment(a, b))
+    return segments
+
+
+def trace_points(trace: ExpansionTrace) -> list[Point]:
+    """Expanded states as plane points, in expansion order."""
+    points: list[Point] = []
+    for state, _parent in trace.entries:
+        p = _as_point(state)
+        if p is not None:
+            points.append(p)
+    return points
+
+
+def _as_point(state: object) -> Point | None:
+    if isinstance(state, Point):
+        return state
+    if isinstance(state, tuple) and len(state) == 2 and all(
+        isinstance(v, int) for v in state
+    ):
+        return Point(state[0], state[1])
+    return None

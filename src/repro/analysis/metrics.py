@@ -1,0 +1,76 @@
+"""Routing quality and effort metrics.
+
+The paper's evaluation vocabulary is node counts, wirelength, and
+phase CPU time; this module turns route objects into those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.route import GlobalRoute
+from repro.layout.layout import Layout
+
+
+@dataclass(frozen=True)
+class RoutingSummary:
+    """Aggregate report of one routing run."""
+
+    nets_total: int
+    nets_routed: int
+    nets_failed: int
+    total_length: int
+    total_bends: int
+    nodes_expanded: int
+    nodes_generated: int
+    elapsed_seconds: float
+    length_over_hpwl: float
+
+    @property
+    def success_rate(self) -> float:
+        """Routed fraction of attempted nets."""
+        if self.nets_total == 0:
+            return 1.0
+        return self.nets_routed / self.nets_total
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten for table printing."""
+        return {
+            "nets": f"{self.nets_routed}/{self.nets_total}",
+            "length": self.total_length,
+            "bends": self.total_bends,
+            "expanded": self.nodes_expanded,
+            "len/hpwl": f"{self.length_over_hpwl:.3f}",
+            "time_s": f"{self.elapsed_seconds:.4f}",
+        }
+
+
+def summarize_route(route: GlobalRoute, layout: Layout) -> RoutingSummary:
+    """Build the aggregate report for *route* against *layout*."""
+    attempted = len(route.trees) + len(route.failed_nets)
+    return RoutingSummary(
+        nets_total=attempted,
+        nets_routed=route.routed_count,
+        nets_failed=len(route.failed_nets),
+        total_length=route.total_length,
+        total_bends=route.total_bends,
+        nodes_expanded=route.stats.nodes_expanded,
+        nodes_generated=route.stats.nodes_generated,
+        elapsed_seconds=route.stats.elapsed_seconds,
+        length_over_hpwl=wirelength_ratio(route, layout),
+    )
+
+
+def wirelength_ratio(route: GlobalRoute, layout: Layout) -> float:
+    """Routed length over the summed all-pin HPWL of routed nets.
+
+    For single-pin terminals HPWL is a true lower bound, so the ratio
+    is >= 1 with values slightly above 1 normal for obstacle-avoiding
+    Steiner trees.  Multi-pin terminals can push the ratio below 1:
+    the route may legally skip far-away equivalent pins that still
+    widen the all-pin bounding box.  Returns 0.0 when nothing routed.
+    """
+    hpwl = sum(layout.net(name).hpwl for name in route.trees)
+    if hpwl == 0:
+        return 0.0
+    return route.total_length / hpwl

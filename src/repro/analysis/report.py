@@ -1,0 +1,129 @@
+"""Full-flow text reports.
+
+One call renders everything an engineer reviews after a routing run:
+the layout's shape, the routing summary, per-net details, passage
+congestion, and (optionally) the detailed-routing outcome — as plain
+text built from the same primitives the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.congestion import find_passages, measure_congestion
+from repro.core.route import GlobalRoute
+from repro.detail.detailed import DetailedResult
+from repro.layout.layout import Layout
+from repro.analysis.metrics import summarize_route
+from repro.analysis.tables import format_table
+from repro.analysis.verify import verify_global_route
+
+
+def routing_report(
+    layout: Layout,
+    route: GlobalRoute,
+    *,
+    detailed: Optional[DetailedResult] = None,
+    max_net_rows: int = 20,
+    max_passage_rows: int = 8,
+) -> str:
+    """Render the complete report for a routed layout."""
+    sections = [
+        _layout_section(layout),
+        _summary_section(layout, route),
+        _nets_section(layout, route, max_net_rows),
+        _congestion_section(layout, route, max_passage_rows),
+    ]
+    if detailed is not None:
+        sections.append(_detail_section(detailed))
+    violations = verify_global_route(route, layout)
+    if violations:
+        rows = [[name, vs[0]] for name, vs in sorted(violations.items())]
+        sections.append(
+            format_table(["net", "first violation"], rows, title="VERIFICATION FAILURES")
+        )
+    else:
+        sections.append("verification: all routed nets legal and connected")
+    return "\n\n".join(sections)
+
+
+def _layout_section(layout: Layout) -> str:
+    rows = [
+        ["surface", str(layout.outline)],
+        ["cells", len(layout.cells)],
+        ["nets", len(layout.nets)],
+        ["utilization", f"{layout.utilization:.3f}"],
+        ["min cell separation", layout.min_cell_separation() or "-"],
+    ]
+    return format_table(["property", "value"], rows, title="layout")
+
+
+def _summary_section(layout: Layout, route: GlobalRoute) -> str:
+    summary = summarize_route(route, layout)
+    return format_table(
+        list(summary.as_row().keys()), [summary.as_row()], title="global routing"
+    )
+
+
+def _nets_section(layout: Layout, route: GlobalRoute, limit: int) -> str:
+    rows = []
+    ordered = sorted(
+        route.trees.items(), key=lambda item: -item[1].total_length
+    )[:limit]
+    for name, tree in ordered:
+        net = layout.net(name)
+        rows.append(
+            [
+                name,
+                len(net.terminals),
+                net.pin_count,
+                tree.total_length,
+                tree.total_bends,
+                f"{tree.total_length / net.hpwl:.2f}" if net.hpwl else "-",
+            ]
+        )
+    title = f"nets by wirelength (top {len(rows)} of {route.routed_count})"
+    table = format_table(
+        ["net", "terminals", "pins", "length", "bends", "len/hpwl"], rows, title=title
+    )
+    if route.failed_nets:
+        table += "\nfailed nets: " + ", ".join(route.failed_nets)
+    return table
+
+
+def _congestion_section(layout: Layout, route: GlobalRoute, limit: int) -> str:
+    passages = find_passages(layout)
+    if not passages:
+        return "congestion: no inter-cell passages (fewer than two facing cells)"
+    cmap = measure_congestion(passages, route)
+    busiest = sorted(cmap.entries, key=lambda e: -e.utilization)[:limit]
+    rows = [
+        [
+            "|".join(entry.passage.between),
+            entry.passage.gap,
+            entry.passage.capacity,
+            entry.usage,
+            f"{entry.utilization:.2f}",
+        ]
+        for entry in busiest
+        if entry.usage > 0
+    ]
+    title = (
+        f"congestion: {len(passages)} passages, total overflow "
+        f"{cmap.total_overflow}, peak utilization {cmap.max_utilization:.2f}"
+    )
+    if not rows:
+        return title + " (no passage carries any net)"
+    return format_table(["passage", "gap", "capacity", "nets", "util"], rows, title=title)
+
+
+def _detail_section(detailed: DetailedResult) -> str:
+    rows = [
+        ["dynamic channels", detailed.channel_count],
+        ["tracks", detailed.track_total],
+        ["wirelength", detailed.total_wirelength],
+        ["vias", detailed.via_count],
+        ["same-layer conflicts", detailed.conflict_count],
+        ["over-capacity channels", detailed.over_capacity_channels],
+    ]
+    return format_table(["property", "value"], rows, title="detailed routing")

@@ -1,0 +1,127 @@
+"""SVG export of layouts, routes, detailed designs, and expansions.
+
+Pure string construction — no dependencies — producing standalone SVG
+files.  Coordinates flip y so the drawing matches the mathematical
+orientation used everywhere else (y grows upward).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.route import GlobalRoute
+from repro.detail.detailed import DetailedResult
+from repro.geometry.point import Point
+from repro.layout.layout import Layout
+from repro.search.stats import ExpansionTrace
+from repro.analysis.expansion import trace_segments
+
+_PALETTE = (
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+    "#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+)
+
+
+def layout_to_svg(
+    layout: Layout,
+    route: Optional[GlobalRoute] = None,
+    *,
+    detailed: Optional[DetailedResult] = None,
+    trace: Optional[ExpansionTrace] = None,
+    marks: Iterable[tuple[Point, str]] = (),
+    scale: int = 6,
+) -> str:
+    """Render to an SVG document string.
+
+    Layers draw back to front: cells, expansion trace, global wires
+    (colored per net), detailed wires (solid layer 1 / dashed layer 2),
+    vias, pins, and text marks.
+    """
+    outline = layout.outline
+    margin = 2 * scale
+    width = outline.width * scale + 2 * margin
+    height = outline.height * scale + 2 * margin
+
+    def sx(x: int) -> float:
+        return margin + (x - outline.x0) * scale
+
+    def sy(y: int) -> float:
+        return margin + (outline.y1 - y) * scale
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect x="{margin}" y="{margin}" width="{outline.width * scale}" '
+        f'height="{outline.height * scale}" fill="#fcfcf7" stroke="#444"/>',
+    ]
+
+    for cell in layout.cells:
+        for rect in cell.blocking_rects:
+            parts.append(
+                f'<rect x="{sx(rect.x0)}" y="{sy(rect.y1)}" '
+                f'width="{rect.width * scale}" height="{rect.height * scale}" '
+                f'fill="#d9d4c7" stroke="#7a7468"/>'
+            )
+        box = cell.bounding_box
+        parts.append(
+            f'<text x="{sx(box.center.x)}" y="{sy(box.center.y)}" font-size="{2 * scale}" '
+            f'text-anchor="middle" fill="#55504a">{cell.name}</text>'
+        )
+
+    if trace is not None:
+        for seg in trace_segments(trace):
+            parts.append(
+                f'<line x1="{sx(seg.a.x)}" y1="{sy(seg.a.y)}" x2="{sx(seg.b.x)}" '
+                f'y2="{sy(seg.b.y)}" stroke="#b8cbe0" stroke-width="{scale / 3:.1f}"/>'
+            )
+
+    if route is not None:
+        for index, (name, tree) in enumerate(sorted(route.trees.items())):
+            color = _PALETTE[index % len(_PALETTE)]
+            for seg in tree.segments:
+                parts.append(
+                    f'<line x1="{sx(seg.a.x)}" y1="{sy(seg.a.y)}" x2="{sx(seg.b.x)}" '
+                    f'y2="{sy(seg.b.y)}" stroke="{color}" '
+                    f'stroke-width="{scale / 2:.1f}" stroke-linecap="round">'
+                    f"<title>{name}</title></line>"
+                )
+
+    if detailed is not None:
+        net_color: dict[str, str] = {}
+        for wire in detailed.layers.wires:
+            color = net_color.setdefault(
+                wire.net, _PALETTE[len(net_color) % len(_PALETTE)]
+            )
+            dash = "" if wire.layer == 1 else f' stroke-dasharray="{scale},{scale // 2 or 1}"'
+            parts.append(
+                f'<line x1="{sx(wire.seg.a.x)}" y1="{sy(wire.seg.a.y)}" '
+                f'x2="{sx(wire.seg.b.x)}" y2="{sy(wire.seg.b.y)}" stroke="{color}" '
+                f'stroke-width="{scale / 2:.1f}"{dash}><title>{wire.net} '
+                f"L{wire.layer}</title></line>"
+            )
+        for via in detailed.layers.vias:
+            parts.append(
+                f'<rect x="{sx(via.at.x) - scale / 2:.1f}" y="{sy(via.at.y) - scale / 2:.1f}" '
+                f'width="{scale}" height="{scale}" fill="#222"/>'
+            )
+
+    for pin in layout.iter_pins():
+        parts.append(
+            f'<circle cx="{sx(pin.location.x)}" cy="{sy(pin.location.y)}" '
+            f'r="{scale / 1.5:.1f}" fill="#fff" stroke="#222"/>'
+        )
+
+    for point, label in marks:
+        parts.append(
+            f'<text x="{sx(point.x)}" y="{sy(point.y) - scale}" font-size="{3 * scale}" '
+            f'text-anchor="middle" fill="#111" font-weight="bold">{label}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path: str, svg_text: str) -> None:
+    """Write an SVG document to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg_text)

@@ -1,0 +1,65 @@
+"""Plain-text table formatting for experiment output.
+
+Every benchmark prints the series it reproduces; this keeps the
+formatting in one place so the output reads like the tables a paper
+would carry.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]] | Sequence[Mapping[str, object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Rows may be sequences (positional) or mappings keyed by header.
+    Numeric cells right-align; everything else left-aligns.
+    """
+    materialized: list[list[str]] = []
+    for row in rows:
+        if isinstance(row, Mapping):
+            materialized.append([_cell(row.get(h, "")) for h in headers])
+        else:
+            materialized.append([_cell(v) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if _is_numeric(cell):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text.replace("x", "").replace("/", ""))
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,167 @@
+"""Independent route validity checking.
+
+These checkers share no code with the routers' own legality logic
+beyond the geometry primitives, so a router bug cannot hide behind its
+own definition of legality.  All checkers return a list of violation
+strings (empty = valid); `strict=True` raises instead.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RoutingError
+from repro.core.route import GlobalRoute, RoutePath, RouteTree
+from repro.detail.detailed import DetailedResult
+from repro.geometry.segment import Segment
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+
+
+def verify_path(path: RoutePath, layout: Layout) -> list[str]:
+    """Check one connection path: inside the surface, outside cells."""
+    violations: list[str] = []
+    for point in path.points:
+        if not layout.outline.contains_point(point):
+            violations.append(f"point {point} outside routing surface")
+    for seg in path.segments:
+        for cell in layout.cells:
+            for rect in cell.blocking_rects:
+                if rect.segment_crosses_interior(seg):
+                    violations.append(f"segment {seg} crosses cell {cell.name!r}")
+    return violations
+
+
+def verify_route_tree(tree: RouteTree, net: Net, layout: Layout) -> list[str]:
+    """Check a routed net: geometry legality plus full connectivity.
+
+    Connectivity is established independently: every terminal must have
+    at least one pin in the single connected component formed by the
+    tree's segments and points.
+    """
+    violations: list[str] = []
+    for path in tree.paths:
+        violations.extend(verify_path(path, layout))
+
+    if set(tree.connected_terminals) != {t.name for t in net.terminals}:
+        missing = {t.name for t in net.terminals} - set(tree.connected_terminals)
+        violations.append(f"net {net.name!r}: terminals never connected: {sorted(missing)}")
+        return violations
+
+    violations.extend(_connectivity_violations(tree, net))
+    return violations
+
+
+def _connectivity_violations(tree: RouteTree, net: Net) -> list[str]:
+    """Union-find over tree geometry; every terminal must reach the root."""
+    elements: list[Segment] = list(tree.segments)
+    # Zero-length connections contribute bare points.
+    for path in tree.paths:
+        if len(path.points) == 1:
+            elements.append(Segment(path.points[0], path.points[0]))
+
+    # Seed terminal pins participate as degenerate segments too.
+    pin_elements: dict[str, list[int]] = {}
+    for terminal in net.terminals:
+        indices: list[int] = []
+        for pin in terminal.pins:
+            elements.append(Segment(pin.location, pin.location))
+            indices.append(len(elements) - 1)
+        pin_elements[terminal.name] = indices
+
+    parent = list(range(len(elements)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    for i in range(len(elements)):
+        for j in range(i + 1, len(elements)):
+            if elements[i].intersects(elements[j]):
+                union(i, j)
+
+    # Pins of one terminal are electrically equivalent through their
+    # cell ("logically grouped"), so they join even without wire
+    # geometry between them.
+    for indices in pin_elements.values():
+        for first, second in zip(indices, indices[1:]):
+            union(first, second)
+
+    violations: list[str] = []
+    # The component that contains any connected pin of the first
+    # terminal is the tree; every terminal needs a pin in it.
+    roots_by_terminal = {
+        name: {find(i) for i in indices} for name, indices in pin_elements.items()
+    }
+    anchor_candidates = roots_by_terminal[net.terminals[0].name]
+    # Choose the anchor root shared by the most terminals (a terminal
+    # may have extra pins dangling off-tree, which is legal).
+    best_anchor = None
+    best_cover = -1
+    for root in anchor_candidates:
+        cover = sum(1 for roots in roots_by_terminal.values() if root in roots)
+        if cover > best_cover:
+            best_anchor, best_cover = root, cover
+    for terminal in net.terminals:
+        if best_anchor not in roots_by_terminal[terminal.name]:
+            violations.append(
+                f"net {net.name!r}: terminal {terminal.name!r} not electrically "
+                f"connected to the tree"
+            )
+    return violations
+
+
+def verify_global_route(
+    route: GlobalRoute, layout: Layout, *, strict: bool = False
+) -> dict[str, list[str]]:
+    """Check every routed net; returns violations per net name.
+
+    With ``strict=True`` raises :class:`RoutingError` on the first
+    violating net.
+    """
+    report: dict[str, list[str]] = {}
+    for name, tree in route.trees.items():
+        violations = verify_route_tree(tree, layout.net(name), layout)
+        if violations:
+            report[name] = violations
+    if strict and report:
+        name, violations = next(iter(report.items()))
+        raise RoutingError(f"invalid route for net {name!r}: {violations[0]}")
+    return report
+
+
+def verify_detailed(result: DetailedResult, layout: Layout) -> list[str]:
+    """Check detailed wires: legality of every physical wire.
+
+    Same-layer overlap conflicts are already recorded on the result;
+    this adds the geometric checks (wires inside the surface, outside
+    cell interiors) that the channel corridor logic must guarantee.
+    """
+    violations: list[str] = []
+    for wire in result.layers.wires:
+        for endpoint in (wire.seg.a, wire.seg.b):
+            if not layout.outline.contains_point(endpoint):
+                violations.append(f"wire {wire.seg} of {wire.net!r} leaves the surface")
+                break
+        for cell in layout.cells:
+            for rect in cell.blocking_rects:
+                if rect.segment_crosses_interior(wire.seg):
+                    violations.append(
+                        f"wire {wire.seg} of {wire.net!r} crosses cell {cell.name!r}"
+                    )
+    return violations
+
+
+def assert_optimal_length(path: RoutePath, expected: int) -> None:
+    """Test helper: path length must equal the oracle's *expected*.
+
+    Raises :class:`RoutingError` on mismatch with both values in the
+    message (used by the admissibility experiment).
+    """
+    if path.length != expected:
+        raise RoutingError(f"path length {path.length} != oracle optimum {expected}")

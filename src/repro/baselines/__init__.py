@@ -1,0 +1,33 @@
+"""Baseline routers the paper positions itself against.
+
+* :mod:`repro.baselines.grid` / :mod:`repro.baselines.leemoore` — the
+  grid-expansion family: the classic Lee–Moore wavefront and the
+  grid-based A*, both "a special case of the general search algorithm".
+* :mod:`repro.baselines.hightower` — the 1969 line-probe algorithm:
+  fast, grid-free, and incomplete.
+* :mod:`repro.baselines.fallback` — the production pattern from the
+  Background section: "Hightower's algorithm for a quick first try,
+  and if it fails, then the full power of the ... maze search".
+* :mod:`repro.baselines.sequential` — the classical alternative to
+  independent net routing: nets routed one after another, each
+  becoming an obstacle for the next.
+"""
+
+from repro.baselines.grid import GridProblem, RoutingGrid
+from repro.baselines.leemoore import grid_astar_route, lee_moore_route, lee_wavefront
+from repro.baselines.hightower import HightowerResult, hightower_route
+from repro.baselines.fallback import FallbackResult, route_with_fallback
+from repro.baselines.sequential import SequentialRouter
+
+__all__ = [
+    "FallbackResult",
+    "GridProblem",
+    "HightowerResult",
+    "RoutingGrid",
+    "SequentialRouter",
+    "grid_astar_route",
+    "hightower_route",
+    "lee_moore_route",
+    "lee_wavefront",
+    "route_with_fallback",
+]

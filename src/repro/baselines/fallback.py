@@ -1,0 +1,79 @@
+"""Quick-probe-then-maze-search, the production pattern of the era.
+
+"As a result, some routers use Hightower's algorithm for a quick first
+try, and if it fails, then the full power of the Lee–Moore maze search
+algorithm is used."
+
+Here the fallback is the paper's own admissible line-search A* (the
+gridless equivalent of full Lee–Moore power); experiment E9 sweeps
+obstacle density to show where the probe stops sufficing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.hightower import HightowerResult, hightower_route
+from repro.core.costs import CostModel
+from repro.core.escape import EscapeMode
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import RoutePath, TargetSet
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.search.stats import SearchStats
+
+
+@dataclass
+class FallbackResult:
+    """A connection plus which engine produced it.
+
+    Attributes
+    ----------
+    engine:
+        ``"hightower"`` when the probe succeeded, ``"line-search-a*"``
+        when the fallback ran.
+    probe:
+        The probe attempt (kept for its counters either way).
+    search_stats:
+        A* telemetry when the fallback ran, else ``None``.
+    """
+
+    path: RoutePath
+    engine: str
+    probe: HightowerResult
+    search_stats: Optional[SearchStats] = None
+
+
+def route_with_fallback(
+    obstacles: ObstacleSet,
+    source: Point,
+    target: Point,
+    *,
+    max_level: int = 6,
+    max_lines: int = 256,
+    mode: EscapeMode = EscapeMode.FULL,
+    cost_model: Optional[CostModel] = None,
+) -> FallbackResult:
+    """Try the line probe; fall back to admissible line-search A*.
+
+    Raises :class:`repro.errors.UnroutableError` only when *no* legal
+    route exists at all (the fallback is complete).
+    """
+    probe = hightower_route(
+        obstacles, source, target, max_level=max_level, max_lines=max_lines
+    )
+    if probe.found:
+        assert probe.path is not None
+        return FallbackResult(probe.path, "hightower", probe)
+
+    request = PathRequest(
+        obstacles=obstacles,
+        sources=[(source, 0.0)],
+        targets=TargetSet(points=[target]),
+        mode=mode,
+    )
+    if cost_model is not None:
+        request.cost_model = cost_model
+    outcome = find_path(request)
+    return FallbackResult(outcome.path, "line-search-a*", probe, outcome.stats)

@@ -1,0 +1,165 @@
+"""The rasterized routing grid behind the Lee–Moore baselines.
+
+"The most straightforward way of generating successors is to divide
+the routing surface up into a grid.  The routing surface can then be
+modelled by setting the grid spacing equal to the minimum wire
+spacing."
+
+A :class:`RoutingGrid` rasterizes an obstacle set at a given pitch;
+:class:`GridProblem` exposes it to the shared search engine as
+4-neighbour unit-cost successors — which is all it takes for the
+engine to *become* a Lee–Moore router (h = 0, FIFO) or a grid A*
+(h = Manhattan distance).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.search.problem import SearchProblem
+
+GridCoord = tuple[int, int]
+
+
+class RoutingGrid:
+    """A boolean raster of the routing surface.
+
+    Grid node ``(i, j)`` sits at plane point
+    ``(bound.x0 + i * pitch, bound.y0 + j * pitch)``.  A node is
+    blocked when it falls strictly inside an obstacle — cell
+    boundaries stay routable, matching the gridless semantics so that
+    both routers solve the identical problem.
+    """
+
+    def __init__(self, obstacles: ObstacleSet, *, pitch: int = 1):
+        if pitch < 1:
+            raise RoutingError(f"grid pitch must be >= 1, got {pitch}")
+        self.obstacles = obstacles
+        self.pitch = pitch
+        bound = obstacles.bound
+        self.origin = Point(bound.x0, bound.y0)
+        self.cols = bound.width // pitch + 1
+        self.rows = bound.height // pitch + 1
+        self.blocked = self._rasterize()
+
+    def _rasterize(self) -> np.ndarray:
+        blocked = np.zeros((self.cols, self.rows), dtype=bool)
+        for rect in self.obstacles.rects:
+            # Strict interior: first grid line strictly right of x0 etc.
+            i_lo = _first_index_above(rect.x0, self.origin.x, self.pitch)
+            i_hi = _last_index_below(rect.x1, self.origin.x, self.pitch)
+            j_lo = _first_index_above(rect.y0, self.origin.y, self.pitch)
+            j_hi = _last_index_below(rect.y1, self.origin.y, self.pitch)
+            if i_lo > i_hi or j_lo > j_hi:
+                continue
+            i_lo, i_hi = max(i_lo, 0), min(i_hi, self.cols - 1)
+            j_lo, j_hi = max(j_lo, 0), min(j_hi, self.rows - 1)
+            blocked[i_lo : i_hi + 1, j_lo : j_hi + 1] = True
+        return blocked
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+    def to_grid(self, p: Point) -> GridCoord:
+        """Map a plane point onto the grid.
+
+        Raises :class:`RoutingError` if the point is off-pitch or
+        outside the surface — grid routers can only see grid points,
+        which is precisely the limitation the gridless router removes.
+        """
+        dx = p.x - self.origin.x
+        dy = p.y - self.origin.y
+        if dx % self.pitch or dy % self.pitch:
+            raise RoutingError(f"point {p} is not on the pitch-{self.pitch} grid")
+        coord = (dx // self.pitch, dy // self.pitch)
+        if not (0 <= coord[0] < self.cols and 0 <= coord[1] < self.rows):
+            raise RoutingError(f"point {p} lies outside the routing surface")
+        return coord
+
+    def to_plane(self, coord: GridCoord) -> Point:
+        """Map a grid coordinate back to the plane."""
+        return Point(
+            self.origin.x + coord[0] * self.pitch, self.origin.y + coord[1] * self.pitch
+        )
+
+    def is_free(self, coord: GridCoord) -> bool:
+        """Whether the grid node is routable."""
+        i, j = coord
+        return 0 <= i < self.cols and 0 <= j < self.rows and not self.blocked[i, j]
+
+    @property
+    def node_count(self) -> int:
+        """Total grid nodes (the memory cost the paper criticizes)."""
+        return self.cols * self.rows
+
+    def neighbors(self, coord: GridCoord) -> list[GridCoord]:
+        """The free 4-neighbours of a node."""
+        i, j = coord
+        out: list[GridCoord] = []
+        for ni, nj in ((i + 1, j), (i - 1, j), (i, j + 1), (i, j - 1)):
+            if 0 <= ni < self.cols and 0 <= nj < self.rows and not self.blocked[ni, nj]:
+                out.append((ni, nj))
+        return out
+
+
+def _first_index_above(coord: int, origin: int, pitch: int) -> int:
+    """Smallest grid index whose plane coordinate is strictly > coord."""
+    return (coord - origin) // pitch + 1
+
+
+def _last_index_below(coord: int, origin: int, pitch: int) -> int:
+    """Largest grid index whose plane coordinate is strictly < coord."""
+    offset = coord - origin
+    if offset % pitch == 0:
+        return offset // pitch - 1
+    return offset // pitch
+
+
+class GridProblem(SearchProblem):
+    """Grid routing as a search problem for the shared engine.
+
+    "If this model is used with h(n) defined to be 0 then it is
+    equivalent to the Lee–Moore algorithm."  ``use_heuristic`` toggles
+    exactly that.
+    """
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        sources: Iterable[GridCoord],
+        target: GridCoord,
+        *,
+        use_heuristic: bool = True,
+    ):
+        self.grid = grid
+        self._sources = list(sources)
+        self.target = target
+        self.use_heuristic = use_heuristic
+        for coord in self._sources:
+            if not grid.is_free(coord):
+                raise RoutingError(f"grid source {coord} is blocked")
+        if not grid.is_free(target):
+            raise RoutingError(f"grid target {target} is blocked")
+
+    def start_states(self) -> Iterable[tuple[GridCoord, float]]:
+        return [(coord, 0.0) for coord in self._sources]
+
+    def is_goal(self, state: GridCoord) -> bool:
+        return state == self.target
+
+    def successors(self, state: GridCoord) -> Iterable[tuple[GridCoord, float]]:
+        pitch = float(self.grid.pitch)
+        return [(n, pitch) for n in self.grid.neighbors(state)]
+
+    def heuristic(self, state: GridCoord) -> float:
+        if not self.use_heuristic:
+            return 0.0
+        return float(
+            (abs(state[0] - self.target[0]) + abs(state[1] - self.target[1]))
+            * self.grid.pitch
+        )

@@ -1,0 +1,84 @@
+"""Net-ordering strategies for the sequential baseline.
+
+"Independent net routing also eliminates the problem of net ordering
+which can consume a great deal of computing resources in itself."
+
+These are the classical orderings that consumed those resources; they
+exist so experiment E7 (and downstream users comparing against
+sequential flows) can do better than arbitrary order.  All orderings
+are deterministic for a given layout (and seed, where applicable).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.layout.layout import Layout
+
+
+def netlist_order(layout: Layout) -> list[str]:
+    """The order nets were added — the do-nothing baseline."""
+    return [net.name for net in layout.nets]
+
+
+def by_hpwl(layout: Layout, *, ascending: bool = True) -> list[str]:
+    """Shortest (or longest) half-perimeter first.
+
+    Short-first routes easy nets before the surface fills up;
+    long-first gives sprawling nets first pick of the open surface.
+    Both were common folk wisdom; neither dominates.
+    """
+    names = sorted(
+        layout.nets, key=lambda net: (net.hpwl, net.name), reverse=not ascending
+    )
+    return [net.name for net in names]
+
+
+def by_pin_count(layout: Layout, *, ascending: bool = False) -> list[str]:
+    """Most-pins-first (default): multi-terminal nets get first pick."""
+    names = sorted(
+        layout.nets, key=lambda net: (net.pin_count, net.name), reverse=not ascending
+    )
+    return [net.name for net in names]
+
+
+def shuffled(layout: Layout, *, seed: int = 0) -> list[str]:
+    """A seeded random order (for order-sensitivity experiments)."""
+    names = [net.name for net in layout.nets]
+    random.Random(seed).shuffle(names)
+    return names
+
+
+ALL_STRATEGIES: dict[str, object] = {
+    "netlist": netlist_order,
+    "hpwl-ascending": lambda layout: by_hpwl(layout, ascending=True),
+    "hpwl-descending": lambda layout: by_hpwl(layout, ascending=False),
+    "pins-descending": by_pin_count,
+}
+
+
+def best_sequential_order(
+    layout: Layout,
+    candidate_orders: Sequence[Sequence[str]] | None = None,
+):
+    """Route under several orders, keep the best.
+
+    This is exactly the computation the paper says independent routing
+    eliminates — provided here to make that cost measurable.  Returns
+    ``(order, GlobalRoute)`` minimizing (failures, total length).
+    """
+    from repro.baselines.sequential import SequentialRouter
+
+    if candidate_orders is None:
+        candidate_orders = [strategy(layout) for strategy in ALL_STRATEGIES.values()]
+
+    router = SequentialRouter(layout)
+    best = None
+    for order in candidate_orders:
+        route = router.route_all(order)
+        key = (len(route.failed_nets), route.total_length)
+        if best is None or key < best[0]:
+            best = (key, list(order), route)
+    assert best is not None
+    return best[1], best[2]

@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+Three subcommands cover the library's everyday use without writing
+Python:
+
+``generate``
+    Produce a random general-cell layout as JSON.
+``route``
+    Globally route a layout JSON; optionally run the congestion
+    two-pass and the detailed phase; print the summary; optionally
+    write ASCII art and/or SVG.
+``render``
+    ASCII-render a layout JSON (with no routing).
+
+Example::
+
+    python -m repro generate --cells 12 --nets 10 --seed 7 -o chip.json
+    python -m repro route chip.json --two-pass --detail --svg chip.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.escape import EscapeMode
+from repro.core.router import GlobalRouter, RouterConfig
+from repro.detail.detailed import DetailedRouter
+from repro.errors import ReproError
+from repro.layout.generators import LayoutSpec, random_layout
+from repro.layout.io import layout_from_json, layout_to_json
+from repro.layout.layout import Layout
+from repro.layout.validate import validate_layout
+from repro.analysis.metrics import summarize_route
+from repro.analysis.render import render_layout
+from repro.analysis.svg import layout_to_svg, save_svg
+from repro.analysis.tables import format_table
+from repro.analysis.verify import verify_global_route
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gridless line-search A* global routing for general cells "
+        "(Clow, DAC 1984).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a random layout JSON")
+    gen.add_argument("--cells", type=int, default=10)
+    gen.add_argument("--nets", type=int, default=10)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--terminals", type=int, nargs=2, default=(2, 3),
+                     metavar=("MIN", "MAX"))
+    gen.add_argument("--pins", type=int, nargs=2, default=(1, 1),
+                     metavar=("MIN", "MAX"))
+    gen.add_argument("-o", "--output", default="-",
+                     help="output path ('-' for stdout)")
+
+    route = sub.add_parser("route", help="route a layout JSON")
+    route.add_argument("layout", help="layout JSON path ('-' for stdin)")
+    route.add_argument("--mode", choices=["full", "aggressive"], default="full")
+    route.add_argument("--inverted-corner", action="store_true",
+                       help="enable the Figure 2 epsilon")
+    route.add_argument("--refine", action="store_true",
+                       help="rip-up-and-reconnect refinement per net")
+    route.add_argument("--two-pass", action="store_true",
+                       help="congestion-penalized second pass")
+    route.add_argument("--passes", type=int, default=2,
+                       help="repasses for --two-pass (default 2)")
+    route.add_argument("--detail", action="store_true",
+                       help="also run the detailed router")
+    route.add_argument("--report", action="store_true",
+                       help="print the full engineering report")
+    route.add_argument("--ascii", action="store_true", help="print ASCII art")
+    route.add_argument("--svg", metavar="PATH", help="write an SVG")
+    route.add_argument("--skip-unroutable", action="store_true",
+                       help="record failures instead of aborting")
+
+    render = sub.add_parser("render", help="ASCII-render a layout JSON")
+    render.add_argument("layout")
+    render.add_argument("--width", type=int, default=78)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "route":
+            return _cmd_route(args)
+        return _cmd_render(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = LayoutSpec(
+        n_cells=args.cells,
+        n_nets=args.nets,
+        terminals_per_net=tuple(args.terminals),
+        pins_per_terminal=tuple(args.pins),
+    )
+    layout = random_layout(spec, seed=args.seed)
+    validate_layout(layout)
+    text = layout_to_json(layout)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {args.output}: {len(layout.cells)} cells, "
+            f"{len(layout.nets)} nets",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _load_layout(path: str) -> Layout:
+    if path == "-":
+        return layout_from_json(sys.stdin.read())
+    with open(path, "r", encoding="utf-8") as handle:
+        return layout_from_json(handle.read())
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    layout = _load_layout(args.layout)
+    validate_layout(layout)
+    config = RouterConfig(
+        mode=EscapeMode.FULL if args.mode == "full" else EscapeMode.AGGRESSIVE,
+        inverted_corner=args.inverted_corner,
+        refine=args.refine,
+    )
+    router = GlobalRouter(layout, config)
+    on_unroutable = "skip" if args.skip_unroutable else "raise"
+
+    if args.two_pass:
+        result = router.route_two_pass(passes=args.passes, on_unroutable=on_unroutable)
+        route = result.final
+        print(
+            f"two-pass: overflow {result.congestion_before.total_overflow} -> "
+            f"{result.congestion_after.total_overflow}, "
+            f"{len(result.rerouted_nets)} nets rerouted"
+        )
+    else:
+        route = router.route_all(on_unroutable=on_unroutable)
+
+    violations = verify_global_route(route, layout)
+    detailed = None
+    if args.detail:
+        detailed = DetailedRouter(layout).run(route)
+
+    if args.report:
+        from repro.analysis.report import routing_report
+
+        print(routing_report(layout, route, detailed=detailed))
+    else:
+        summary = summarize_route(route, layout)
+        print(format_table(list(summary.as_row().keys()), [summary.as_row()],
+                           title="global routing"))
+        if route.failed_nets:
+            print("failed nets:", ", ".join(route.failed_nets))
+        if detailed is not None:
+            print()
+            print(format_table(
+                ["channels", "tracks", "vias", "wirelength", "conflicts", "overcap"],
+                [[detailed.channel_count, detailed.track_total, detailed.via_count,
+                  detailed.total_wirelength, detailed.conflict_count,
+                  detailed.over_capacity_channels]],
+                title="detailed routing",
+            ))
+    if violations:
+        print(f"verification violations in {len(violations)} nets!", file=sys.stderr)
+        return 2
+
+    if args.ascii:
+        print()
+        print(render_layout(layout, route))
+    if args.svg:
+        save_svg(args.svg, layout_to_svg(layout, route, detailed=detailed))
+        print(f"wrote {args.svg}", file=sys.stderr)
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    layout = _load_layout(args.layout)
+    print(render_layout(layout, width=args.width))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""The paper's primary contribution: gridless line-search A* global routing.
+
+Public surface:
+
+* :func:`~repro.core.pathfinder.find_path` — one two-point (or
+  set-to-set) connection via line-search A*.
+* :func:`~repro.core.steiner.route_net` — a whole multi-terminal /
+  multi-pin net as an approximate Steiner tree.
+* :class:`~repro.core.router.GlobalRouter` — all nets of a layout,
+  independently routed, with the optional congestion-driven second
+  pass from the paper's Conclusions.
+* Cost models (:mod:`repro.core.costs`) — the "generalized cost
+  function concept": wirelength, inverted-corner epsilon, bend/via
+  penalties, congestion penalties.
+"""
+
+from repro.core.escape import EscapeMode, escape_moves
+from repro.core.costs import (
+    BendPenaltyCost,
+    CongestionPenaltyCost,
+    CostModel,
+    InvertedCornerCost,
+    WirelengthCost,
+)
+from repro.core.route import GlobalRoute, RoutePath, RouteTree, TargetSet
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.steiner import route_net
+from repro.core.congestion import CongestionMap, Passage, find_passages, measure_congestion
+from repro.core.router import GlobalRouter, RouterConfig, TwoPassResult
+from repro.core.feedback import FeedbackResult, adjust_placement, move_cell
+from repro.core.refine import refine_tree
+from repro.core.route_io import (
+    route_from_dict,
+    route_from_json,
+    route_to_dict,
+    route_to_json,
+)
+
+__all__ = [
+    "BendPenaltyCost",
+    "CongestionMap",
+    "CongestionPenaltyCost",
+    "CostModel",
+    "EscapeMode",
+    "FeedbackResult",
+    "GlobalRoute",
+    "GlobalRouter",
+    "adjust_placement",
+    "move_cell",
+    "InvertedCornerCost",
+    "Passage",
+    "PathRequest",
+    "RoutePath",
+    "RouteTree",
+    "RouterConfig",
+    "TargetSet",
+    "TwoPassResult",
+    "WirelengthCost",
+    "escape_moves",
+    "find_path",
+    "find_passages",
+    "measure_congestion",
+    "route_from_dict",
+    "route_from_json",
+    "refine_tree",
+    "route_net",
+    "route_to_dict",
+    "route_to_json",
+]

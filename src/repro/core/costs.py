@@ -1,0 +1,176 @@
+"""Generalized cost functions.
+
+"Because of the generality of the A* algorithm, the heuristic cost
+function can be used to favor certain classes of routes over others."
+
+A :class:`CostModel` prices the two things a rectilinear route is made
+of: straight segments and the bends between them.  Every model must
+dominate pure wirelength from below — i.e. ``segment_cost >= length``
+and ``bend_cost >= 0`` — so the rectilinear-distance heuristic remains
+a lower bound and A* stays admissible.
+
+Models that price bends need to know the incoming direction at each
+search state, which the pathfinder supports by switching to
+direction-tagged states; they declare ``direction_sensitive = True``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import RoutingError
+from repro.geometry.point import Direction, Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+
+class CostModel:
+    """Base model: cost is exactly rectilinear wirelength.
+
+    Subclasses override :meth:`segment_cost` and/or :meth:`bend_cost`.
+    """
+
+    #: Whether the pathfinder must track arrival directions so that
+    #: :meth:`bend_cost` can be charged.
+    direction_sensitive: bool = False
+
+    def segment_cost(self, seg: Segment) -> float:
+        """Cost of routing a wire along *seg*.  Must be >= ``seg.length``."""
+        return float(seg.length)
+
+    def bend_cost(self, at: Point, incoming: Direction, outgoing: Direction) -> float:
+        """Extra cost for turning at *at*.  Must be >= 0."""
+        return 0.0
+
+
+class WirelengthCost(CostModel):
+    """Explicit name for the default minimal-length objective."""
+
+
+class BendPenaltyCost(CostModel):
+    """Charge a fixed penalty per corner.
+
+    Corners become vias after layer assignment, so this is the "other
+    heuristics [are] easily implemented" knob for via minimization.
+    The penalty may be any non-negative number; fractional values
+    (< 1 database unit) act purely as tie-breakers among equal-length
+    routes.
+    """
+
+    direction_sensitive = True
+
+    def __init__(self, penalty: float = 0.25, base: Optional[CostModel] = None):
+        if penalty < 0:
+            raise RoutingError(f"bend penalty must be >= 0, got {penalty}")
+        self.penalty = penalty
+        self.base = base or CostModel()
+        self.direction_sensitive = True
+
+    def segment_cost(self, seg: Segment) -> float:
+        return self.base.segment_cost(seg)
+
+    def bend_cost(self, at: Point, incoming: Direction, outgoing: Direction) -> float:
+        inherited = self.base.bend_cost(at, incoming, outgoing)
+        if incoming is not outgoing:
+            return inherited + self.penalty
+        return inherited
+
+
+class InvertedCornerCost(CostModel):
+    """The paper's inverted-corner epsilon (Figure 2).
+
+    Among equal-length routes around a cell corner, the preferred route
+    turns exactly at the cell boundary; the non-preferred route turns
+    in free space ("the inverted corner"), wasting the passage next to
+    the cell.  "Since both routes have exactly the same length, if a
+    small number, e, is added to the cost of the non-preferred route
+    the algorithm will automatically pick the preferred route."
+
+    Detection: a bend at a point on some cell (or surface) boundary is
+    free; a bend floating in free space costs epsilon.  Epsilon must be
+    small enough never to change which *lengths* are optimal — the
+    default 1/16 is far below the 1-unit coordinate resolution.
+    """
+
+    direction_sensitive = True
+
+    def __init__(
+        self,
+        obstacles: ObstacleSet,
+        epsilon: float = 1.0 / 16.0,
+        base: Optional[CostModel] = None,
+    ):
+        if epsilon <= 0:
+            raise RoutingError(f"inverted-corner epsilon must be > 0, got {epsilon}")
+        self.obstacles = obstacles
+        self.epsilon = epsilon
+        self.base = base or CostModel()
+        self.direction_sensitive = True
+
+    def _on_any_boundary(self, p: Point) -> bool:
+        if any(rect.on_boundary(p) for rect in self.obstacles.rects):
+            return True
+        return self.obstacles.bound.on_boundary(p)
+
+    def segment_cost(self, seg: Segment) -> float:
+        return self.base.segment_cost(seg)
+
+    def bend_cost(self, at: Point, incoming: Direction, outgoing: Direction) -> float:
+        inherited = self.base.bend_cost(at, incoming, outgoing)
+        if incoming is outgoing:
+            return inherited
+        if self._on_any_boundary(at):
+            return inherited
+        return inherited + self.epsilon
+
+
+class CongestionPenaltyCost(CostModel):
+    """Per-unit-length surcharge inside congested regions.
+
+    Used by the two-pass scheme from the Conclusions: "A second route
+    of the affected nets could penalize those paths which chose the
+    congested area."  Each region carries its own weight (cost added
+    per unit of wire inside it); overlapping regions stack.
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[tuple[Rect, float]],
+        base: Optional[CostModel] = None,
+    ):
+        for region, weight in regions:
+            if weight < 0:
+                raise RoutingError(f"congestion weight must be >= 0, got {weight} for {region}")
+        self.regions = list(regions)
+        self.base = base or CostModel()
+        self.direction_sensitive = self.base.direction_sensitive
+
+    def segment_cost(self, seg: Segment) -> float:
+        cost = self.base.segment_cost(seg)
+        for region, weight in self.regions:
+            cost += weight * _overlap_length(seg, region)
+        return cost
+
+    def bend_cost(self, at: Point, incoming: Direction, outgoing: Direction) -> float:
+        return self.base.bend_cost(at, incoming, outgoing)
+
+
+def _overlap_length(seg: Segment, region: Rect) -> int:
+    """Length of *seg* lying within the closed *region*.
+
+    A segment running along the region's boundary counts: hugging a
+    cell edge adjacent to a congested passage is exactly the behaviour
+    the penalty must discourage.
+    """
+    if seg.is_degenerate:
+        return 0
+    if seg.is_horizontal:
+        if not region.y_span.contains(seg.a.y):
+            return 0
+        shared = seg.span.intersection(region.x_span)
+    else:
+        if not region.x_span.contains(seg.a.x):
+            return 0
+        shared = seg.span.intersection(region.y_span)
+    return shared.length if shared is not None else 0

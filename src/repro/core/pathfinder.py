@@ -1,0 +1,225 @@
+"""Single-connection line-search A*.
+
+:func:`find_path` routes one connection: from a set of source points
+(all pins of the terminal being connected — multi-pin terminals are
+just multiple start states) to a :class:`~repro.core.route.TargetSet`
+(a destination terminal's pins, or the whole partial route tree).
+
+The search state is a plain :class:`~repro.geometry.point.Point` —
+"the space is the routing plane" — unless the cost model prices bends,
+in which case states carry the arrival direction so that turning can
+be charged exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import UnroutableError
+from repro.core.costs import CostModel, WirelengthCost
+from repro.core.escape import EscapeMode, escape_moves
+from repro.core.route import RoutePath, TargetSet
+from repro.geometry.point import Direction, Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.segment import Segment
+from repro.search.engine import Order, SearchResult, search
+from repro.search.problem import SearchProblem
+from repro.search.stats import ExpansionTrace, SearchStats
+
+
+@dataclass
+class PathRequest:
+    """Everything one connection search needs.
+
+    Attributes
+    ----------
+    obstacles:
+        Ray-tracing view of the layout (cells only, per independent
+        net routing; baselines may have added wire obstacles).
+    sources:
+        Start points with initial costs (normally 0 each).
+    targets:
+        Goal points/segments.
+    cost_model:
+        Pricing of segments and bends; defaults to pure wirelength.
+    mode:
+        Escape-point stop policy.
+    order:
+        OPEN-list discipline; ``A_STAR`` is the paper's algorithm, the
+        others exist for the strategy-comparison experiment.
+    node_limit:
+        Optional expansion budget.
+    trace:
+        Record expansion order for rendering.
+    """
+
+    obstacles: ObstacleSet
+    sources: list[tuple[Point, float]]
+    targets: TargetSet
+    cost_model: CostModel = field(default_factory=WirelengthCost)
+    mode: EscapeMode = EscapeMode.FULL
+    order: Order = Order.A_STAR
+    node_limit: Optional[int] = None
+    trace: bool = False
+
+
+@dataclass
+class PathSearchResult:
+    """A found connection plus its search telemetry."""
+
+    path: RoutePath
+    stats: SearchStats
+    trace: Optional[ExpansionTrace] = None
+
+
+class _PointProblem(SearchProblem):
+    """Escape search over bare points (direction-insensitive costs)."""
+
+    def __init__(self, request: PathRequest, extra_xs: list[int], extra_ys: list[int]):
+        self._req = request
+        self._extra_xs = extra_xs
+        self._extra_ys = extra_ys
+
+    def start_states(self) -> Iterable[tuple[Point, float]]:
+        return self._req.sources
+
+    def is_goal(self, state: Point) -> bool:
+        return self._req.targets.contains(state)
+
+    def successors(self, state: Point) -> Iterable[tuple[Point, float]]:
+        for succ, _direction in escape_moves(
+            state,
+            self._req.obstacles,
+            mode=self._req.mode,
+            extra_xs=self._extra_xs,
+            extra_ys=self._extra_ys,
+        ):
+            yield succ, self._req.cost_model.segment_cost(Segment(state, succ))
+
+    def heuristic(self, state: Point) -> float:
+        return float(self._req.targets.distance_to(state))
+
+
+DirectedState = tuple[Point, Optional[Direction]]
+
+
+class _DirectedProblem(SearchProblem):
+    """Escape search over (point, heading) states (bend-priced costs)."""
+
+    def __init__(self, request: PathRequest, extra_xs: list[int], extra_ys: list[int]):
+        self._req = request
+        self._extra_xs = extra_xs
+        self._extra_ys = extra_ys
+
+    def start_states(self) -> Iterable[tuple[DirectedState, float]]:
+        return [((point, None), g0) for point, g0 in self._req.sources]
+
+    def is_goal(self, state: DirectedState) -> bool:
+        return self._req.targets.contains(state[0])
+
+    def successors(self, state: DirectedState) -> Iterable[tuple[DirectedState, float]]:
+        point, heading = state
+        model = self._req.cost_model
+        for succ, direction in escape_moves(
+            point,
+            self._req.obstacles,
+            mode=self._req.mode,
+            extra_xs=self._extra_xs,
+            extra_ys=self._extra_ys,
+        ):
+            cost = model.segment_cost(Segment(point, succ))
+            if heading is not None and heading is not direction:
+                cost += model.bend_cost(point, heading, direction)
+            yield (succ, direction), cost
+
+    def heuristic(self, state: DirectedState) -> float:
+        return float(self._req.targets.distance_to(state[0]))
+
+
+def find_path(request: PathRequest) -> PathSearchResult:
+    """Route one connection.
+
+    Returns the found path with its telemetry, or raises
+    :class:`UnroutableError` (carrying the final
+    :class:`~repro.search.stats.SearchStats` as ``partial``) when the
+    search exhausts or hits its node limit without reaching a target.
+    """
+    _check_endpoints(request)
+
+    # Source already touching a target: zero-length connection.
+    for point, g0 in request.sources:
+        if request.targets.contains(point):
+            return PathSearchResult(RoutePath((point,), cost=g0), SearchStats(termination="goal"))
+
+    extra_xs = sorted(request.targets.escape_xs() | {p.x for p, _ in request.sources})
+    extra_ys = sorted(request.targets.escape_ys() | {p.y for p, _ in request.sources})
+
+    problem: SearchProblem
+    if request.cost_model.direction_sensitive:
+        problem = _DirectedProblem(request, extra_xs, extra_ys)
+    else:
+        problem = _PointProblem(request, extra_xs, extra_ys)
+
+    result: SearchResult = search(
+        problem,
+        request.order,
+        node_limit=request.node_limit,
+        trace=request.trace,
+    )
+    if not result.found:
+        raise UnroutableError(
+            f"no route from {[str(p) for p, _ in request.sources]} to "
+            f"{len(request.targets)} target(s) "
+            f"(termination: {result.stats.termination})",
+            partial=result.stats,
+        )
+
+    raw_states = result.path
+    if request.cost_model.direction_sensitive:
+        points = [state[0] for state in raw_states]
+    else:
+        points = list(raw_states)
+    path = RoutePath(tuple(_compress_collinear(points)), cost=result.cost)
+    trace = _strip_trace(result.trace, request.cost_model.direction_sensitive)
+    return PathSearchResult(path, result.stats, trace)
+
+
+def _check_endpoints(request: PathRequest) -> None:
+    """Fail fast on illegal endpoints with a precise message."""
+    if not request.sources:
+        raise UnroutableError("no source points given")
+    for point, g0 in request.sources:
+        if g0 < 0:
+            raise UnroutableError(f"negative initial cost {g0} at source {point}")
+        if not request.obstacles.point_free(point):
+            raise UnroutableError(f"source {point} is not routable (inside a cell or outside)")
+    for point in request.targets.points:
+        if not request.obstacles.point_free(point):
+            raise UnroutableError(f"target {point} is not routable (inside a cell or outside)")
+
+
+def _compress_collinear(points: list[Point]) -> list[Point]:
+    """Drop interior points that do not change direction."""
+    if len(points) <= 2:
+        return points
+    compressed = [points[0]]
+    for prev, here, nxt in zip(points, points[1:], points[2:]):
+        straight_x = prev.x == here.x == nxt.x
+        straight_y = prev.y == here.y == nxt.y
+        if not (straight_x or straight_y):
+            compressed.append(here)
+    compressed.append(points[-1])
+    return compressed
+
+
+def _strip_trace(
+    trace: Optional[ExpansionTrace], directed: bool
+) -> Optional[ExpansionTrace]:
+    """Reduce directed-state traces to point traces for rendering."""
+    if trace is None or not directed:
+        return trace
+    stripped = ExpansionTrace()
+    for state, parent in trace.entries:
+        stripped.record(state[0], parent[0] if parent is not None else None)
+    return stripped

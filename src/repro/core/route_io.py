@@ -1,0 +1,111 @@
+"""Serialization of routing results.
+
+Downstream tools (timing estimators, visualizers, the detailed router
+run as a separate process) need routes as data.  The format mirrors
+:mod:`repro.layout.io`: plain dicts/JSON, stable, versioned.
+
+Search statistics are preserved as reporting metadata; expansion
+traces are deliberately not serialized (they are debugging artifacts
+and can be huge).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import RoutingError
+from repro.core.route import GlobalRoute, RoutePath, RouteTree
+from repro.geometry.point import Point
+from repro.search.stats import SearchStats
+
+FORMAT_VERSION = 1
+
+
+def route_to_dict(route: GlobalRoute) -> dict[str, Any]:
+    """Convert a global route to a JSON-ready dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "trees": {name: _tree_to_dict(tree) for name, tree in route.trees.items()},
+        "failed_nets": list(route.failed_nets),
+        "stats": _stats_to_dict(route.stats),
+    }
+
+
+def route_from_dict(data: dict[str, Any]) -> GlobalRoute:
+    """Rebuild a global route from :func:`route_to_dict` output.
+
+    Raises :class:`RoutingError` on malformed or wrong-version input.
+    """
+    try:
+        version = data["version"]
+        if version != FORMAT_VERSION:
+            raise RoutingError(f"unsupported route format version {version!r}")
+        route = GlobalRoute(
+            trees={name: _tree_from_dict(name, td) for name, td in data["trees"].items()},
+            failed_nets=list(data.get("failed_nets", ())),
+            stats=_stats_from_dict(data.get("stats", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RoutingError(f"malformed route data: {exc}") from exc
+    return route
+
+
+def route_to_json(route: GlobalRoute, *, indent: int | None = 2) -> str:
+    """Serialize a global route to a JSON string."""
+    return json.dumps(route_to_dict(route), indent=indent)
+
+
+def route_from_json(text: str) -> GlobalRoute:
+    """Parse a global route from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RoutingError(f"invalid JSON: {exc}") from exc
+    return route_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Element converters
+# ----------------------------------------------------------------------
+def _tree_to_dict(tree: RouteTree) -> dict[str, Any]:
+    return {
+        "paths": [
+            {"points": [[p.x, p.y] for p in path.points], "cost": path.cost}
+            for path in tree.paths
+        ],
+        "connected_terminals": list(tree.connected_terminals),
+        "stats": _stats_to_dict(tree.stats),
+    }
+
+
+def _tree_from_dict(name: str, data: dict[str, Any]) -> RouteTree:
+    tree = RouteTree(net_name=name)
+    for path_data in data["paths"]:
+        points = tuple(Point(int(x), int(y)) for x, y in path_data["points"])
+        tree.paths.append(RoutePath(points, cost=float(path_data.get("cost", 0.0))))
+    tree.connected_terminals = list(data.get("connected_terminals", ()))
+    tree.stats = _stats_from_dict(data.get("stats", {}))
+    return tree
+
+
+def _stats_to_dict(stats: SearchStats) -> dict[str, Any]:
+    return {
+        "nodes_expanded": stats.nodes_expanded,
+        "nodes_generated": stats.nodes_generated,
+        "nodes_reopened": stats.nodes_reopened,
+        "max_open_size": stats.max_open_size,
+        "elapsed_seconds": stats.elapsed_seconds,
+        "termination": stats.termination,
+    }
+
+
+def _stats_from_dict(data: dict[str, Any]) -> SearchStats:
+    return SearchStats(
+        nodes_expanded=int(data.get("nodes_expanded", 0)),
+        nodes_generated=int(data.get("nodes_generated", 0)),
+        nodes_reopened=int(data.get("nodes_reopened", 0)),
+        max_open_size=int(data.get("max_open_size", 0)),
+        elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        termination=str(data.get("termination", "none")),
+    )

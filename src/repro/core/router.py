@@ -1,0 +1,247 @@
+"""The global router: all nets, routed independently.
+
+"Independently routing each net considerably reduces the complexity of
+the search since the only obstacles are the cells. ... Independent net
+routing also eliminates the problem of net ordering."
+
+:class:`GlobalRouter` routes every net of a layout against the cells
+alone, in any order, with identical results (experiment E7 checks the
+order-invariance).  The optional two-pass mode implements the
+congestion feedback sketched in the Conclusions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import RoutingError, UnroutableError
+from repro.core.congestion import CongestionMap, find_passages, measure_congestion
+from repro.core.costs import (
+    BendPenaltyCost,
+    CongestionPenaltyCost,
+    CostModel,
+    InvertedCornerCost,
+    WirelengthCost,
+)
+from repro.core.escape import EscapeMode
+from repro.core.route import GlobalRoute, RouteTree
+from repro.core.steiner import route_net
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.search.engine import Order
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tuning knobs of the global router.
+
+    Attributes
+    ----------
+    mode:
+        Escape successor policy (``FULL`` is admissible; ``AGGRESSIVE``
+        is the paper's lean generator — see DESIGN.md §3).
+    order:
+        OPEN-list discipline; A* is the paper's algorithm.
+    inverted_corner:
+        Charge the Figure 2 epsilon so corner-hugging routes win ties.
+    corner_epsilon:
+        Size of that epsilon (must stay below coordinate resolution).
+    bend_penalty:
+        Optional per-corner surcharge (via minimization); 0 disables.
+    exact_steiner_order:
+        Use true-cost Prim ordering for multi-terminal nets.
+    refine:
+        Apply rip-up-and-reconnect refinement to each routed tree
+        (never longer; see :mod:`repro.core.refine`).
+    node_limit:
+        Per-connection expansion budget (``None`` = unlimited).
+    trace:
+        Record expansion traces on every connection.
+    """
+
+    mode: EscapeMode = EscapeMode.FULL
+    order: Order = Order.A_STAR
+    inverted_corner: bool = False
+    corner_epsilon: float = 1.0 / 16.0
+    bend_penalty: float = 0.0
+    exact_steiner_order: bool = False
+    refine: bool = False
+    node_limit: Optional[int] = None
+    trace: bool = False
+
+
+@dataclass
+class TwoPassResult:
+    """Outcome of congestion-driven two-pass routing."""
+
+    first: GlobalRoute
+    final: GlobalRoute
+    congestion_before: CongestionMap
+    congestion_after: CongestionMap
+    rerouted_nets: list[str] = field(default_factory=list)
+
+
+class GlobalRouter:
+    """Routes the nets of one layout.
+
+    Parameters
+    ----------
+    layout:
+        The placed design.  Cells are the only obstacles.
+    config:
+        Router knobs; defaults reproduce the paper's base algorithm.
+    cost_model:
+        Overrides the config-derived cost model when given.
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        config: RouterConfig = RouterConfig(),
+        *,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.layout = layout
+        self.config = config
+        self.obstacles = layout.obstacles()
+        self._cost_model = cost_model if cost_model is not None else self._build_cost_model()
+
+    def _build_cost_model(self) -> CostModel:
+        """Stack cost decorators per the config."""
+        model: CostModel = WirelengthCost()
+        if self.config.bend_penalty > 0:
+            model = BendPenaltyCost(self.config.bend_penalty, base=model)
+        if self.config.inverted_corner:
+            model = InvertedCornerCost(
+                self.obstacles, epsilon=self.config.corner_epsilon, base=model
+            )
+        return model
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The active cost model."""
+        return self._cost_model
+
+    # ------------------------------------------------------------------
+    # Routing entry points
+    # ------------------------------------------------------------------
+    def route_one(self, net: Net, *, cost_model: Optional[CostModel] = None) -> RouteTree:
+        """Route a single net against the cells only."""
+        model = cost_model if cost_model is not None else self._cost_model
+        tree = route_net(
+            net,
+            self.obstacles,
+            cost_model=model,
+            mode=self.config.mode,
+            order=self.config.order,
+            exact_order=self.config.exact_steiner_order,
+            node_limit=self.config.node_limit,
+            trace=self.config.trace,
+        )
+        if self.config.refine:
+            from repro.core.refine import refine_tree
+
+            tree = refine_tree(
+                net,
+                tree,
+                self.obstacles,
+                cost_model=model,
+                mode=self.config.mode,
+                order=self.config.order,
+            )
+        return tree
+
+    def route_all(
+        self,
+        nets: Optional[Iterable[Net]] = None,
+        *,
+        on_unroutable: str = "raise",
+    ) -> GlobalRoute:
+        """Route every net (or the given subset) independently.
+
+        Parameters
+        ----------
+        on_unroutable:
+            ``"raise"`` (default) propagates the first failure;
+            ``"skip"`` records the net in ``failed_nets`` and carries
+            on — useful for diagnostics on deliberately hard inputs.
+        """
+        if on_unroutable not in ("raise", "skip"):
+            raise RoutingError(f"on_unroutable must be 'raise' or 'skip', not {on_unroutable!r}")
+        route = GlobalRoute()
+        started = time.perf_counter()
+        for net in nets if nets is not None else self.layout.nets:
+            try:
+                tree = self.route_one(net)
+            except UnroutableError:
+                if on_unroutable == "raise":
+                    raise
+                route.failed_nets.append(net.name)
+                continue
+            route.trees[net.name] = tree
+            route.stats = route.stats.merged_with(tree.stats)
+        route.stats.elapsed_seconds = time.perf_counter() - started
+        return route
+
+    # ------------------------------------------------------------------
+    # Two-pass congestion routing (Conclusions)
+    # ------------------------------------------------------------------
+    def route_two_pass(
+        self,
+        *,
+        penalty_weight: float = 2.0,
+        max_gap: Optional[int] = None,
+        on_unroutable: str = "raise",
+        passes: int = 2,
+    ) -> TwoPassResult:
+        """First pass, congestion measurement, penalized repasses.
+
+        Only nets through overflowed passages are rerouted; everything
+        else keeps its earlier tree (the paper: "a second route of the
+        *affected* nets").  ``passes=2`` is the paper's scheme; larger
+        values iterate with accumulated penalties (each round adds the
+        currently-overflowed regions on top of the previous penalties)
+        and the best route seen — by total overflow, then wirelength —
+        is returned as ``final``.
+        """
+        if passes < 2:
+            raise RoutingError(f"two-pass routing needs passes >= 2, got {passes}")
+        passages = find_passages(self.layout, max_gap=max_gap)
+        first = self.route_all(on_unroutable=on_unroutable)
+        before = measure_congestion(passages, first)
+
+        best = first
+        best_map = before
+        current = first
+        current_map = before
+        rerouted: set[str] = set()
+        regions: list[tuple] = []
+        for _round in range(passes - 1):
+            affected = sorted(current_map.affected_nets())
+            if not affected:
+                break
+            regions = regions + current_map.penalty_regions(weight=penalty_weight)
+            penalized = CongestionPenaltyCost(regions, base=self._cost_model)
+            candidate = GlobalRoute(trees=dict(current.trees), stats=current.stats)
+            for net_name in affected:
+                net = self.layout.net(net_name)
+                try:
+                    tree = self.route_one(net, cost_model=penalized)
+                except UnroutableError:
+                    if on_unroutable == "raise":
+                        raise
+                    candidate.failed_nets.append(net_name)
+                    continue
+                candidate.trees[net_name] = tree
+                candidate.stats = candidate.stats.merged_with(tree.stats)
+                rerouted.add(net_name)
+            candidate_map = measure_congestion(passages, candidate)
+            current, current_map = candidate, candidate_map
+            if (candidate_map.total_overflow, candidate.total_length) < (
+                best_map.total_overflow,
+                best.total_length,
+            ):
+                best, best_map = candidate, candidate_map
+        return TwoPassResult(first, best, before, best_map, rerouted_nets=sorted(rerouted))

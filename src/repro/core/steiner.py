@@ -1,0 +1,181 @@
+"""Multi-terminal net routing: the Steiner-tree approximation.
+
+From the Extensions section: "Multi-terminal nets are accommodated by
+approximating a Steiner tree with an adaptation of Dijkstra's minimum
+spanning tree algorithm.  The modification ... considers all line
+segments in the spanning tree being built as potential connection
+points.  A spanning tree would only consider the pins (vertices)."
+
+And for multi-pin terminals: "When a terminal is connected into the
+tree all the line segments which make up the connecting path as well
+as all the pins which are associated with the newly connected terminal
+are brought into the connected set."
+
+The implementation grows the connected set one terminal at a time; the
+next terminal is the one with the smallest rectilinear lower-bound
+distance to the set (or, with ``exact_order=True``, the smallest true
+A* cost — the A2 ablation compares both).  Each connection is a
+multi-source A* from all of the terminal's pins to the whole set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import UnroutableError
+from repro.core.costs import CostModel, WirelengthCost
+from repro.core.escape import EscapeMode
+from repro.core.pathfinder import PathRequest, PathSearchResult, find_path
+from repro.core.route import RouteTree, TargetSet
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.layout.net import Net
+from repro.layout.terminal import Terminal
+from repro.search.engine import Order
+
+
+def route_net(
+    net: Net,
+    obstacles: ObstacleSet,
+    *,
+    cost_model: Optional[CostModel] = None,
+    mode: EscapeMode = EscapeMode.FULL,
+    order: Order = Order.A_STAR,
+    exact_order: bool = False,
+    node_limit: Optional[int] = None,
+    trace: bool = False,
+) -> RouteTree:
+    """Route *net* as an approximate Steiner tree.
+
+    Parameters mirror :class:`~repro.core.pathfinder.PathRequest`;
+    ``exact_order`` selects true-cost Prim ordering over the
+    lower-bound greedy (slower, occasionally shorter trees).
+
+    Raises
+    ------
+    UnroutableError
+        When some terminal cannot be connected.  The partially built
+        :class:`RouteTree` rides along as ``partial``.
+    """
+    model = cost_model if cost_model is not None else WirelengthCost()
+    tree = RouteTree(net_name=net.name)
+
+    seed = _seed_terminal(net)
+    connected = TargetSet(points=seed.locations)
+    tree.connected_terminals.append(seed.name)
+
+    remaining = [t for t in net.terminals if t.name != seed.name]
+    while remaining:
+        if exact_order:
+            terminal, outcome = _cheapest_connection(
+                remaining, connected, obstacles, model, mode, order, node_limit, trace
+            )
+        else:
+            terminal = min(
+                remaining,
+                key=lambda t: (min(connected.distance_to(loc) for loc in t.locations), t.name),
+            )
+            outcome = _connect(
+                terminal, connected, obstacles, model, mode, order, node_limit, trace, tree
+            )
+        remaining.remove(terminal)
+
+        tree.paths.append(outcome.path)
+        tree.connected_terminals.append(terminal.name)
+        tree.stats = tree.stats.merged_with(outcome.stats)
+        if outcome.trace is not None:
+            tree.traces.append(outcome.trace)
+        connected = connected.extended(
+            points=terminal.locations, segments=outcome.path.segments
+        )
+        if len(outcome.path.points) == 1:
+            # Zero-length attachment: the pin itself joins the set.
+            connected = connected.extended(points=[outcome.path.points[0]])
+    return tree
+
+
+def _seed_terminal(net: Net) -> Terminal:
+    """Deterministic seed: the terminal nearest the net's pin centroid.
+
+    The paper does not specify a seed; any choice yields a valid tree.
+    Nearest-to-centroid keeps early connections central, which slightly
+    shortens trees versus an arbitrary first terminal.
+    """
+    pins = net.all_pin_locations
+    cx = sum(p.x for p in pins) // len(pins)
+    cy = sum(p.y for p in pins) // len(pins)
+    centroid = Point(cx, cy)
+    return min(net.terminals, key=lambda t: (t.distance_to(centroid), t.name))
+
+
+def _connect(
+    terminal: Terminal,
+    connected: TargetSet,
+    obstacles: ObstacleSet,
+    model: CostModel,
+    mode: EscapeMode,
+    order: Order,
+    node_limit: Optional[int],
+    trace: bool,
+    tree: RouteTree,
+) -> PathSearchResult:
+    """One multi-source connection from *terminal* to the tree."""
+    request = PathRequest(
+        obstacles=obstacles,
+        sources=[(loc, 0.0) for loc in terminal.locations],
+        targets=connected,
+        cost_model=model,
+        mode=mode,
+        order=order,
+        node_limit=node_limit,
+        trace=trace,
+    )
+    try:
+        return find_path(request)
+    except UnroutableError as exc:
+        raise UnroutableError(
+            f"net {tree.net_name!r}: cannot connect terminal {terminal.name!r}: {exc}",
+            partial=tree,
+        ) from exc
+
+
+def _cheapest_connection(
+    remaining: list[Terminal],
+    connected: TargetSet,
+    obstacles: ObstacleSet,
+    model: CostModel,
+    mode: EscapeMode,
+    order: Order,
+    node_limit: Optional[int],
+    trace: bool,
+) -> tuple[Terminal, PathSearchResult]:
+    """Exact Prim step: search every remaining terminal, keep the cheapest.
+
+    Cost is one full A* per candidate per step — quadratic in terminal
+    count — which is why the lower-bound greedy is the default.
+    """
+    best: Optional[tuple[Terminal, PathSearchResult]] = None
+    failures: list[str] = []
+    for terminal in sorted(remaining, key=lambda t: t.name):
+        request = PathRequest(
+            obstacles=obstacles,
+            sources=[(loc, 0.0) for loc in terminal.locations],
+            targets=connected,
+            cost_model=model,
+            mode=mode,
+            order=order,
+            node_limit=node_limit,
+            trace=trace,
+        )
+        try:
+            outcome = find_path(request)
+        except UnroutableError:
+            failures.append(terminal.name)
+            continue
+        if best is None or outcome.path.cost < best[1].path.cost:
+            best = (terminal, outcome)
+    if best is None:
+        raise UnroutableError(
+            f"no remaining terminal is connectable (tried: {', '.join(failures)})"
+        )
+    return best

@@ -1,0 +1,40 @@
+"""Detailed routing: the phase that follows global routing.
+
+From the Conclusions: "This approach does require a detailed router to
+follow which does the track assignment.  A special algorithm has been
+developed which dynamically assigns channels based on net interference
+rather than cell placement.  Within the dynamically assigned channel
+the subnets can be track-assigned using standard channel routing
+algorithms which try to minimize the number of tracks used."
+
+The paper leaves the details to an (unpublished) future paper; this
+package reconstructs the sketch: interference grouping of parallel
+global wires into *dynamic channels*, the classical left-edge
+algorithm for track assignment inside each channel, and a two-layer
+H/V layer assignment with vias.  See DESIGN.md §3 for the substitution
+note.
+"""
+
+from repro.detail.interference import InterferenceGroup, interference_groups
+from repro.detail.channels import DynamicChannel, build_channels
+from repro.detail.leftedge import left_edge_assign
+from repro.detail.layers import DetailedWire, LayerAssignment, Via, assign_layers
+from repro.detail.detailed import ChannelPlan, DetailedResult, DetailedRouter
+from repro.detail.legalize import LegalizeResult, legalize
+
+__all__ = [
+    "ChannelPlan",
+    "DetailedResult",
+    "DetailedRouter",
+    "DetailedWire",
+    "DynamicChannel",
+    "InterferenceGroup",
+    "LayerAssignment",
+    "LegalizeResult",
+    "Via",
+    "legalize",
+    "assign_layers",
+    "build_channels",
+    "interference_groups",
+    "left_edge_assign",
+]

@@ -1,0 +1,163 @@
+"""Dynamic channel construction.
+
+A *dynamic channel* wraps one interference group in the corridor of
+free space available to it: the gap between the nearest cell edges
+below and above the group's wires (for a horizontal channel), clipped
+to the routing surface.  Unlike classical channel routers, the
+corridor is derived from where the wires actually are — "based on net
+interference rather than cell placement".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detail.interference import InterferenceGroup, TaggedSegment, interference_groups
+from repro.geometry.interval import Interval
+from repro.geometry.raytrace import ObstacleSet
+
+
+@dataclass
+class DynamicChannel:
+    """An interference group plus its usable corridor.
+
+    Attributes
+    ----------
+    group:
+        The interfering wires (all one orientation).
+    horizontal:
+        True when member wires are horizontal (tracks are y values).
+    corridor:
+        Interval of legal track coordinates, or ``None`` when no single
+        gap contains every member track (a *broken* corridor: wires sit
+        on opposite sides of an intervening cell; such channels keep
+        their original tracks).
+    """
+
+    group: InterferenceGroup
+    horizontal: bool
+    corridor: Interval | None
+
+    @property
+    def capacity(self) -> int:
+        """Unit-pitch tracks available in the corridor (0 when broken)."""
+        if self.corridor is None:
+            return 0
+        return self.corridor.length + 1
+
+    def net_intervals(self) -> dict[str, Interval]:
+        """One merged span interval per net — the left-edge input.
+
+        A net occupies a single track for all its wires in the channel,
+        so its pieces merge into their hull.
+        """
+        merged: dict[str, Interval] = {}
+        for member in self.group.members:
+            span = member.seg.span
+            if member.net in merged:
+                merged[member.net] = merged[member.net].hull(span)
+            else:
+                merged[member.net] = span
+        return merged
+
+
+def build_channels(
+    tagged: list[TaggedSegment],
+    obstacles: ObstacleSet,
+    *,
+    window: int = 2,
+) -> list[DynamicChannel]:
+    """Group same-orientation wires and attach corridors.
+
+    *tagged* must contain segments of a single orientation (the
+    detailed router runs one pass per orientation).  Groups whose
+    corridors and spans overlap are merged: wires sharing one free gap
+    compete for the same tracks even when their original tracks were
+    far apart, so they must be packed jointly.
+    """
+    if not tagged:
+        return []
+    horizontal = tagged[0].seg.is_horizontal
+    groups = interference_groups(tagged, window=window)
+    channels = [
+        DynamicChannel(group, horizontal, _corridor(group, horizontal, obstacles))
+        for group in groups
+    ]
+    return _merge_shared_corridors(channels, horizontal, obstacles)
+
+
+def _merge_shared_corridors(
+    channels: list[DynamicChannel],
+    horizontal: bool,
+    obstacles: ObstacleSet,
+) -> list[DynamicChannel]:
+    """Repeatedly merge channels that would pack into the same space."""
+    merged = True
+    while merged:
+        merged = False
+        for i in range(len(channels)):
+            for j in range(i + 1, len(channels)):
+                a, b = channels[i], channels[j]
+                if a.corridor is None or b.corridor is None:
+                    continue
+                if not a.corridor.overlaps(b.corridor):
+                    continue
+                if not a.group.span_hull.overlaps(b.group.span_hull, strict=True):
+                    continue
+                joint = InterferenceGroup(a.group.members + b.group.members)
+                channels[i] = DynamicChannel(
+                    joint, horizontal, _corridor(joint, horizontal, obstacles)
+                )
+                channels.pop(j)
+                merged = True
+                break
+            if merged:
+                break
+    return channels
+
+
+def _corridor(
+    group: InterferenceGroup, horizontal: bool, obstacles: ObstacleSet
+) -> Interval | None:
+    """Track coordinates legal for *every* member of the group.
+
+    Each member wire has its own free gap (bounded by the nearest cell
+    edges across its span); a track inside the intersection of all
+    member gaps is legal for all of them, and the stitch stubs between
+    old and new tracks stay inside each member's gap by construction.
+    Returns ``None`` when the intersection is empty (members live in
+    incompatible gaps) — such channels keep their original tracks.
+    """
+    corridor: Interval | None = None
+    for member in group.members:
+        gap = _member_gap(member.seg, horizontal, obstacles)
+        if gap is None:
+            return None
+        corridor = gap if corridor is None else corridor.intersection(gap)
+        if corridor is None:
+            return None
+    return corridor
+
+
+def _member_gap(seg, horizontal: bool, obstacles: ObstacleSet) -> Interval | None:
+    """The free gap (in track coordinates) containing one wire."""
+    track = seg.track
+    span = seg.span
+    bound = obstacles.bound
+    lo = bound.y0 if horizontal else bound.x0
+    hi = bound.y1 if horizontal else bound.x1
+    for rect in obstacles.rects:
+        rect_span = rect.x_span if horizontal else rect.y_span
+        if not rect_span.overlaps(span, strict=True):
+            continue
+        rect_lo = rect.y0 if horizontal else rect.x0
+        rect_hi = rect.y1 if horizontal else rect.x1
+        if rect_hi <= track:
+            lo = max(lo, rect_hi)
+        elif rect_lo >= track:
+            hi = min(hi, rect_lo)
+        else:  # the wire crosses a cell interior: illegal input
+            return None
+    if lo > hi:
+        return None
+    return Interval(lo, hi)

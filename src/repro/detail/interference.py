@@ -1,0 +1,103 @@
+"""Net interference detection.
+
+Two parallel global wires *interfere* when they would compete for
+tracks in the same corridor: their spans overlap (with positive
+length) and their track coordinates are within an interaction window.
+Connected components of the interference relation are the paper's
+"dynamically assigned channels ... based on net interference rather
+than cell placement".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.interval import Interval
+from repro.geometry.segment import Segment
+
+
+@dataclass(frozen=True)
+class TaggedSegment:
+    """A global wire segment with its owning net."""
+
+    net: str
+    seg: Segment
+
+
+@dataclass
+class InterferenceGroup:
+    """One connected component of interfering parallel wires."""
+
+    members: list[TaggedSegment]
+
+    @property
+    def nets(self) -> set[str]:
+        """Distinct nets present in the group."""
+        return {m.net for m in self.members}
+
+    @property
+    def span_hull(self) -> Interval:
+        """Hull of all member spans (the channel's length extent)."""
+        spans = [m.seg.span for m in self.members]
+        return Interval(min(s.lo for s in spans), max(s.hi for s in spans))
+
+    @property
+    def track_hull(self) -> Interval:
+        """Hull of all member tracks (the channel's width seed)."""
+        tracks = [m.seg.track for m in self.members]
+        return Interval(min(tracks), max(tracks))
+
+
+def interfere(a: Segment, b: Segment, *, window: int) -> bool:
+    """Whether two same-orientation segments compete for tracks.
+
+    ``window`` is the maximum track distance at which two wires still
+    constrain each other (the channel pitch neighbourhood).
+    """
+    if a.is_horizontal != b.is_horizontal:
+        return False
+    if abs(a.track - b.track) > window:
+        return False
+    return a.span.overlaps(b.span, strict=True)
+
+
+def interference_groups(
+    tagged: list[TaggedSegment], *, window: int = 2
+) -> list[InterferenceGroup]:
+    """Partition same-orientation wires into interference components.
+
+    Uses union-find over the pairwise :func:`interfere` relation.
+    Singleton groups (wires constraining nobody) are returned too —
+    they become single-track channels.
+    """
+    n = len(tagged)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    # Sort by track so only nearby tracks need pairwise checks.
+    order = sorted(range(n), key=lambda i: tagged[i].seg.track)
+    for a_pos in range(n):
+        i = order[a_pos]
+        for b_pos in range(a_pos + 1, n):
+            j = order[b_pos]
+            if tagged[j].seg.track - tagged[i].seg.track > window:
+                break
+            if interfere(tagged[i].seg, tagged[j].seg, window=window):
+                union(i, j)
+
+    components: dict[int, list[TaggedSegment]] = {}
+    for i in range(n):
+        components.setdefault(find(i), []).append(tagged[i])
+    groups = [InterferenceGroup(members) for members in components.values()]
+    groups.sort(key=lambda g: (g.track_hull.lo, g.span_hull.lo))
+    return groups

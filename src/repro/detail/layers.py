@@ -1,0 +1,115 @@
+"""Two-layer assignment with vias.
+
+The simplest production-credible scheme of the era: horizontal wires
+on layer 1, vertical wires on layer 2, a via wherever a net's wires
+meet across layers.  The assignment also audits itself: any two
+same-layer wires of *different* nets overlapping with positive length
+is a conflict (the detailed router's quality metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+LAYER_HORIZONTAL = 1
+LAYER_VERTICAL = 2
+
+
+@dataclass(frozen=True)
+class DetailedWire:
+    """A physical wire on a specific layer."""
+
+    net: str
+    seg: Segment
+    layer: int
+
+
+@dataclass(frozen=True)
+class Via:
+    """A layer-1/layer-2 connection point of one net."""
+
+    net: str
+    at: Point
+
+
+@dataclass
+class LayerAssignment:
+    """Wires, vias, and same-layer conflicts of a detailed design."""
+
+    wires: list[DetailedWire] = field(default_factory=list)
+    vias: list[Via] = field(default_factory=list)
+    conflicts: list[tuple[DetailedWire, DetailedWire]] = field(default_factory=list)
+
+    @property
+    def via_count(self) -> int:
+        """Total vias."""
+        return len(self.vias)
+
+    @property
+    def total_wirelength(self) -> int:
+        """Total physical wirelength."""
+        return sum(w.seg.length for w in self.wires)
+
+    @property
+    def conflict_count(self) -> int:
+        """Same-layer different-net overlap pairs."""
+        return len(self.conflicts)
+
+
+def assign_layers(tagged_segments: Iterable[tuple[str, Segment]]) -> LayerAssignment:
+    """Assign layers, place vias, and audit same-layer overlaps.
+
+    Degenerate segments are dropped (they carry no metal).  Horizontal
+    wires land on layer 1, vertical on layer 2.  A via is placed at
+    every point where two wires of the same net on different layers
+    touch.
+    """
+    result = LayerAssignment()
+    for net, seg in tagged_segments:
+        if seg.is_degenerate:
+            continue
+        layer = LAYER_HORIZONTAL if seg.is_horizontal else LAYER_VERTICAL
+        result.wires.append(DetailedWire(net, seg, layer))
+
+    _place_vias(result)
+    _audit_conflicts(result)
+    return result
+
+
+def _place_vias(result: LayerAssignment) -> None:
+    """A via at each same-net cross-layer touch point."""
+    by_net: dict[str, list[DetailedWire]] = {}
+    for wire in result.wires:
+        by_net.setdefault(wire.net, []).append(wire)
+    seen: set[tuple[str, Point]] = set()
+    for net, wires in sorted(by_net.items()):
+        horizontals = [w for w in wires if w.layer == LAYER_HORIZONTAL]
+        verticals = [w for w in wires if w.layer == LAYER_VERTICAL]
+        for h in horizontals:
+            for v in verticals:
+                touch = h.seg.crossing_point(v.seg)
+                if touch is not None and (net, touch) not in seen:
+                    seen.add((net, touch))
+                    result.vias.append(Via(net, touch))
+
+
+def _audit_conflicts(result: LayerAssignment) -> None:
+    """Record same-layer different-net positive-length overlaps."""
+    by_layer: dict[int, list[DetailedWire]] = {}
+    for wire in result.wires:
+        by_layer.setdefault(wire.layer, []).append(wire)
+    for wires in by_layer.values():
+        wires.sort(key=lambda w: (w.seg.track, w.seg.span.lo))
+        for i in range(len(wires)):
+            for j in range(i + 1, len(wires)):
+                a, b = wires[i], wires[j]
+                if b.seg.track != a.seg.track:
+                    break  # sorted by track: no further overlaps for i
+                if a.net == b.net:
+                    continue
+                if a.seg.span.overlaps(b.seg.span, strict=True):
+                    result.conflicts.append((a, b))

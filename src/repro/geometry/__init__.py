@@ -1,0 +1,37 @@
+"""Rectilinear geometry substrate.
+
+This package provides the exact, rectilinear (Manhattan) geometry on
+which the whole router is built: points, 1-D intervals, axis-parallel
+segments, axis-aligned rectangles, orthogonal polygons, the
+topologically-ordered point structure from the paper's implementation
+section, and the Sutherland-style ray tracer used for successor
+generation.
+
+Coordinates are arbitrary Python numbers; the routers use exact integer
+coordinates ("database units").  *Gridless* means no routing grid is
+imposed on placements or pins — not that coordinates are continuous.
+"""
+
+from repro.geometry.point import Direction, Point, manhattan
+from repro.geometry.interval import Interval
+from repro.geometry.segment import Segment
+from repro.geometry.rect import Rect, bounding_rect
+from repro.geometry.orthpoly import OrthoPolygon
+from repro.geometry.topology import CoordIndex, LinkedPointMesh, MeshPoint
+from repro.geometry.raytrace import Hit, ObstacleSet
+
+__all__ = [
+    "CoordIndex",
+    "Direction",
+    "Hit",
+    "Interval",
+    "LinkedPointMesh",
+    "MeshPoint",
+    "ObstacleSet",
+    "OrthoPolygon",
+    "Point",
+    "Rect",
+    "Segment",
+    "bounding_rect",
+    "manhattan",
+]

@@ -1,0 +1,42 @@
+"""General-cell layout model.
+
+This package models the paper's problem setting: a routing surface
+holding rectangular (or, via the extension, orthogonal-polygon) cells
+placed a finite non-zero distance apart, with nets connecting
+multi-pin terminals on cell boundaries.
+
+The model is deliberately independent of any router; routers consume a
+:class:`Layout` through its :meth:`~repro.layout.layout.Layout.obstacles`
+view and the net list.
+"""
+
+from repro.layout.cell import Cell
+from repro.layout.pin import Pin
+from repro.layout.terminal import Terminal
+from repro.layout.net import Net
+from repro.layout.layout import Layout
+from repro.layout.validate import validate_layout
+from repro.layout.generators import (
+    LayoutSpec,
+    grid_layout,
+    random_layout,
+    random_netlist,
+)
+from repro.layout.io import layout_from_dict, layout_from_json, layout_to_dict, layout_to_json
+
+__all__ = [
+    "Cell",
+    "Layout",
+    "LayoutSpec",
+    "Net",
+    "Pin",
+    "Terminal",
+    "grid_layout",
+    "layout_from_dict",
+    "layout_from_json",
+    "layout_to_dict",
+    "layout_to_json",
+    "random_layout",
+    "random_netlist",
+    "validate_layout",
+]

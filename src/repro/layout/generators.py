@@ -1,0 +1,263 @@
+"""Synthetic layout and netlist generators.
+
+The paper evaluated on proprietary Caltech layouts that no longer
+exist; these generators are the documented substitution (DESIGN.md §3).
+They produce valid general-cell layouts — random macro placements with
+guaranteed non-zero separation, boundary pins, multi-terminal and
+multi-pin netlists — parameterized so every experiment can sweep
+problem size and density.
+
+All randomness flows through an explicit seed; the same spec + seed
+always yields the identical layout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import LayoutError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.layout.pin import Pin
+from repro.layout.terminal import Terminal
+
+
+@dataclass(frozen=True)
+class LayoutSpec:
+    """Parameters for :func:`random_layout`.
+
+    Attributes
+    ----------
+    n_cells, n_nets:
+        Problem size.
+    surface:
+        Routing surface extent; ``None`` sizes it automatically from
+        the requested cell count and density.
+    cell_min, cell_max:
+        Side-length range for the square-ish random macros.
+    separation:
+        Minimum gap enforced between placed cells (>= 1 per the paper).
+    terminals_per_net:
+        Inclusive range of terminal counts; nets above 2 exercise the
+        Steiner machinery.
+    pins_per_terminal:
+        Inclusive range of equivalent-pin counts; above 1 exercises
+        multi-pin terminals.
+    pad_fraction:
+        Fraction of terminals placed on the surface boundary (pads).
+    density:
+        Target cell-area utilization used when auto-sizing the surface.
+    """
+
+    n_cells: int = 10
+    n_nets: int = 10
+    surface: Optional[Rect] = None
+    cell_min: int = 8
+    cell_max: int = 24
+    separation: int = 2
+    terminals_per_net: tuple[int, int] = (2, 2)
+    pins_per_terminal: tuple[int, int] = (1, 1)
+    pad_fraction: float = 0.1
+    density: float = 0.35
+
+
+def random_layout(spec: LayoutSpec = LayoutSpec(), *, seed: int = 0) -> Layout:
+    """Generate a valid random general-cell layout.
+
+    Placement uses rejection sampling against the separation
+    constraint; if the surface fills up before ``n_cells`` are placed,
+    a :class:`LayoutError` is raised (lower the density or cell sizes).
+    """
+    rng = random.Random(seed)
+    surface = spec.surface or _auto_surface(spec)
+    layout = Layout(surface)
+    _place_random_cells(layout, spec, rng)
+    nets = random_netlist(layout, spec.n_nets, rng=rng, spec=spec)
+    for net in nets:
+        layout.add_net(net)
+    return layout
+
+
+def _auto_surface(spec: LayoutSpec) -> Rect:
+    """Square surface sized so expected cell area hits ``spec.density``."""
+    mean_side = (spec.cell_min + spec.cell_max) / 2
+    expected_area = spec.n_cells * mean_side * mean_side
+    side = max(int((expected_area / spec.density) ** 0.5), spec.cell_max + 2 * spec.separation)
+    return Rect(0, 0, side, side)
+
+
+def _place_random_cells(layout: Layout, spec: LayoutSpec, rng: random.Random) -> None:
+    """Place ``spec.n_cells`` random macros with separation enforced."""
+    surface = layout.outline
+    placed: list[Rect] = []
+    attempts_per_cell = 400
+    for index in range(spec.n_cells):
+        for attempt in range(attempts_per_cell):
+            width = rng.randint(spec.cell_min, spec.cell_max)
+            height = rng.randint(spec.cell_min, spec.cell_max)
+            max_x = surface.x1 - width - spec.separation
+            max_y = surface.y1 - height - spec.separation
+            min_x = surface.x0 + spec.separation
+            min_y = surface.y0 + spec.separation
+            if max_x < min_x or max_y < min_y:
+                continue
+            x = rng.randint(min_x, max_x)
+            y = rng.randint(min_y, max_y)
+            candidate = Rect.from_origin_size(x, y, width, height)
+            inflated = candidate.inflated(spec.separation)
+            if any(inflated.intersects(other, strict=True) for other in placed):
+                continue
+            placed.append(candidate)
+            layout.add_cell(Cell(f"c{index}", candidate))
+            break
+        else:
+            raise LayoutError(
+                f"could not place cell {index} of {spec.n_cells}: surface too dense "
+                f"(density={spec.density}, separation={spec.separation})"
+            )
+
+
+def random_netlist(
+    layout: Layout,
+    n_nets: int,
+    *,
+    rng: random.Random | None = None,
+    seed: int = 0,
+    spec: LayoutSpec = LayoutSpec(),
+) -> list[Net]:
+    """Generate *n_nets* random nets over the layout's existing cells.
+
+    Terminals attach to random boundary points of distinct random
+    cells (or to the surface boundary for pads); pin counts and
+    terminal counts follow *spec*.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    cells = list(layout.cells)
+    if not cells:
+        raise LayoutError("cannot build a netlist for a layout with no cells")
+    nets: list[Net] = []
+    for net_index in range(n_nets):
+        n_terms = rng.randint(*spec.terminals_per_net)
+        n_terms = max(2, n_terms)
+        terminals: list[Terminal] = []
+        chosen_cells = _sample_cells(cells, n_terms, rng)
+        for term_index in range(n_terms):
+            term_name = f"n{net_index}.t{term_index}"
+            if rng.random() < spec.pad_fraction:
+                terminals.append(
+                    _pad_terminal(term_name, layout.outline, rng, spec.pins_per_terminal)
+                )
+            else:
+                cell = chosen_cells[term_index % len(chosen_cells)]
+                terminals.append(_cell_terminal(term_name, cell, rng, spec.pins_per_terminal))
+        nets.append(Net(f"n{net_index}", terminals))
+    return nets
+
+
+def _sample_cells(cells: list[Cell], count: int, rng: random.Random) -> list[Cell]:
+    """Sample up to *count* distinct cells (with reuse if too few exist)."""
+    if count <= len(cells):
+        return rng.sample(cells, count)
+    return [rng.choice(cells) for _ in range(count)]
+
+
+def _cell_terminal(
+    name: str, cell: Cell, rng: random.Random, pin_range: tuple[int, int]
+) -> Terminal:
+    """A terminal with 1..k pins at random points of *cell*'s boundary."""
+    n_pins = rng.randint(*pin_range)
+    pins = [
+        Pin(f"{name}.p{i}", _random_boundary_point(cell.bounding_box, rng), cell.name)
+        for i in range(max(1, n_pins))
+    ]
+    return Terminal(name, pins)
+
+
+def _pad_terminal(
+    name: str, outline: Rect, rng: random.Random, pin_range: tuple[int, int]
+) -> Terminal:
+    """A pad terminal on the routing-surface boundary."""
+    n_pins = rng.randint(*pin_range)
+    pins = [
+        Pin(f"{name}.p{i}", _random_boundary_point(outline, rng), None)
+        for i in range(max(1, n_pins))
+    ]
+    return Terminal(name, pins)
+
+
+def _random_boundary_point(rect: Rect, rng: random.Random) -> Point:
+    """A uniformly random point on the boundary of *rect*."""
+    side = rng.randrange(4)
+    if side == 0:  # bottom
+        return Point(rng.randint(rect.x0, rect.x1), rect.y0)
+    if side == 1:  # right
+        return Point(rect.x1, rng.randint(rect.y0, rect.y1))
+    if side == 2:  # top
+        return Point(rng.randint(rect.x0, rect.x1), rect.y1)
+    return Point(rect.x0, rng.randint(rect.y0, rect.y1))
+
+
+def grid_layout(
+    rows: int,
+    cols: int,
+    *,
+    cell_width: int = 16,
+    cell_height: int = 16,
+    gap: int = 4,
+    margin: int = 6,
+) -> Layout:
+    """A deterministic grid of identical cells with uniform passages.
+
+    The congestion experiments use this: every inter-cell passage has
+    width *gap*, so passage capacity is uniform and overflow is easy to
+    provoke and measure.
+    """
+    if rows < 1 or cols < 1:
+        raise LayoutError("grid_layout needs at least a 1x1 grid")
+    if gap < 1:
+        raise LayoutError("grid gap must be >= 1 (non-zero separation)")
+    width = margin * 2 + cols * cell_width + (cols - 1) * gap
+    height = margin * 2 + rows * cell_height + (rows - 1) * gap
+    layout = Layout(Rect(0, 0, width, height))
+    for r in range(rows):
+        for c in range(cols):
+            x = margin + c * (cell_width + gap)
+            y = margin + r * (cell_height + gap)
+            layout.add_cell(Cell.rect(f"g{r}_{c}", x, y, cell_width, cell_height))
+    return layout
+
+
+def figure1_layout() -> tuple[Layout, Point, Point]:
+    """A reconstruction of the paper's Figure 1 scene.
+
+    Figure 1 shows the A* expansion routing between two points across a
+    field of several blocks.  The published figure is schematic (no
+    coordinates are given), so this reconstruction preserves its
+    topology: a start point at the lower left, a destination at the
+    upper right, and a handful of blocks that force the route to hug
+    corners on the way.
+
+    Returns
+    -------
+    (layout, start, destination)
+    """
+    layout = Layout(Rect(0, 0, 120, 100))
+    blocks = [
+        Cell.rect("a", 12, 58, 22, 30),
+        Cell.rect("b", 14, 12, 24, 24),
+        Cell.rect("c", 46, 34, 26, 30),
+        Cell.rect("d", 50, 74, 30, 16),
+        Cell.rect("e", 52, 8, 26, 16),
+        Cell.rect("f", 86, 30, 24, 34),
+    ]
+    for block in blocks:
+        layout.add_cell(block)
+    start = Point(6, 6)
+    destination = Point(114, 92)
+    return layout, start, destination

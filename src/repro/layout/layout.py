@@ -1,0 +1,184 @@
+"""The layout: routing surface, placed cells, and the netlist.
+
+A :class:`Layout` is the single input artifact of the global router.
+It is a mutable builder (cells and nets can be added incrementally, as
+a silicon compiler or chip assembler would) with validation available
+via :func:`repro.layout.validate.validate_layout`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import LayoutError
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.net import Net
+from repro.layout.pin import Pin
+
+
+class Layout:
+    """A general-cell layout.
+
+    Parameters
+    ----------
+    outline:
+        The routing surface boundary.  All cells and routes must stay
+        inside it.
+    cells, nets:
+        Optional initial contents; more can be added afterwards.
+    """
+
+    def __init__(
+        self,
+        outline: Rect,
+        cells: Iterable[Cell] = (),
+        nets: Iterable[Net] = (),
+    ):
+        if outline.width == 0 or outline.height == 0:
+            raise LayoutError(f"layout outline {outline} is degenerate")
+        self.outline = outline
+        self._cells: dict[str, Cell] = {}
+        self._nets: dict[str, Net] = {}
+        for cell in cells:
+            self.add_cell(cell)
+        for net in nets:
+            self.add_net(net)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_cell(self, cell: Cell) -> None:
+        """Add a cell.
+
+        Raises :class:`LayoutError` on duplicate names or cells outside
+        the outline.  Overlap/separation is checked by validation, not
+        here, so that partially built layouts remain inspectable.
+        """
+        if cell.name in self._cells:
+            raise LayoutError(f"duplicate cell name {cell.name!r}")
+        if not self.outline.contains_rect(cell.bounding_box):
+            raise LayoutError(f"cell {cell.name!r} extends outside the outline {self.outline}")
+        self._cells[cell.name] = cell
+
+    def add_net(self, net: Net) -> None:
+        """Add a net.
+
+        Raises :class:`LayoutError` on duplicate names or pins that
+        reference unknown cells.
+        """
+        if net.name in self._nets:
+            raise LayoutError(f"duplicate net name {net.name!r}")
+        for terminal in net.terminals:
+            for pin in terminal.pins:
+                if pin.cell is not None and pin.cell not in self._cells:
+                    raise LayoutError(
+                        f"net {net.name!r} pin {pin.name!r} references unknown cell {pin.cell!r}"
+                    )
+        self._nets[net.name] = net
+
+    def remove_net(self, name: str) -> Net:
+        """Remove and return a net by name (rip-up support)."""
+        try:
+            return self._nets.pop(name)
+        except KeyError:
+            raise LayoutError(f"no net named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> tuple[Cell, ...]:
+        """All cells in insertion order."""
+        return tuple(self._cells.values())
+
+    @property
+    def nets(self) -> tuple[Net, ...]:
+        """All nets in insertion order."""
+        return tuple(self._nets.values())
+
+    def cell(self, name: str) -> Cell:
+        """Look up a cell by name."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise LayoutError(f"no cell named {name!r}") from None
+
+    def net(self, name: str) -> Net:
+        """Look up a net by name."""
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise LayoutError(f"no net named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells or name in self._nets
+
+    def iter_pins(self) -> Iterator[Pin]:
+        """Every pin of every net."""
+        for net in self._nets.values():
+            for terminal in net.terminals:
+                yield from terminal.pins
+
+    def cell_at(self, point: Point) -> Optional[Cell]:
+        """The cell whose closed outline contains *point*, if any.
+
+        With valid (non-overlapping) placements at most one cell
+        strictly contains a point; boundary points may touch several
+        cells only if validation is violated, in which case the first
+        in insertion order is returned.
+        """
+        for cell in self._cells.values():
+            if cell.contains_point(point):
+                return cell
+        return None
+
+    # ------------------------------------------------------------------
+    # Router views
+    # ------------------------------------------------------------------
+    def obstacles(self) -> ObstacleSet:
+        """A fresh obstacle view of the cells for ray tracing.
+
+        Each call returns a new set so that routers may add transient
+        obstacles (e.g. nets-as-obstacles baselines) without aliasing.
+        """
+        rects: list[Rect] = []
+        for cell in self._cells.values():
+            rects.extend(cell.blocking_rects)
+        return ObstacleSet(self.outline, rects)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def cell_area(self) -> int:
+        """Total placed cell area."""
+        return sum(cell.area for cell in self._cells.values())
+
+    @property
+    def utilization(self) -> float:
+        """Cell area over surface area (placement density)."""
+        return self.cell_area / self.outline.area
+
+    def min_cell_separation(self) -> Optional[int]:
+        """Smallest pairwise bounding-box separation, or ``None`` if < 2 cells.
+
+        The paper's third placement restriction requires this to be
+        positive ("a finite and non-zero distance apart").
+        """
+        boxes = [cell.bounding_box for cell in self._cells.values()]
+        if len(boxes) < 2:
+            return None
+        return min(
+            boxes[i].separation(boxes[j])
+            for i in range(len(boxes))
+            for j in range(i + 1, len(boxes))
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Layout({self.outline}, {len(self._cells)} cells, "
+            f"{len(self._nets)} nets, util={self.utilization:.2f})"
+        )

@@ -1,0 +1,46 @@
+"""Pins: named connection points on cell boundaries (or chip pads).
+
+The paper assumes no grid for pin locations — pins sit at arbitrary
+coordinates, typically on the boundary of their owning cell, or on the
+routing-surface boundary for pads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import LayoutError
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Pin:
+    """A single physical connection point.
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within its terminal.
+    location:
+        Position in the routing plane.
+    cell:
+        Name of the owning cell, or ``None`` for a pad / floating pin.
+    """
+
+    name: str
+    location: Point
+    cell: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LayoutError("pin name must be non-empty")
+
+    @property
+    def is_pad(self) -> bool:
+        """True for pins not attached to any cell (chip pads)."""
+        return self.cell is None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        owner = self.cell or "pad"
+        return f"Pin({self.name!r}@{self.location} on {owner})"

@@ -1,0 +1,92 @@
+"""Layout validation against the paper's placement restrictions.
+
+"There are, however, three restrictions placed on the block placement:
+The blocks must be rectangular, oriented orthogonally, and placed a
+finite and non-zero distance apart."
+
+Rectangularity and orthogonality are structural (the geometry types
+admit nothing else; polygonal cells are the explicitly-flagged
+extension), so validation focuses on separation, containment, and pin
+legality.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.layout.layout import Layout
+
+
+def validate_layout(
+    layout: Layout,
+    *,
+    min_separation: int = 1,
+    allow_polygon_cells: bool = True,
+) -> None:
+    """Check *layout* against the paper's placement restrictions.
+
+    Parameters
+    ----------
+    layout:
+        The layout to check.
+    min_separation:
+        Minimum required gap between any two cell bounding boxes.  The
+        paper requires a "finite and non-zero distance", i.e. at least
+        1 database unit.
+    allow_polygon_cells:
+        When ``False``, enforce the base paper's rectangularity
+        restriction strictly (reject :class:`OrthoPolygon` outlines).
+
+    Raises
+    ------
+    ValidationError
+        Describing the first violation found, with the offending names.
+    """
+    if min_separation < 1:
+        raise ValidationError("min_separation must be >= 1 (paper requires non-zero spacing)")
+
+    cells = layout.cells
+    for cell in cells:
+        if not allow_polygon_cells and not cell.is_rectangular:
+            raise ValidationError(
+                f"cell {cell.name!r} is polygonal but rectangular cells were required"
+            )
+        if not layout.outline.contains_rect(cell.bounding_box):
+            raise ValidationError(f"cell {cell.name!r} extends outside the routing surface")
+
+    for i in range(len(cells)):
+        for j in range(i + 1, len(cells)):
+            a, b = cells[i], cells[j]
+            gap = a.bounding_box.separation(b.bounding_box)
+            if gap < min_separation:
+                raise ValidationError(
+                    f"cells {a.name!r} and {b.name!r} are {gap} apart; "
+                    f"placement requires separation >= {min_separation}"
+                )
+
+    _validate_pins(layout)
+
+
+def _validate_pins(layout: Layout) -> None:
+    """Every pin must be a legal route endpoint.
+
+    Rules: a pin attached to a cell must lie on that cell's boundary; a
+    pad pin must lie on or inside the outline; no pin may fall strictly
+    inside any cell interior (it would be unreachable).
+    """
+    for net in layout.nets:
+        for terminal in net.terminals:
+            for pin in terminal.pins:
+                where = f"pin {pin.name!r} of net {net.name!r}"
+                if not layout.outline.contains_point(pin.location):
+                    raise ValidationError(f"{where} lies outside the routing surface")
+                if pin.cell is not None:
+                    cell = layout.cell(pin.cell)
+                    if not cell.on_boundary(pin.location):
+                        raise ValidationError(
+                            f"{where} is not on the boundary of its cell {pin.cell!r}"
+                        )
+                for cell in layout.cells:
+                    if cell.contains_point(pin.location, strict=True):
+                        raise ValidationError(
+                            f"{where} is strictly inside cell {cell.name!r} and unreachable"
+                        )

@@ -1,0 +1,33 @@
+"""State-space search framework.
+
+The paper frames routing as heuristic state-space search, borrowed
+"from the field of artificial intelligence": an OPEN list of frontier
+nodes, a CLOSED list of expanded nodes, and a family of algorithms
+distinguished only by the order in which nodes leave OPEN —
+depth-first (LIFO), breadth-first (FIFO), best-first / branch-and-bound
+(ascending g), and A* (ascending f = g + h).
+
+This package implements that family once, generically over a
+:class:`~repro.search.problem.SearchProblem`, so the Lee–Moore grid
+router and the gridless line-search router are literally the same
+engine with different successor generators — the paper's central
+observation.
+"""
+
+from repro.search.node import SearchNode
+from repro.search.problem import SearchProblem
+from repro.search.stats import SearchStats
+from repro.search.engine import Order, SearchResult, search
+from repro.search.blind import breadth_first_search, depth_first_search, exhaustive_search
+
+__all__ = [
+    "Order",
+    "SearchNode",
+    "SearchProblem",
+    "SearchResult",
+    "SearchStats",
+    "breadth_first_search",
+    "depth_first_search",
+    "exhaustive_search",
+    "search",
+]

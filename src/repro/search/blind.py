@@ -1,0 +1,49 @@
+"""Named wrappers for the blind and exhaustive searches.
+
+These exist for readability at call sites (and in the strategy
+comparison experiment, E3): the engine is shared with A*.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, TypeVar
+
+from repro.search.engine import Order, SearchResult, search
+from repro.search.problem import SearchProblem
+
+S = TypeVar("S", bound=Hashable)
+
+
+def depth_first_search(
+    problem: SearchProblem[S],
+    *,
+    depth_limit: Optional[int] = None,
+    node_limit: Optional[int] = None,
+) -> SearchResult[S]:
+    """LIFO search; optionally depth-limited, as the paper suggests.
+
+    Finds *a* path, not a minimal one.
+    """
+    return search(
+        problem, Order.DEPTH_FIRST, depth_limit=depth_limit, node_limit=node_limit
+    )
+
+
+def breadth_first_search(
+    problem: SearchProblem[S], *, node_limit: Optional[int] = None
+) -> SearchResult[S]:
+    """FIFO search; minimal in hop count (and in cost on unit grids,
+    which is exactly the Lee–Moore situation)."""
+    return search(problem, Order.BREADTH_FIRST, node_limit=node_limit)
+
+
+def exhaustive_search(
+    problem: SearchProblem[S], *, node_limit: Optional[int] = None
+) -> SearchResult[S]:
+    """Expand until OPEN is empty, returning the best goal found.
+
+    This ignores the terminating condition, as the paper describes;
+    with non-negative edge weights it returns the same cost as A* at
+    far greater expense, which experiment E3 quantifies.
+    """
+    return search(problem, Order.BEST_FIRST, exhaustive=True, node_limit=node_limit)

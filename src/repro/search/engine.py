@@ -1,0 +1,302 @@
+"""The generic OPEN/CLOSED search engine.
+
+One loop implements the paper's whole algorithm family: "Search
+algorithms are often classified by the order in which nodes are placed
+on, and removed from, the OPEN list."  The :class:`Order` enum selects
+that order; everything else — goal testing at expansion, the single
+active copy per state, reopening CLOSED nodes when a shorter path is
+found, the admissible termination condition — is shared.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, Hashable, Optional, TypeVar
+
+from repro.errors import SearchError
+from repro.search.node import SearchNode
+from repro.search.problem import SearchProblem
+from repro.search.stats import ExpansionTrace, SearchStats
+
+S = TypeVar("S", bound=Hashable)
+
+
+class Order(enum.Enum):
+    """OPEN-list disciplines, named as in the paper."""
+
+    DEPTH_FIRST = "depth-first"
+    BREADTH_FIRST = "breadth-first"
+    BEST_FIRST = "best-first"
+    A_STAR = "a-star"
+
+    @property
+    def is_cost_ordered(self) -> bool:
+        """True for the disciplines that pop by path cost (g or f)."""
+        return self in (Order.BEST_FIRST, Order.A_STAR)
+
+
+@dataclass
+class SearchResult(Generic[S]):
+    """Outcome of one search.
+
+    Attributes
+    ----------
+    goal:
+        The goal node (with parent chain), or ``None`` if no goal was
+        reached.
+    stats:
+        Node counters and timing.
+    trace:
+        Expansion order, when tracing was requested.
+    """
+
+    goal: Optional[SearchNode[S]]
+    stats: SearchStats
+    trace: Optional[ExpansionTrace] = None
+
+    @property
+    def found(self) -> bool:
+        """Whether a goal was reached."""
+        return self.goal is not None
+
+    @property
+    def cost(self) -> float:
+        """Cost of the found path.
+
+        Raises :class:`SearchError` when no goal was found.
+        """
+        if self.goal is None:
+            raise SearchError("search found no goal; no cost available")
+        return self.goal.g
+
+    @property
+    def path(self) -> list[S]:
+        """States from start to goal.
+
+        Raises :class:`SearchError` when no goal was found.
+        """
+        if self.goal is None:
+            raise SearchError("search found no goal; no path available")
+        return self.goal.path()
+
+
+def search(
+    problem: SearchProblem[S],
+    order: Order = Order.A_STAR,
+    *,
+    node_limit: Optional[int] = None,
+    depth_limit: Optional[int] = None,
+    exhaustive: bool = False,
+    trace: bool = False,
+) -> SearchResult[S]:
+    """Run the OPEN/CLOSED search over *problem*.
+
+    Parameters
+    ----------
+    problem:
+        Supplies start states, goal test, successors, and heuristic.
+    order:
+        OPEN-list discipline.  ``A_STAR`` uses f = g + h; ``BEST_FIRST``
+        ignores the heuristic and orders by g alone (branch-and-bound);
+        the blind orders ignore costs when choosing what to expand.
+    node_limit:
+        Abort (``stats.termination == "limit"``) after expanding this
+        many nodes.  Guards against runaway searches on unroutable
+        inputs when using incomplete orders.
+    depth_limit:
+        For ``DEPTH_FIRST``: "a depth limit is sometimes used to
+        prevent the algorithm from going too far down the wrong path".
+        Ignored by other orders.
+    exhaustive:
+        "If we were to ignore our terminating condition and stop only
+        when no more nodes were left on OPEN ... This is called
+        exhaustive search."  Tracks the best goal instead of stopping
+        at the first.
+    trace:
+        Record the expansion order (for Figure 1 style rendering).
+
+    Notes
+    -----
+    With cost-ordered disciplines the goal test happens when a node is
+    *removed* from OPEN — the paper's admissible terminating condition —
+    and CLOSED nodes are moved back to OPEN when a cheaper path to them
+    appears.  With blind disciplines each state is visited at most once.
+    """
+    if order.is_cost_ordered:
+        return _cost_ordered_search(
+            problem, order, node_limit=node_limit, exhaustive=exhaustive, trace=trace
+        )
+    return _blind_search(
+        problem,
+        order,
+        node_limit=node_limit,
+        depth_limit=depth_limit,
+        trace=trace,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cost-ordered searches (best-first, A*)
+# ----------------------------------------------------------------------
+def _cost_ordered_search(
+    problem: SearchProblem[S],
+    order: Order,
+    *,
+    node_limit: Optional[int],
+    exhaustive: bool,
+    trace: bool,
+) -> SearchResult[S]:
+    stats = SearchStats()
+    expansion = ExpansionTrace() if trace else None
+    started = time.perf_counter()
+    counter = itertools.count()
+
+    use_heuristic = order is Order.A_STAR
+    nodes: dict[S, SearchNode[S]] = {}
+    status: dict[S, str] = {}
+    heap: list[tuple[tuple[float, float], int, float, SearchNode[S]]] = []
+    open_size = 0
+    best_goal: Optional[SearchNode[S]] = None
+
+    def sort_key(node: SearchNode[S]) -> tuple[float, float]:
+        # On equal f prefer the deeper (higher-g) node: it is closer to
+        # the goal, which measurably trims expansions without touching
+        # admissibility.
+        if use_heuristic:
+            return (node.f, -node.g)
+        return (node.g, 0.0)
+
+    def push(node: SearchNode[S]) -> None:
+        nonlocal open_size
+        heapq.heappush(heap, (sort_key(node), next(counter), node.g, node))
+        status[node.state] = "open"
+        open_size += 1
+        stats.observe_open_size(open_size)
+
+    for state, g0 in problem.start_states():
+        if g0 < 0:
+            raise SearchError(f"negative start cost {g0} for state {state}")
+        h0 = problem.heuristic(state) if use_heuristic else 0.0
+        node = SearchNode(state, g=g0, h=h0)
+        existing = nodes.get(state)
+        if existing is None or g0 < existing.g:
+            nodes[state] = node
+            push(node)
+
+    while heap:
+        _, _, pushed_g, node = heapq.heappop(heap)
+        open_size -= 1
+        if status.get(node.state) != "open" or pushed_g != node.g:
+            continue  # stale heap entry: the node was re-pushed cheaper
+        status[node.state] = "closed"
+
+        if problem.is_goal(node.state):
+            if not exhaustive:
+                stats.termination = "goal"
+                stats.elapsed_seconds = time.perf_counter() - started
+                return SearchResult(node, stats, expansion)
+            if best_goal is None or node.g < best_goal.g:
+                best_goal = node
+
+        stats.nodes_expanded += 1
+        if expansion is not None:
+            parent_state = node.parent.state if node.parent else None
+            expansion.record(node.state, parent_state)
+        if node_limit is not None and stats.nodes_expanded >= node_limit:
+            stats.termination = "limit"
+            stats.elapsed_seconds = time.perf_counter() - started
+            return SearchResult(best_goal, stats, expansion)
+
+        for succ_state, edge_cost in problem.successors(node.state):
+            if edge_cost < 0:
+                raise SearchError(
+                    f"negative edge cost {edge_cost} from {node.state} to {succ_state}"
+                )
+            stats.nodes_generated += 1
+            new_g = node.g + edge_cost
+            existing = nodes.get(succ_state)
+            if existing is None:
+                h = problem.heuristic(succ_state) if use_heuristic else 0.0
+                child = SearchNode(succ_state, g=new_g, h=h, parent=node, depth=node.depth + 1)
+                nodes[succ_state] = child
+                push(child)
+            elif new_g < existing.g:
+                # "If its new f is less than the old it must be placed
+                # back on OPEN ... its pointers must be redirected."
+                was_closed = status.get(succ_state) == "closed"
+                existing.redirect(node, new_g)
+                if was_closed:
+                    stats.nodes_reopened += 1
+                push(existing)
+
+    stats.termination = "goal" if best_goal is not None else "exhausted"
+    stats.elapsed_seconds = time.perf_counter() - started
+    return SearchResult(best_goal, stats, expansion)
+
+
+# ----------------------------------------------------------------------
+# Blind searches (depth-first, breadth-first)
+# ----------------------------------------------------------------------
+def _blind_search(
+    problem: SearchProblem[S],
+    order: Order,
+    *,
+    node_limit: Optional[int],
+    depth_limit: Optional[int],
+    trace: bool,
+) -> SearchResult[S]:
+    stats = SearchStats()
+    expansion = ExpansionTrace() if trace else None
+    started = time.perf_counter()
+
+    frontier: deque[SearchNode[S]] = deque()
+    active: set[S] = set()
+    for state, g0 in problem.start_states():
+        node = SearchNode(state, g=g0)
+        if state not in active:
+            active.add(state)
+            frontier.append(node)
+    stats.observe_open_size(len(frontier))
+
+    pop = frontier.pop if order is Order.DEPTH_FIRST else frontier.popleft
+
+    while frontier:
+        node = pop()
+        if problem.is_goal(node.state):
+            stats.termination = "goal"
+            stats.elapsed_seconds = time.perf_counter() - started
+            return SearchResult(node, stats, expansion)
+        stats.nodes_expanded += 1
+        if expansion is not None:
+            parent_state = node.parent.state if node.parent else None
+            expansion.record(node.state, parent_state)
+        if node_limit is not None and stats.nodes_expanded >= node_limit:
+            stats.termination = "limit"
+            stats.elapsed_seconds = time.perf_counter() - started
+            return SearchResult(None, stats, expansion)
+        if depth_limit is not None and order is Order.DEPTH_FIRST and node.depth >= depth_limit:
+            continue
+
+        successors = list(problem.successors(node.state))
+        if order is Order.DEPTH_FIRST:
+            # Reverse so the first-listed successor is expanded first.
+            successors.reverse()
+        for succ_state, edge_cost in successors:
+            stats.nodes_generated += 1
+            if succ_state in active:
+                continue
+            active.add(succ_state)
+            child = SearchNode(
+                succ_state, g=node.g + edge_cost, parent=node, depth=node.depth + 1
+            )
+            frontier.append(child)
+        stats.observe_open_size(len(frontier))
+
+    stats.termination = "exhausted"
+    stats.elapsed_seconds = time.perf_counter() - started
+    return SearchResult(None, stats, expansion)

@@ -1,0 +1,49 @@
+"""The abstract search problem.
+
+A :class:`SearchProblem` supplies the three domain-specific ingredients
+the paper identifies: where the search starts, when it is done, and —
+"the most difficult step" — how successors are generated, with their
+edge costs.  The heuristic defaults to zero, which specializes A* to
+best-first / branch-and-bound (and, on a unit grid with FIFO order, to
+the Lee–Moore algorithm).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generic, Hashable, Iterable, TypeVar
+
+S = TypeVar("S", bound=Hashable)
+
+
+class SearchProblem(abc.ABC, Generic[S]):
+    """Domain interface consumed by :func:`repro.search.engine.search`."""
+
+    @abc.abstractmethod
+    def start_states(self) -> Iterable[tuple[S, float]]:
+        """Initial states with their initial path costs.
+
+        Usually one ``(start, 0)`` pair; the Steiner-tree router seeds
+        the whole connected set, which is why this is a collection.
+        """
+
+    @abc.abstractmethod
+    def is_goal(self, state: S) -> bool:
+        """Whether *state* satisfies the search goal."""
+
+    @abc.abstractmethod
+    def successors(self, state: S) -> Iterable[tuple[S, float]]:
+        """Successor states with the cost of the connecting edge.
+
+        Edge costs must be non-negative: the paper's terminating
+        condition relies on "adding non-negative numbers cannot result
+        in a smaller number".
+        """
+
+    def heuristic(self, state: S) -> float:
+        """Estimated remaining cost h-hat (default 0 — blind search).
+
+        For admissibility (A* always finding a minimal-cost path) this
+        must never exceed the true remaining cost.
+        """
+        return 0.0

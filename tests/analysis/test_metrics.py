@@ -1,0 +1,75 @@
+"""Unit tests for routing metrics and tables."""
+
+from repro.core.router import GlobalRouter
+from repro.analysis.metrics import summarize_route, wirelength_ratio
+from repro.analysis.tables import format_table
+from repro.core.route import GlobalRoute
+
+
+class TestSummary:
+    def test_summary_fields(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        summary = summarize_route(route, small_layout)
+        assert summary.nets_total == len(small_layout.nets)
+        assert summary.nets_routed == len(small_layout.nets)
+        assert summary.nets_failed == 0
+        assert summary.success_rate == 1.0
+        assert summary.total_length == route.total_length
+        assert summary.nodes_expanded == route.stats.nodes_expanded
+
+    def test_ratio_at_least_one_for_single_pin_nets(self):
+        # HPWL over all pins is only a lower bound when every terminal
+        # has a single pin; multi-pin terminals let the route skip
+        # far-away equivalent pins and legitimately beat "HPWL".
+        from repro.layout.generators import LayoutSpec, random_layout
+
+        layout = random_layout(
+            LayoutSpec(n_cells=8, n_nets=6, pins_per_terminal=(1, 1)), seed=42
+        )
+        route = GlobalRouter(layout).route_all()
+        assert wirelength_ratio(route, layout) >= 1.0
+
+    def test_ratio_positive_with_multi_pin_terminals(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        assert wirelength_ratio(route, small_layout) > 0.0
+
+    def test_ratio_of_empty_route(self, small_layout):
+        assert wirelength_ratio(GlobalRoute(), small_layout) == 0.0
+
+    def test_as_row_keys(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        row = summarize_route(route, small_layout).as_row()
+        assert {"nets", "length", "bends", "expanded", "len/hpwl", "time_s"} <= set(row)
+
+    def test_empty_total_success_rate(self):
+        from repro.analysis.metrics import RoutingSummary
+
+        summary = RoutingSummary(0, 0, 0, 0, 0, 0, 0, 0.0, 0.0)
+        assert summary.success_rate == 1.0
+
+
+class TestFormatTable:
+    def test_positional_rows(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["beta", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        assert "22" in lines[3]
+
+    def test_mapping_rows(self):
+        text = format_table(["a", "b"], [{"a": 1, "b": 2}, {"a": 3}])
+        assert "1" in text and "3" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["num"], [[5], [12345]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("    5")
+        assert lines[-1].endswith("12345")

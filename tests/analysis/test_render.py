@@ -1,0 +1,112 @@
+"""Unit tests for ASCII rendering and SVG export."""
+
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.core.router import GlobalRouter
+from repro.detail.detailed import DetailedRouter
+from repro.geometry.point import Point
+from repro.layout.generators import figure1_layout
+from repro.analysis.render import render_expansion, render_layout
+from repro.analysis.svg import layout_to_svg
+from repro.analysis.expansion import trace_points, trace_segments
+
+
+class TestRenderLayout:
+    def test_contains_cells_and_border(self, small_layout):
+        art = render_layout(small_layout)
+        assert "#" in art
+        assert art.splitlines()[0].startswith("+")
+
+    def test_route_overlay(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        art = render_layout(small_layout, route)
+        assert "-" in art or "|" in art
+
+    def test_pins_marked(self, small_layout):
+        art = render_layout(small_layout)
+        assert "o" in art
+
+    def test_extra_points(self, small_layout):
+        p = Point(small_layout.outline.center.x, small_layout.outline.center.y)
+        art = render_layout(small_layout, extra_points=[(p, "X")])
+        assert "X" in art
+
+    def test_width_respected(self, small_layout):
+        art = render_layout(small_layout, width=40)
+        assert max(len(line) for line in art.splitlines()) == 42  # + borders
+
+
+class TestRenderExpansion:
+    def run_search(self):
+        layout, s, d = figure1_layout()
+        result = find_path(
+            PathRequest(
+                obstacles=layout.obstacles(),
+                sources=[(s, 0.0)],
+                targets=TargetSet(points=[d]),
+                trace=True,
+            )
+        )
+        return layout, s, d, result
+
+    def test_figure1_style_output(self):
+        layout, s, d, result = self.run_search()
+        art = render_expansion(
+            layout, result.trace, list(result.path.points), start=s, goal=d
+        )
+        assert "s" in art and "d" in art and "#" in art
+
+    def test_trace_helpers(self):
+        _layout, _s, _d, result = self.run_search()
+        segs = trace_segments(result.trace)
+        pts = trace_points(result.trace)
+        assert len(pts) == len(result.trace)
+        assert all(seg.length > 0 for seg in segs)
+
+    def test_route_tree_overlay(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        tree = next(iter(route.trees.values()))
+        from repro.search.stats import ExpansionTrace
+
+        art = render_expansion(small_layout, ExpansionTrace(), tree)
+        assert isinstance(art, str) and art
+
+
+class TestSvg:
+    def test_layout_only(self, small_layout):
+        svg = layout_to_svg(small_layout)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") >= len(small_layout.cells)
+
+    def test_route_layers(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        svg = layout_to_svg(small_layout, route)
+        assert "<line" in svg
+        assert "<title>" in svg
+
+    def test_detailed_rendering(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        detailed = DetailedRouter(small_layout).run(route)
+        svg = layout_to_svg(small_layout, detailed=detailed)
+        assert "stroke-dasharray" in svg  # layer-2 wires dashed
+
+    def test_trace_and_marks(self):
+        layout, s, d = figure1_layout()
+        result = find_path(
+            PathRequest(
+                obstacles=layout.obstacles(),
+                sources=[(s, 0.0)],
+                targets=TargetSet(points=[d]),
+                trace=True,
+            )
+        )
+        svg = layout_to_svg(layout, trace=result.trace, marks=[(s, "s"), (d, "d")])
+        assert ">s</text>" in svg and ">d</text>" in svg
+
+    def test_save_svg(self, tmp_path, small_layout):
+        from repro.analysis.svg import save_svg
+
+        target = tmp_path / "out.svg"
+        save_svg(str(target), layout_to_svg(small_layout))
+        assert target.read_text().startswith("<svg")

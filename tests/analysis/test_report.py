@@ -1,0 +1,51 @@
+"""Unit tests for the full-flow report generator."""
+
+from repro.core.route import GlobalRoute, RoutePath, RouteTree
+from repro.core.router import GlobalRouter
+from repro.detail.detailed import DetailedRouter
+from repro.geometry.point import Point
+from repro.analysis.report import routing_report
+
+
+class TestRoutingReport:
+    def test_contains_all_sections(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        text = routing_report(small_layout, route)
+        assert "layout" in text
+        assert "global routing" in text
+        assert "nets by wirelength" in text
+        assert "congestion" in text
+        assert "verification: all routed nets legal" in text
+
+    def test_detail_section_when_given(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        detailed = DetailedRouter(small_layout).run(route)
+        text = routing_report(small_layout, route, detailed=detailed)
+        assert "detailed routing" in text
+        assert "vias" in text
+
+    def test_failed_nets_listed(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        route.failed_nets.append("ghost")
+        text = routing_report(small_layout, route)
+        assert "failed nets: ghost" in text
+
+    def test_violations_surface(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        # corrupt one tree: replace with a disconnected stub
+        name = next(iter(route.trees))
+        bad = RouteTree(net_name=name)
+        bad.paths.append(RoutePath((Point(0, 0), Point(1, 0))))
+        bad.connected_terminals = list(route.trees[name].connected_terminals)
+        route.trees[name] = bad
+        text = routing_report(small_layout, route)
+        assert "VERIFICATION FAILURES" in text
+
+    def test_net_row_limit(self, medium_layout):
+        route = GlobalRouter(medium_layout).route_all()
+        text = routing_report(medium_layout, route, max_net_rows=3)
+        assert "top 3 of" in text
+
+    def test_empty_route(self, small_layout):
+        text = routing_report(small_layout, GlobalRoute())
+        assert "layout" in text

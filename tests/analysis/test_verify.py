@@ -1,0 +1,108 @@
+"""Unit tests for the independent route validity checkers."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.core.route import GlobalRoute, RoutePath, RouteTree
+from repro.core.router import GlobalRouter
+from repro.detail.detailed import DetailedRouter
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.analysis.verify import (
+    assert_optimal_length,
+    verify_detailed,
+    verify_global_route,
+    verify_path,
+    verify_route_tree,
+)
+
+
+def one_cell_layout() -> Layout:
+    layout = Layout(Rect(0, 0, 100, 100))
+    layout.add_cell(Cell.rect("c", 40, 40, 20, 20))
+    return layout
+
+
+class TestVerifyPath:
+    def test_legal_path(self):
+        layout = one_cell_layout()
+        path = RoutePath((Point(0, 0), Point(100, 0)))
+        assert verify_path(path, layout) == []
+
+    def test_cell_crossing_flagged(self):
+        layout = one_cell_layout()
+        path = RoutePath((Point(0, 50), Point(100, 50)))
+        violations = verify_path(path, layout)
+        assert violations and "crosses cell" in violations[0]
+
+    def test_hugging_is_legal(self):
+        layout = one_cell_layout()
+        path = RoutePath((Point(0, 40), Point(100, 40)))
+        assert verify_path(path, layout) == []
+
+    def test_outside_surface_flagged(self):
+        layout = one_cell_layout()
+        path = RoutePath((Point(0, 0), Point(120, 0)))
+        violations = verify_path(path, layout)
+        assert any("outside" in v for v in violations)
+
+
+class TestVerifyTree:
+    def test_disconnected_tree_flagged(self):
+        layout = one_cell_layout()
+        net = Net.two_point("n", Point(0, 0), Point(100, 100))
+        tree = RouteTree(net_name="n")
+        # a path that does not touch the destination terminal
+        tree.paths.append(RoutePath((Point(0, 0), Point(50, 0))))
+        tree.connected_terminals.extend(["n.s", "n.d"])
+        violations = verify_route_tree(tree, net, layout)
+        assert any("not electrically connected" in v for v in violations)
+
+    def test_missing_terminal_flagged(self):
+        layout = one_cell_layout()
+        net = Net.two_point("n", Point(0, 0), Point(100, 100))
+        tree = RouteTree(net_name="n")
+        tree.connected_terminals.append("n.s")
+        violations = verify_route_tree(tree, net, layout)
+        assert any("never connected" in v for v in violations)
+
+    def test_real_routes_pass(self, medium_layout):
+        route = GlobalRouter(medium_layout).route_all()
+        for name, tree in route.trees.items():
+            assert verify_route_tree(tree, medium_layout.net(name), medium_layout) == []
+
+
+class TestVerifyGlobalRoute:
+    def test_valid_report_empty(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        assert verify_global_route(route, small_layout) == {}
+
+    def test_strict_raises_on_bad_route(self):
+        layout = one_cell_layout()
+        layout.add_net(Net.two_point("n", Point(0, 50), Point(100, 50)))
+        bad = GlobalRoute()
+        tree = RouteTree(net_name="n")
+        tree.paths.append(RoutePath((Point(0, 50), Point(100, 50))))  # crosses cell
+        tree.connected_terminals.extend(["n.s", "n.d"])
+        bad.trees["n"] = tree
+        with pytest.raises(RoutingError):
+            verify_global_route(bad, layout, strict=True)
+
+
+class TestVerifyDetailed:
+    def test_real_detailed_passes(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        result = DetailedRouter(small_layout).run(route)
+        assert verify_detailed(result, small_layout) == []
+
+
+class TestOptimalAssert:
+    def test_matching_length_passes(self):
+        assert_optimal_length(RoutePath((Point(0, 0), Point(5, 0))), 5)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(RoutingError, match="oracle"):
+            assert_optimal_length(RoutePath((Point(0, 0), Point(5, 0))), 4)

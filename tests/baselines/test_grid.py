@@ -1,0 +1,105 @@
+"""Unit tests for the routing grid rasterization."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.baselines.grid import GridProblem, RoutingGrid
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+
+BOUND = Rect(0, 0, 20, 10)
+
+
+class TestRasterization:
+    def test_dimensions(self):
+        grid = RoutingGrid(ObstacleSet(BOUND))
+        assert grid.cols == 21
+        assert grid.rows == 11
+        assert grid.node_count == 231
+
+    def test_open_surface_all_free(self):
+        grid = RoutingGrid(ObstacleSet(BOUND))
+        assert not grid.blocked.any()
+
+    def test_interior_blocked_boundary_free(self):
+        grid = RoutingGrid(ObstacleSet(BOUND, [Rect(5, 2, 10, 8)]))
+        assert grid.blocked[6, 5]  # strictly inside
+        assert not grid.blocked[5, 5]  # on the cell's left edge
+        assert not grid.blocked[10, 8]  # on the cell's corner
+        assert not grid.blocked[6, 2]  # on the bottom edge
+
+    def test_matches_gridless_semantics(self):
+        obs = ObstacleSet(BOUND, [Rect(5, 2, 10, 8)])
+        grid = RoutingGrid(obs)
+        for i in range(grid.cols):
+            for j in range(grid.rows):
+                assert grid.is_free((i, j)) == obs.point_free(grid.to_plane((i, j)))
+
+    def test_pitch_scaling(self):
+        grid = RoutingGrid(ObstacleSet(Rect(0, 0, 20, 10)), pitch=2)
+        assert grid.cols == 11
+        assert grid.rows == 6
+
+    def test_invalid_pitch(self):
+        with pytest.raises(RoutingError):
+            RoutingGrid(ObstacleSet(BOUND), pitch=0)
+
+    def test_thin_cell_blocks_nothing_interior(self):
+        # a 1-wide cell has no strictly-interior grid columns
+        grid = RoutingGrid(ObstacleSet(BOUND, [Rect(5, 2, 6, 8)]))
+        assert not grid.blocked[5, 5] and not grid.blocked[6, 5]
+
+
+class TestCoordinateMapping:
+    def test_round_trip(self):
+        grid = RoutingGrid(ObstacleSet(BOUND))
+        assert grid.to_plane(grid.to_grid(Point(7, 3))) == Point(7, 3)
+
+    def test_off_pitch_rejected(self):
+        grid = RoutingGrid(ObstacleSet(BOUND), pitch=2)
+        with pytest.raises(RoutingError, match="pitch"):
+            grid.to_grid(Point(7, 3))
+
+    def test_outside_surface_rejected(self):
+        grid = RoutingGrid(ObstacleSet(BOUND))
+        with pytest.raises(RoutingError, match="outside"):
+            grid.to_grid(Point(25, 3))
+
+    def test_origin_offset_respected(self):
+        grid = RoutingGrid(ObstacleSet(Rect(10, 20, 30, 40)))
+        assert grid.to_grid(Point(10, 20)) == (0, 0)
+        assert grid.to_plane((2, 3)) == Point(12, 23)
+
+
+class TestGridProblem:
+    def test_neighbors_exclude_blocked(self):
+        grid = RoutingGrid(ObstacleSet(BOUND, [Rect(5, 2, 10, 8)]))
+        neighbors = grid.neighbors((5, 5))  # on the cell's left edge
+        assert (6, 5) not in neighbors
+        assert (4, 5) in neighbors
+
+    def test_problem_rejects_blocked_endpoints(self):
+        grid = RoutingGrid(ObstacleSet(BOUND, [Rect(5, 2, 10, 8)]))
+        with pytest.raises(RoutingError):
+            GridProblem(grid, [(6, 5)], (0, 0))
+        with pytest.raises(RoutingError):
+            GridProblem(grid, [(0, 0)], (6, 5))
+
+    def test_heuristic_toggle(self):
+        grid = RoutingGrid(ObstacleSet(BOUND))
+        with_h = GridProblem(grid, [(0, 0)], (5, 5), use_heuristic=True)
+        without_h = GridProblem(grid, [(0, 0)], (5, 5), use_heuristic=False)
+        assert with_h.heuristic((0, 0)) == 10
+        assert without_h.heuristic((0, 0)) == 0
+
+    def test_heuristic_scales_with_pitch(self):
+        grid = RoutingGrid(ObstacleSet(BOUND), pitch=2)
+        problem = GridProblem(grid, [(0, 0)], (5, 5))
+        assert problem.heuristic((0, 0)) == 20
+
+    def test_successor_costs_equal_pitch(self):
+        grid = RoutingGrid(ObstacleSet(BOUND), pitch=2)
+        problem = GridProblem(grid, [(0, 0)], (5, 5))
+        for _succ, cost in problem.successors((3, 3)):
+            assert cost == 2.0

@@ -1,0 +1,129 @@
+"""Unit tests for the Lee–Moore and grid-A* baselines."""
+
+import pytest
+
+from repro.errors import UnroutableError
+from repro.baselines.grid import RoutingGrid
+from repro.baselines.leemoore import grid_astar_route, lee_moore_route, lee_wavefront
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+
+from tests.conftest import oracle_shortest_length
+
+BOUND = Rect(0, 0, 60, 60)
+
+
+class TestLeeMoore:
+    def test_optimal_on_open_surface(self):
+        obs = ObstacleSet(BOUND)
+        result = lee_moore_route(obs, Point(5, 5), Point(50, 30))
+        assert result.path.length == 70
+
+    def test_optimal_around_obstacle(self):
+        obs = ObstacleSet(BOUND, [Rect(20, 10, 40, 50)])
+        s, d = Point(5, 30), Point(55, 30)
+        result = lee_moore_route(obs, s, d)
+        assert result.path.length == oracle_shortest_length(obs, s, d)
+
+    def test_path_avoids_interiors(self):
+        obs = ObstacleSet(BOUND, [Rect(20, 10, 40, 50)])
+        result = lee_moore_route(obs, Point(5, 30), Point(55, 30))
+        for seg in result.path.segments:
+            assert obs.segment_free(seg)
+
+    def test_unroutable(self):
+        ring = [
+            Rect(20, 20, 22, 40), Rect(38, 20, 40, 40),
+            Rect(20, 20, 40, 22), Rect(20, 38, 40, 40),
+        ]
+        obs = ObstacleSet(BOUND, ring)
+        with pytest.raises(UnroutableError):
+            lee_moore_route(obs, Point(5, 30), Point(30, 30))
+
+    def test_reports_grid_size(self):
+        obs = ObstacleSet(BOUND)
+        result = lee_moore_route(obs, Point(0, 0), Point(10, 0))
+        assert result.grid_nodes == 61 * 61
+
+
+class TestGridAStar:
+    def test_same_cost_fewer_nodes_than_lee(self):
+        obs = ObstacleSet(BOUND, [Rect(20, 10, 40, 50)])
+        s, d = Point(5, 30), Point(55, 30)
+        lee = lee_moore_route(obs, s, d)
+        astar = grid_astar_route(obs, s, d)
+        assert astar.path.length == lee.path.length
+        assert astar.stats.nodes_expanded < lee.stats.nodes_expanded
+
+    def test_pitch_parameter(self):
+        obs = ObstacleSet(BOUND)
+        result = grid_astar_route(obs, Point(0, 0), Point(10, 0), pitch=2)
+        assert result.path.length == 10
+
+
+class TestWavefrontOracle:
+    """The from-scratch Lee implementation used to certify E1."""
+
+    def test_labels_are_bfs_distances(self):
+        grid = RoutingGrid(ObstacleSet(Rect(0, 0, 10, 10)))
+        wf = lee_wavefront(grid, (0, 0), (5, 5))
+        assert wf.distance[(0, 0)] == 0
+        assert wf.distance[(1, 0)] == 1
+        assert wf.distance[(5, 5)] == 10
+
+    def test_path_length_matches_label(self):
+        grid = RoutingGrid(ObstacleSet(Rect(0, 0, 10, 10), [Rect(3, 0, 5, 8)]))
+        wf = lee_wavefront(grid, (0, 0), (8, 0))
+        assert wf.path is not None
+        assert len(wf.path) - 1 == wf.distance[(8, 0)]
+
+    def test_unreachable_returns_no_path(self):
+        # walls must be >= 2 wide so a grid line falls strictly inside
+        ring = [
+            Rect(2, 2, 4, 8), Rect(6, 2, 8, 8), Rect(2, 2, 8, 4), Rect(2, 6, 8, 8),
+        ]
+        grid = RoutingGrid(ObstacleSet(Rect(0, 0, 10, 10), ring))
+        wf = lee_wavefront(grid, (0, 0), (5, 5))
+        assert wf.path is None
+
+    def test_blocked_endpoint_raises(self):
+        grid = RoutingGrid(ObstacleSet(Rect(0, 0, 10, 10), [Rect(3, 3, 7, 7)]))
+        with pytest.raises(UnroutableError):
+            lee_wavefront(grid, (5, 5), (0, 0))
+
+    def test_wavefront_expands_in_rings(self):
+        grid = RoutingGrid(ObstacleSet(Rect(0, 0, 10, 10)))
+        wf = lee_wavefront(grid, (5, 5), (0, 0))
+        labels = [wf.distance[node] for node in wf.expansion_order]
+        assert labels == sorted(labels)
+
+
+class TestSpecialCaseEquivalence:
+    """'Lee–Moore is a special case of the general search algorithm.'"""
+
+    def test_engine_bfs_equals_textbook_wavefront(self):
+        obs = ObstacleSet(Rect(0, 0, 30, 30), [Rect(10, 5, 20, 25)])
+        s, d = Point(2, 15), Point(28, 15)
+        engine_result = lee_moore_route(obs, s, d)
+        grid = RoutingGrid(obs)
+        wf = lee_wavefront(grid, grid.to_grid(s), grid.to_grid(d))
+        assert wf.path is not None
+        assert engine_result.path.length == len(wf.path) - 1
+
+    def test_engine_visits_same_set_as_wavefront(self):
+        obs = ObstacleSet(Rect(0, 0, 20, 20), [Rect(6, 4, 12, 16)])
+        s, d = Point(1, 10), Point(19, 10)
+        grid = RoutingGrid(obs)
+        wf = lee_wavefront(grid, grid.to_grid(s), grid.to_grid(d))
+        # engine BFS expansion: every node it expands is labelled by the
+        # wavefront, and labels never exceed the target's label
+        from repro.baselines.grid import GridProblem
+        from repro.search.engine import Order, search
+
+        problem = GridProblem(grid, [grid.to_grid(s)], grid.to_grid(d), use_heuristic=False)
+        result = search(problem, Order.BREADTH_FIRST, trace=True)
+        target_label = wf.distance[grid.to_grid(d)]
+        for state in result.trace.states:
+            assert state in wf.distance
+            assert wf.distance[state] <= target_label

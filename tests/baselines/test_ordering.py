@@ -1,0 +1,79 @@
+"""Unit tests for sequential net-ordering strategies."""
+
+from repro.baselines.ordering import (
+    ALL_STRATEGIES,
+    best_sequential_order,
+    by_hpwl,
+    by_pin_count,
+    netlist_order,
+    shuffled,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.generators import LayoutSpec, random_layout
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.layout.pin import Pin
+from repro.layout.terminal import Terminal
+
+
+def mixed_layout() -> Layout:
+    layout = Layout(Rect(0, 0, 100, 100))
+    layout.add_net(Net.two_point("long", Point(0, 0), Point(90, 90)))
+    layout.add_net(Net.two_point("short", Point(10, 10), Point(15, 10)))
+    layout.add_net(
+        Net(
+            "multi",
+            [
+                Terminal("a", [Pin("a0", Point(20, 20)), Pin("a1", Point(25, 20))]),
+                Terminal("b", [Pin("b0", Point(40, 20))]),
+                Terminal("c", [Pin("c0", Point(30, 40))]),
+            ],
+        )
+    )
+    return layout
+
+
+class TestOrderings:
+    def test_netlist_order(self):
+        assert netlist_order(mixed_layout()) == ["long", "short", "multi"]
+
+    def test_hpwl_ascending(self):
+        order = by_hpwl(mixed_layout())
+        assert order[0] == "short"
+        assert order[-1] == "long"
+
+    def test_hpwl_descending(self):
+        order = by_hpwl(mixed_layout(), ascending=False)
+        assert order[0] == "long"
+
+    def test_pin_count(self):
+        assert by_pin_count(mixed_layout())[0] == "multi"
+
+    def test_shuffled_deterministic_per_seed(self):
+        layout = mixed_layout()
+        assert shuffled(layout, seed=4) == shuffled(layout, seed=4)
+
+    def test_all_strategies_are_permutations(self):
+        layout = mixed_layout()
+        expected = {"long", "short", "multi"}
+        for strategy in ALL_STRATEGIES.values():
+            assert set(strategy(layout)) == expected
+
+
+class TestBestSequentialOrder:
+    def test_never_worse_than_netlist_order(self):
+        from repro.baselines.sequential import SequentialRouter
+
+        layout = random_layout(LayoutSpec(n_cells=8, n_nets=8), seed=5)
+        naive = SequentialRouter(layout).route_all(netlist_order(layout))
+        _order, best = best_sequential_order(layout)
+        naive_key = (len(naive.failed_nets), naive.total_length)
+        best_key = (len(best.failed_nets), best.total_length)
+        assert best_key <= naive_key
+
+    def test_returns_an_order_over_all_nets(self):
+        layout = mixed_layout()
+        order, route = best_sequential_order(layout)
+        assert set(order) == {"long", "short", "multi"}
+        assert route.routed_count + len(route.failed_nets) == 3

@@ -1,0 +1,95 @@
+"""Shared fixtures and independent oracles for the test suite.
+
+The key testing asset is :func:`oracle_shortest_length`: a networkx
+Dijkstra over an explicitly constructed track graph.  It shares no
+search or successor code with the library, so agreement between the
+router and the oracle is real evidence of optimality (the paper's
+admissibility claim).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+from repro.layout.generators import LayoutSpec, figure1_layout, random_layout
+from repro.layout.layout import Layout
+
+
+def oracle_shortest_length(
+    obstacles: ObstacleSet, source: Point, target: Point
+) -> int | None:
+    """Optimal rectilinear obstacle-avoiding length, or None if cut off.
+
+    Builds the full track graph over all obstacle/boundary edge
+    coordinates plus the endpoints' coordinates, connects axis-adjacent
+    free vertices whose joining segment is clear, and runs networkx
+    Dijkstra.  The existence of a shortest rectilinear path on this
+    graph is a standard result, so this is a true optimum.
+    """
+    xs = sorted(set(obstacles.edge_xs) | {source.x, target.x})
+    ys = sorted(set(obstacles.edge_ys) | {source.y, target.y})
+    graph = nx.Graph()
+    grid_points = {}
+    for x in xs:
+        for y in ys:
+            p = Point(x, y)
+            if obstacles.point_free(p):
+                grid_points[(x, y)] = p
+                graph.add_node((x, y))
+    for y in ys:
+        row = [x for x in xs if (x, y) in grid_points]
+        for x0, x1 in zip(row, row[1:]):
+            if obstacles.segment_free(Segment(Point(x0, y), Point(x1, y))):
+                graph.add_edge((x0, y), (x1, y), weight=x1 - x0)
+    for x in xs:
+        col = [y for y in ys if (x, y) in grid_points]
+        for y0, y1 in zip(col, col[1:]):
+            if obstacles.segment_free(Segment(Point(x, y0), Point(x, y1))):
+                graph.add_edge((x, y0), (x, y1), weight=y1 - y0)
+    try:
+        return nx.dijkstra_path_length(
+            graph, (source.x, source.y), (target.x, target.y)
+        )
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+
+
+@pytest.fixture
+def empty_surface() -> ObstacleSet:
+    """A 100x100 routing surface with no cells."""
+    return ObstacleSet(Rect(0, 0, 100, 100))
+
+
+@pytest.fixture
+def one_block() -> ObstacleSet:
+    """One central block on a 100x100 surface."""
+    return ObstacleSet(Rect(0, 0, 100, 100), [Rect(40, 30, 60, 70)])
+
+
+@pytest.fixture
+def fig1() -> tuple[Layout, Point, Point]:
+    """The Figure 1 reconstruction: (layout, start, destination)."""
+    return figure1_layout()
+
+
+@pytest.fixture
+def small_layout() -> Layout:
+    """A reproducible 8-cell, 6-net random layout."""
+    return random_layout(
+        LayoutSpec(n_cells=8, n_nets=6, terminals_per_net=(2, 3), pins_per_terminal=(1, 2)),
+        seed=123,
+    )
+
+
+@pytest.fixture
+def medium_layout() -> Layout:
+    """A reproducible 14-cell, 12-net random layout."""
+    return random_layout(
+        LayoutSpec(n_cells=14, n_nets=12, terminals_per_net=(2, 4), pins_per_terminal=(1, 2)),
+        seed=321,
+    )

@@ -1,0 +1,137 @@
+"""Unit tests for passage detection and congestion measurement."""
+
+from repro.core.congestion import (
+    BOUNDARY,
+    CongestionMap,
+    Passage,
+    PassageUsage,
+    find_passages,
+    measure_congestion,
+)
+from repro.core.route import GlobalRoute, RoutePath, RouteTree
+from repro.geometry.point import Axis, Point
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+from repro.layout.cell import Cell
+from repro.layout.layout import Layout
+
+
+def two_cell_layout() -> Layout:
+    """Two cells side by side with a 4-wide passage between them."""
+    layout = Layout(Rect(0, 0, 60, 40))
+    layout.add_cell(Cell.rect("a", 10, 10, 16, 20))  # x in [10,26]
+    layout.add_cell(Cell.rect("b", 30, 10, 16, 20))  # x in [30,46]
+    return layout
+
+
+class TestPassageGeometry:
+    def test_capacity_counts_hug_positions(self):
+        passage = Passage(Rect(26, 10, 30, 30), Axis.Y, ("a", "b"))
+        assert passage.gap == 4
+        assert passage.capacity == 5
+        assert passage.length == 20
+
+    def test_carries_parallel_wire_inside(self):
+        passage = Passage(Rect(26, 10, 30, 30), Axis.Y, ("a", "b"))
+        assert passage.carries(Segment.vertical(28, 0, 40))
+        assert passage.carries(Segment.vertical(26, 12, 18))  # hugging edge counts
+
+    def test_ignores_crossing_and_outside_wires(self):
+        passage = Passage(Rect(26, 10, 30, 30), Axis.Y, ("a", "b"))
+        assert not passage.carries(Segment.horizontal(20, 0, 60))  # crossing
+        assert not passage.carries(Segment.vertical(50, 0, 40))  # outside
+        assert not passage.carries(Segment.vertical(28, 30, 40))  # only touches end
+
+
+class TestFindPassages:
+    def test_detects_cell_pair_passage(self):
+        passages = find_passages(two_cell_layout())
+        pair = [p for p in passages if set(p.between) == {"a", "b"}]
+        assert len(pair) == 1
+        assert pair[0].region == Rect(26, 10, 30, 30)
+        assert pair[0].flow is Axis.Y
+
+    def test_detects_boundary_passages(self):
+        passages = find_passages(two_cell_layout())
+        boundary = [p for p in passages if BOUNDARY in p.between]
+        assert boundary  # each cell faces the outline on some side
+
+    def test_max_gap_filter(self):
+        passages = find_passages(two_cell_layout(), max_gap=3)
+        pair = [p for p in passages if set(p.between) == {"a", "b"}]
+        assert not pair  # the 4-wide passage is filtered out
+
+    def test_intervening_cell_blocks_passage(self):
+        layout = two_cell_layout()
+        layout.add_cell(Cell.rect("mid", 27, 12, 2, 4))  # sits in the gap
+        passages = find_passages(layout)
+        pair = [p for p in passages if set(p.between) == {"a", "b"}]
+        assert not pair
+
+    def test_vertical_adjacency(self):
+        layout = Layout(Rect(0, 0, 40, 60))
+        layout.add_cell(Cell.rect("lo", 10, 10, 20, 16))
+        layout.add_cell(Cell.rect("hi", 10, 30, 20, 16))
+        passages = find_passages(layout)
+        pair = [p for p in passages if set(p.between) == {"lo", "hi"}]
+        assert len(pair) == 1
+        assert pair[0].flow is Axis.X
+        assert pair[0].gap == 4
+
+    def test_no_duplicate_symmetric_passages(self):
+        passages = find_passages(two_cell_layout())
+        keys = [(p.region, p.flow) for p in passages]
+        assert len(keys) == len(set(keys))
+
+
+class TestMeasurement:
+    def route_with_wires(self, *tagged: tuple[str, Segment]) -> GlobalRoute:
+        route = GlobalRoute()
+        for net, seg in tagged:
+            tree = route.trees.setdefault(net, RouteTree(net_name=net))
+            tree.paths.append(RoutePath((seg.a, seg.b)))
+        return route
+
+    def test_usage_counts_distinct_nets(self):
+        passages = [Passage(Rect(26, 10, 30, 30), Axis.Y, ("a", "b"))]
+        route = self.route_with_wires(
+            ("n1", Segment.vertical(27, 0, 40)),
+            ("n2", Segment.vertical(28, 0, 40)),
+            ("n1", Segment.vertical(29, 0, 40)),  # same net: counted once
+        )
+        cmap = measure_congestion(passages, route)
+        assert cmap.entries[0].usage == 2
+
+    def test_utilization_and_overflow(self):
+        passage = Passage(Rect(26, 10, 28, 30), Axis.Y, ("a", "b"))  # capacity 3
+        entry = PassageUsage(passage, nets={"n1", "n2", "n3", "n4"})
+        assert entry.utilization == 4 / 3
+        assert entry.overflow == 1
+
+    def test_map_aggregates(self):
+        passage = Passage(Rect(26, 10, 28, 30), Axis.Y, ("a", "b"))
+        cmap = CongestionMap(
+            [
+                PassageUsage(passage, nets={"a", "b", "c", "d"}),
+                PassageUsage(passage, nets={"x"}),
+            ]
+        )
+        assert cmap.total_overflow == 1
+        assert cmap.max_utilization == 4 / 3
+        assert len(cmap.overflowed()) == 1
+        assert cmap.affected_nets() == {"a", "b", "c", "d"}
+
+    def test_penalty_regions_scale_with_overload(self):
+        small = Passage(Rect(0, 0, 1, 10), Axis.Y, ("a", "b"))  # capacity 2
+        cmap = CongestionMap([PassageUsage(small, nets={"1", "2", "3", "4"})])
+        regions = cmap.penalty_regions(weight=2.0)
+        assert len(regions) == 1
+        region, weight = regions[0]
+        assert region == small.region
+        assert weight == 2.0 * (4 / 2)
+
+    def test_empty_map(self):
+        cmap = CongestionMap([])
+        assert cmap.max_utilization == 0.0
+        assert cmap.total_overflow == 0
+        assert cmap.affected_nets() == set()

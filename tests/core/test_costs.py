@@ -1,0 +1,160 @@
+"""Unit tests for the generalized cost models."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.core.costs import (
+    BendPenaltyCost,
+    CongestionPenaltyCost,
+    CostModel,
+    InvertedCornerCost,
+    WirelengthCost,
+)
+from repro.geometry.point import Direction, Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+BOUND = Rect(0, 0, 100, 100)
+
+
+class TestWirelength:
+    def test_segment_cost_is_length(self):
+        model = WirelengthCost()
+        assert model.segment_cost(Segment.horizontal(5, 0, 7)) == 7.0
+
+    def test_bends_free(self):
+        model = WirelengthCost()
+        assert model.bend_cost(Point(0, 0), Direction.EAST, Direction.NORTH) == 0.0
+
+    def test_not_direction_sensitive(self):
+        assert not WirelengthCost().direction_sensitive
+
+
+class TestBendPenalty:
+    def test_charges_turns_only(self):
+        model = BendPenaltyCost(penalty=0.5)
+        assert model.bend_cost(Point(0, 0), Direction.EAST, Direction.NORTH) == 0.5
+        assert model.bend_cost(Point(0, 0), Direction.EAST, Direction.EAST) == 0.0
+
+    def test_direction_sensitive(self):
+        assert BendPenaltyCost(0.5).direction_sensitive
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(RoutingError):
+            BendPenaltyCost(-1)
+
+    def test_stacks_on_base(self):
+        base = BendPenaltyCost(penalty=1.0)
+        stacked = BendPenaltyCost(penalty=0.5, base=base)
+        assert stacked.bend_cost(Point(0, 0), Direction.EAST, Direction.NORTH) == 1.5
+
+
+class TestInvertedCorner:
+    def make_model(self) -> InvertedCornerCost:
+        obs = ObstacleSet(BOUND, [Rect(40, 40, 60, 60)])
+        return InvertedCornerCost(obs, epsilon=0.25)
+
+    def test_bend_on_cell_boundary_free(self):
+        model = self.make_model()
+        # (40, 60) is the cell's top-left corner
+        assert model.bend_cost(Point(40, 60), Direction.NORTH, Direction.EAST) == 0.0
+
+    def test_bend_on_cell_edge_free(self):
+        model = self.make_model()
+        assert model.bend_cost(Point(50, 60), Direction.EAST, Direction.NORTH) == 0.0
+
+    def test_bend_in_free_space_charged(self):
+        model = self.make_model()
+        assert model.bend_cost(Point(10, 10), Direction.EAST, Direction.NORTH) == 0.25
+
+    def test_bend_on_surface_boundary_free(self):
+        model = self.make_model()
+        assert model.bend_cost(Point(0, 50), Direction.NORTH, Direction.EAST) == 0.0
+
+    def test_straight_through_never_charged(self):
+        model = self.make_model()
+        assert model.bend_cost(Point(10, 10), Direction.EAST, Direction.EAST) == 0.0
+
+    def test_nonpositive_epsilon_rejected(self):
+        obs = ObstacleSet(BOUND)
+        with pytest.raises(RoutingError):
+            InvertedCornerCost(obs, epsilon=0.0)
+
+    def test_segment_cost_unchanged(self):
+        model = self.make_model()
+        assert model.segment_cost(Segment.horizontal(5, 0, 7)) == 7.0
+
+
+class TestCongestionPenalty:
+    def test_penalizes_length_inside_region(self):
+        model = CongestionPenaltyCost([(Rect(10, 0, 20, 100), 2.0)])
+        # segment spends 10 units inside the region
+        seg = Segment.horizontal(50, 0, 30)
+        assert model.segment_cost(seg) == 30 + 2.0 * 10
+
+    def test_segment_outside_region_uncharged(self):
+        model = CongestionPenaltyCost([(Rect(10, 0, 20, 100), 2.0)])
+        assert model.segment_cost(Segment.vertical(5, 0, 30)) == 30.0
+
+    def test_hugging_the_region_boundary_is_charged(self):
+        # wires running along the edge of a congested passage are
+        # exactly what the penalty must discourage
+        model = CongestionPenaltyCost([(Rect(0, 10, 100, 20), 1.0)])
+        seg = Segment.horizontal(10, 0, 50)
+        assert model.segment_cost(seg) == 100.0
+
+    def test_overlapping_regions_stack(self):
+        regions = [(Rect(0, 0, 100, 100), 1.0), (Rect(10, 0, 20, 100), 1.0)]
+        model = CongestionPenaltyCost(regions)
+        seg = Segment.horizontal(50, 10, 20)
+        assert model.segment_cost(seg) == 10 + 10 + 10
+
+    def test_perpendicular_crossing_charged_by_length_inside(self):
+        model = CongestionPenaltyCost([(Rect(10, 0, 20, 100), 3.0)])
+        seg = Segment.vertical(15, 0, 40)  # runs inside the region
+        assert model.segment_cost(seg) == 40 + 3.0 * 40
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(RoutingError):
+            CongestionPenaltyCost([(Rect(0, 0, 1, 1), -0.5)])
+
+    def test_inherits_direction_sensitivity_from_base(self):
+        base = BendPenaltyCost(0.5)
+        model = CongestionPenaltyCost([], base=base)
+        assert model.direction_sensitive
+        assert CongestionPenaltyCost([]).direction_sensitive is False
+
+    def test_degenerate_segment_uncharged(self):
+        model = CongestionPenaltyCost([(Rect(0, 0, 100, 100), 5.0)])
+        assert model.segment_cost(Segment(Point(5, 5), Point(5, 5))) == 0.0
+
+
+class TestDominanceInvariant:
+    """Every model must price a segment at >= its length (admissibility)."""
+
+    def models(self):
+        obs = ObstacleSet(BOUND, [Rect(40, 40, 60, 60)])
+        return [
+            CostModel(),
+            WirelengthCost(),
+            BendPenaltyCost(0.5),
+            InvertedCornerCost(obs),
+            CongestionPenaltyCost([(Rect(0, 0, 50, 50), 2.0)]),
+        ]
+
+    def test_segment_cost_dominates_length(self):
+        segments = [
+            Segment.horizontal(25, 0, 60),
+            Segment.vertical(45, 10, 90),
+            Segment.horizontal(70, 30, 31),
+        ]
+        for model in self.models():
+            for seg in segments:
+                assert model.segment_cost(seg) >= seg.length
+
+    def test_bend_cost_nonnegative(self):
+        for model in self.models():
+            for incoming in (Direction.EAST, Direction.NORTH):
+                for outgoing in (Direction.EAST, Direction.SOUTH, Direction.WEST):
+                    assert model.bend_cost(Point(33, 33), incoming, outgoing) >= 0

@@ -1,0 +1,106 @@
+"""Unit tests for placement feedback (the paper's future-work loop)."""
+
+import random
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.core.feedback import adjust_placement, move_cell
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.generators import LayoutSpec, grid_layout, random_netlist
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.layout.pin import Pin
+from repro.layout.terminal import Terminal
+from repro.layout.validate import validate_layout
+from repro.analysis.verify import verify_global_route
+
+
+class TestMoveCell:
+    def layout(self) -> Layout:
+        layout = Layout(Rect(0, 0, 100, 100))
+        layout.add_cell(Cell.rect("a", 10, 10, 20, 20))
+        layout.add_cell(Cell.rect("b", 50, 10, 20, 20))
+        layout.add_net(
+            Net(
+                "n",
+                [
+                    Terminal("s", [Pin("s", Point(30, 20), "a")]),
+                    Terminal("d", [Pin("d", Point(50, 20), "b")]),
+                ],
+            )
+        )
+        return layout
+
+    def test_cell_and_pins_move_together(self):
+        moved = move_cell(self.layout(), "b", 5, 0)
+        assert moved.cell("b").bounding_box == Rect(55, 10, 75, 30)
+        pin = moved.net("n").terminal("d").pins[0]
+        assert pin.location == Point(55, 20)
+        validate_layout(moved)
+
+    def test_other_cells_untouched(self):
+        moved = move_cell(self.layout(), "b", 5, 0)
+        assert moved.cell("a").bounding_box == Rect(10, 10, 30, 30)
+        assert moved.net("n").terminal("s").pins[0].location == Point(30, 20)
+
+    def test_original_layout_unchanged(self):
+        layout = self.layout()
+        move_cell(layout, "b", 5, 0)
+        assert layout.cell("b").bounding_box == Rect(50, 10, 70, 30)
+
+    def test_move_off_surface_raises(self):
+        with pytest.raises(LayoutError):
+            move_cell(self.layout(), "b", 50, 0)
+
+    def test_pad_pins_do_not_move(self):
+        layout = Layout(Rect(0, 0, 100, 100))
+        layout.add_cell(Cell.rect("a", 10, 10, 20, 20))
+        layout.add_net(
+            Net("n", [Terminal.single("s", Point(0, 50)), Terminal.single("d", Point(10, 15))])
+        )
+        # d is a floating pin (cell=None) that happens to touch a
+        moved = move_cell(layout, "a", 3, 0)
+        locations = [p.location for p in moved.iter_pins()]
+        assert Point(0, 50) in locations and Point(10, 15) in locations
+
+
+class TestAdjustPlacement:
+    def congested(self) -> Layout:
+        layout = grid_layout(2, 2, cell_width=20, cell_height=20, gap=2, margin=12)
+        rng = random.Random(3)
+        spec = LayoutSpec(terminals_per_net=(2, 2), pad_fraction=0.0)
+        for net in random_netlist(layout, 16, rng=rng, spec=spec):
+            layout.add_net(net)
+        return layout
+
+    def test_reduces_or_eliminates_overflow(self):
+        layout = self.congested()
+        result = adjust_placement(layout, step=2, max_rounds=6)
+        assert result.overflow_history[0] >= result.overflow_history[-1]
+        if result.converged:
+            assert result.congestion.total_overflow == 0
+
+    def test_final_layout_valid_and_routable(self):
+        result = adjust_placement(self.congested(), step=2, max_rounds=6)
+        validate_layout(result.layout)
+        assert verify_global_route(result.route, result.layout) == {}
+
+    def test_moves_recorded(self):
+        result = adjust_placement(self.congested(), step=2, max_rounds=6)
+        if result.overflow_history[0] > 0:
+            assert result.moves  # something was adjusted
+
+    def test_uncongested_layout_converges_immediately(self):
+        layout = grid_layout(2, 2, cell_width=10, cell_height=10, gap=12, margin=12)
+        layout.add_net(Net.two_point("n", Point(0, 0), Point(5, 0)))
+        result = adjust_placement(layout)
+        assert result.converged
+        assert result.moves == []
+        assert result.overflow_history == [0]
+
+    def test_history_length_bounded(self):
+        result = adjust_placement(self.congested(), step=1, max_rounds=4)
+        assert len(result.overflow_history) <= 5

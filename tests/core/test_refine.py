@@ -1,0 +1,106 @@
+"""Unit tests for Steiner tree refinement."""
+
+from repro.core.refine import refine_tree
+from repro.core.router import GlobalRouter
+from repro.core.steiner import route_net
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.layout.generators import LayoutSpec, random_layout
+from repro.layout.net import Net
+from repro.layout.terminal import Terminal
+from repro.analysis.verify import verify_route_tree
+
+BOUND = Rect(0, 0, 100, 100)
+
+
+def net_of_points(name, *points) -> Net:
+    return Net(name, [Terminal.single(f"t{i}", p) for i, p in enumerate(points)])
+
+
+class TestRefineTree:
+    def test_never_longer(self):
+        obs = ObstacleSet(BOUND)
+        for points in (
+            (Point(0, 0), Point(90, 10), Point(40, 80), Point(70, 70)),
+            (Point(10, 10), Point(90, 90), Point(10, 90), Point(90, 10), Point(50, 50)),
+            (Point(5, 50), Point(95, 50), Point(50, 5), Point(50, 95)),
+        ):
+            net = net_of_points("n", *points)
+            tree = route_net(net, obs)
+            refined = refine_tree(net, tree, obs)
+            assert refined.total_length <= tree.total_length
+
+    def test_two_terminal_tree_unchanged(self):
+        obs = ObstacleSet(BOUND)
+        net = net_of_points("n", Point(0, 0), Point(50, 50))
+        tree = route_net(net, obs)
+        refined = refine_tree(net, tree, obs)
+        assert refined.total_length == tree.total_length
+
+    def test_refined_tree_still_valid(self):
+        layout = random_layout(
+            LayoutSpec(n_cells=10, n_nets=8, terminals_per_net=(3, 5)), seed=13
+        )
+        obs = layout.obstacles()
+        for net in layout.nets:
+            tree = route_net(net, obs)
+            refined = refine_tree(net, tree, obs)
+            assert verify_route_tree(refined, net, layout) == []
+            assert refined.total_length <= tree.total_length
+
+    def test_refinement_with_obstacles(self):
+        obs = ObstacleSet(BOUND, [Rect(30, 30, 70, 70)])
+        net = net_of_points(
+            "n", Point(10, 50), Point(90, 50), Point(50, 10), Point(50, 90)
+        )
+        tree = route_net(net, obs)
+        refined = refine_tree(net, tree, obs)
+        assert refined.total_length <= tree.total_length
+        for seg in refined.segments:
+            assert obs.segment_free(seg)
+
+    def test_improves_a_crafted_case(self):
+        # Greedy order can leave a long attachment that a later
+        # connection makes redundant; at minimum refinement must not
+        # lose, and across many random nets it must win sometimes.
+        obs = ObstacleSet(BOUND)
+        import random
+
+        rng = random.Random(7)
+        wins = 0
+        total = 0
+        for _case in range(12):
+            points = [
+                Point(rng.randint(0, 100), rng.randint(0, 100)) for _ in range(5)
+            ]
+            if len(set(points)) < 5:
+                continue
+            net = net_of_points("n", *points)
+            tree = route_net(net, obs)
+            refined = refine_tree(net, tree, obs)
+            total += 1
+            assert refined.total_length <= tree.total_length
+            if refined.total_length < tree.total_length:
+                wins += 1
+        assert total > 0
+        # not guaranteed per-case, but over 12 random 5-terminal nets
+        # at least one should improve; if this ever flakes, greedy has
+        # become optimal and refinement can be retired.
+        assert wins >= 1
+
+    def test_connected_terminals_preserved(self):
+        obs = ObstacleSet(BOUND)
+        net = net_of_points("n", Point(0, 0), Point(90, 10), Point(40, 80))
+        tree = route_net(net, obs)
+        refined = refine_tree(net, tree, obs)
+        assert refined.connected_terminals == tree.connected_terminals
+
+
+class TestRouterIntegration:
+    def test_router_level_usage(self, small_layout):
+        router = GlobalRouter(small_layout)
+        for net in small_layout.nets:
+            tree = router.route_one(net)
+            refined = refine_tree(net, tree, router.obstacles)
+            assert refined.total_length <= tree.total_length

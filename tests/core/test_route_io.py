@@ -1,0 +1,65 @@
+"""Unit tests for route serialization."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.core.route_io import (
+    route_from_dict,
+    route_from_json,
+    route_to_dict,
+    route_to_json,
+)
+from repro.core.router import GlobalRouter
+
+
+class TestRoundTrip:
+    def test_real_route_round_trips(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        restored = route_from_json(route_to_json(route))
+        assert set(restored.trees) == set(route.trees)
+        assert restored.total_length == route.total_length
+        for name in route.trees:
+            original = route.tree(name)
+            copy = restored.tree(name)
+            assert [p.points for p in copy.paths] == [p.points for p in original.paths]
+            assert copy.connected_terminals == original.connected_terminals
+            assert copy.stats.nodes_expanded == original.stats.nodes_expanded
+
+    def test_failed_nets_preserved(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        route.failed_nets.append("ghost")
+        restored = route_from_dict(route_to_dict(route))
+        assert restored.failed_nets == ["ghost"]
+
+    def test_costs_preserved(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        restored = route_from_dict(route_to_dict(route))
+        for name in route.trees:
+            original_costs = [p.cost for p in route.tree(name).paths]
+            restored_costs = [p.cost for p in restored.tree(name).paths]
+            assert restored_costs == original_costs
+
+    def test_stats_termination_preserved(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        restored = route_from_dict(route_to_dict(route))
+        assert restored.stats.termination == route.stats.termination
+
+
+class TestErrors:
+    def test_wrong_version(self):
+        with pytest.raises(RoutingError, match="version"):
+            route_from_dict({"version": 99, "trees": {}})
+
+    def test_missing_keys(self):
+        with pytest.raises(RoutingError):
+            route_from_dict({"version": 1})
+
+    def test_invalid_json(self):
+        with pytest.raises(RoutingError, match="JSON"):
+            route_from_json("{oops")
+
+    def test_compact_json(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        text = route_to_json(route, indent=None)
+        assert "\n" not in text
+        assert route_from_json(text).total_length == route.total_length

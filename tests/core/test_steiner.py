@@ -1,0 +1,140 @@
+"""Unit tests for multi-terminal Steiner routing."""
+
+import pytest
+
+from repro.errors import UnroutableError
+from repro.core.steiner import route_net
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.layout.net import Net
+from repro.layout.pin import Pin
+from repro.layout.terminal import Terminal
+
+BOUND = Rect(0, 0, 100, 100)
+
+
+def empty_obstacles() -> ObstacleSet:
+    return ObstacleSet(BOUND)
+
+
+def net_of_points(name, *points) -> Net:
+    terminals = [Terminal.single(f"t{i}", p) for i, p in enumerate(points)]
+    return Net(name, terminals)
+
+
+class TestTwoTerminal:
+    def test_simple_connection(self):
+        net = net_of_points("n", Point(10, 10), Point(60, 40))
+        tree = route_net(net, empty_obstacles())
+        assert tree.total_length == 80
+        assert set(tree.connected_terminals) == {"t0", "t1"}
+        assert len(tree.paths) == 1
+
+    def test_coincident_terminals(self):
+        net = net_of_points("n", Point(10, 10), Point(10, 10))
+        tree = route_net(net, empty_obstacles())
+        assert tree.total_length == 0
+
+
+class TestSteinerBehaviour:
+    def test_t_shape_uses_segment_connection(self):
+        # three collinear-ish terminals: connecting the third into the
+        # middle of the first connection's segment is a Steiner join
+        net = net_of_points("n", Point(0, 50), Point(100, 50), Point(50, 80))
+        tree = route_net(net, empty_obstacles())
+        # spanning tree on pins alone: 100 + (30+50)=180 or similar; the
+        # segment tap gives 100 + 30
+        assert tree.total_length == 130
+
+    def test_plus_shape(self):
+        net = net_of_points(
+            "n", Point(50, 0), Point(50, 100), Point(0, 50), Point(100, 50)
+        )
+        tree = route_net(net, empty_obstacles())
+        assert tree.total_length == 200
+
+    def test_segment_tap_beats_pin_only_tree(self):
+        net = net_of_points("n", Point(0, 0), Point(100, 0), Point(50, 30))
+        tree = route_net(net, empty_obstacles())
+        pin_only_best = 100 + min(
+            Point(50, 30).manhattan(Point(0, 0)), Point(50, 30).manhattan(Point(100, 0))
+        )
+        assert tree.total_length < pin_only_best
+
+    def test_connection_order_is_nearest_first(self):
+        # terminals at increasing distance from the seed get connected
+        # in lower-bound order
+        net = net_of_points("n", Point(50, 50), Point(60, 50), Point(90, 50))
+        tree = route_net(net, empty_obstacles())
+        assert tree.connected_terminals.index("t1") < tree.connected_terminals.index("t2")
+
+    def test_exact_order_not_worse(self):
+        net = net_of_points(
+            "n", Point(10, 10), Point(90, 15), Point(15, 90), Point(85, 80), Point(50, 55)
+        )
+        greedy = route_net(net, empty_obstacles())
+        exact = route_net(net, empty_obstacles(), exact_order=True)
+        assert exact.total_length <= greedy.total_length * 1.10
+
+    def test_avoids_obstacles(self):
+        obs = ObstacleSet(BOUND, [Rect(30, 30, 70, 70)])
+        net = net_of_points("n", Point(10, 50), Point(90, 50), Point(50, 90))
+        tree = route_net(net, obs)
+        for seg in tree.segments:
+            assert obs.segment_free(seg)
+        assert set(tree.connected_terminals) == {"t0", "t1", "t2"}
+
+
+class TestMultiPinTerminals:
+    def test_nearest_equivalent_pin_used(self):
+        source = Terminal(
+            "s", [Pin("far", Point(0, 0)), Pin("near", Point(80, 50))]
+        )
+        dest = Terminal.single("d", Point(90, 50))
+        tree = route_net(Net("n", [source, dest]), empty_obstacles())
+        assert tree.total_length == 10
+
+    def test_all_pins_join_connected_set(self):
+        # after connecting a multi-pin terminal, a later terminal may
+        # attach to ANY of its pins
+        a = Terminal("a", [Pin("a0", Point(0, 0)), Pin("a1", Point(100, 0))])
+        b = Terminal.single("b", Point(50, 0))
+        c = Terminal.single("c", Point(100, 10))
+        tree = route_net(Net("n", [a, b, c]), empty_obstacles())
+        # c should connect to a's second pin (distance 10), not across
+        assert tree.total_length <= 50 + 10
+
+    def test_multi_pin_on_both_sides(self):
+        a = Terminal("a", [Pin("a0", Point(0, 0)), Pin("a1", Point(0, 90))])
+        b = Terminal("b", [Pin("b0", Point(90, 0)), Pin("b1", Point(90, 90))])
+        tree = route_net(Net("n", [a, b]), empty_obstacles())
+        assert tree.total_length == 90
+
+
+class TestFailureModes:
+    def test_unreachable_terminal_raises_with_partial(self):
+        ring = [
+            Rect(40, 40, 42, 60),
+            Rect(58, 40, 60, 60),
+            Rect(40, 40, 60, 42),
+            Rect(40, 58, 60, 60),
+        ]
+        obs = ObstacleSet(BOUND, ring)
+        net = net_of_points("n", Point(10, 10), Point(20, 10), Point(50, 50))
+        with pytest.raises(UnroutableError) as exc_info:
+            route_net(net, obs)
+        partial = exc_info.value.partial
+        assert partial is not None
+        assert partial.net_name == "n"
+        assert len(partial.connected_terminals) >= 2
+
+    def test_stats_merged_across_connections(self):
+        net = net_of_points("n", Point(10, 10), Point(90, 10), Point(50, 90))
+        tree = route_net(net, empty_obstacles())
+        assert tree.stats.nodes_expanded >= 2
+
+    def test_traces_recorded_when_requested(self):
+        net = net_of_points("n", Point(10, 10), Point(90, 10), Point(50, 90))
+        tree = route_net(net, empty_obstacles(), trace=True)
+        assert len(tree.traces) == 2  # one per non-seed connection

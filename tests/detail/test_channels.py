@@ -1,0 +1,99 @@
+"""Unit tests for dynamic channel construction."""
+
+from repro.detail.channels import build_channels
+from repro.detail.interference import TaggedSegment
+from repro.geometry.interval import Interval
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+BOUND = Rect(0, 0, 100, 100)
+
+
+def ts(net: str, seg: Segment) -> TaggedSegment:
+    return TaggedSegment(net, seg)
+
+
+class TestCorridors:
+    def test_open_surface_corridor_spans_bound(self):
+        channels = build_channels(
+            [ts("a", Segment.horizontal(50, 10, 90))], ObstacleSet(BOUND)
+        )
+        assert len(channels) == 1
+        assert channels[0].corridor == Interval(0, 100)
+        assert channels[0].capacity == 101
+
+    def test_corridor_bounded_by_cells(self):
+        obs = ObstacleSet(BOUND, [Rect(0, 10, 100, 20), Rect(0, 60, 100, 70)])
+        channels = build_channels([ts("a", Segment.horizontal(40, 10, 90))], obs)
+        assert channels[0].corridor == Interval(20, 60)
+
+    def test_cells_outside_span_do_not_constrain(self):
+        obs = ObstacleSet(BOUND, [Rect(0, 30, 5, 50)])  # left of the wire
+        channels = build_channels([ts("a", Segment.horizontal(40, 10, 90))], obs)
+        assert channels[0].corridor == Interval(0, 100)
+
+    def test_vertical_channels(self):
+        obs = ObstacleSet(BOUND, [Rect(10, 0, 20, 100), Rect(60, 0, 70, 100)])
+        channels = build_channels([ts("a", Segment.vertical(40, 10, 90))], obs)
+        assert not channels[0].horizontal
+        assert channels[0].corridor == Interval(20, 60)
+
+    def test_incompatible_gaps_break_corridor(self):
+        # two wires in the same interference window but separated by a
+        # cell between their tracks
+        obs = ObstacleSet(BOUND, [Rect(0, 48, 100, 52)])
+        segs = [
+            ts("a", Segment.horizontal(47, 10, 90)),
+            ts("b", Segment.horizontal(53, 10, 90)),
+        ]
+        channels = build_channels(segs, obs, window=10)
+        broken = [c for c in channels if c.corridor is None]
+        assert broken  # the joint group cannot share one gap
+        assert all(c.capacity == 0 for c in broken)
+
+
+class TestMerging:
+    def test_groups_sharing_a_gap_merge(self):
+        # two wires far apart in track but same free gap and
+        # overlapping spans: they must pack jointly
+        segs = [
+            ts("a", Segment.horizontal(10, 0, 50)),
+            ts("b", Segment.horizontal(90, 20, 70)),
+        ]
+        channels = build_channels(segs, ObstacleSet(BOUND), window=2)
+        assert len(channels) == 1
+        assert channels[0].group.nets == {"a", "b"}
+
+    def test_non_overlapping_spans_stay_separate(self):
+        segs = [
+            ts("a", Segment.horizontal(10, 0, 30)),
+            ts("b", Segment.horizontal(90, 60, 99)),
+        ]
+        channels = build_channels(segs, ObstacleSet(BOUND), window=2)
+        assert len(channels) == 2
+
+    def test_separate_gaps_stay_separate(self):
+        obs = ObstacleSet(BOUND, [Rect(0, 40, 100, 60)])
+        segs = [
+            ts("a", Segment.horizontal(20, 10, 90)),
+            ts("b", Segment.horizontal(80, 10, 90)),
+        ]
+        channels = build_channels(segs, obs, window=2)
+        assert len(channels) == 2
+
+
+class TestNetIntervals:
+    def test_same_net_merges_to_hull(self):
+        segs = [
+            ts("a", Segment.horizontal(10, 0, 20)),
+            ts("a", Segment.horizontal(10, 15, 50)),
+            ts("b", Segment.horizontal(11, 5, 25)),
+        ]
+        channels = build_channels(segs, ObstacleSet(BOUND), window=2)
+        intervals = channels[0].net_intervals()
+        assert intervals["a"] == Interval(0, 50)
+        assert intervals["b"] == Interval(5, 25)
+
+    def test_empty_input(self):
+        assert build_channels([], ObstacleSet(BOUND)) == []

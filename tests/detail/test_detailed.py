@@ -1,0 +1,113 @@
+"""Integration-grade unit tests for the detailed router."""
+
+from repro.core.route import GlobalRoute, RoutePath, RouteTree
+from repro.core.router import GlobalRouter
+from repro.detail.detailed import DetailedRouter
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.generators import LayoutSpec, random_layout
+from repro.layout.layout import Layout
+from repro.analysis.verify import verify_detailed
+
+
+def route_of(*net_paths: tuple[str, list[Point]]) -> GlobalRoute:
+    route = GlobalRoute()
+    for net, points in net_paths:
+        tree = route.trees.setdefault(net, RouteTree(net_name=net))
+        tree.paths.append(RoutePath(tuple(points)))
+    return route
+
+
+class TestTrackSeparation:
+    def test_overlapping_wires_get_distinct_tracks(self):
+        layout = Layout(Rect(0, 0, 60, 40))
+        route = route_of(
+            ("a", [Point(0, 20), Point(50, 20)]),
+            ("b", [Point(5, 20), Point(55, 20)]),
+        )
+        result = DetailedRouter(layout).run(route)
+        h_wires = [w for w in result.layers.wires if w.layer == 1 and w.seg.length > 10]
+        tracks = {w.net: w.seg.track for w in h_wires}
+        assert tracks["a"] != tracks["b"]
+        assert result.conflict_count == 0
+
+    def test_stitch_stubs_preserve_connectivity(self):
+        layout = Layout(Rect(0, 0, 60, 40))
+        route = route_of(
+            ("a", [Point(0, 20), Point(50, 20)]),
+            ("b", [Point(5, 20), Point(55, 20)]),
+        )
+        result = DetailedRouter(layout).run(route)
+        # every moved wire's original endpoints are still covered by
+        # some wire of the same net (the stubs)
+        for net, points in (("a", [Point(0, 20), Point(50, 20)]),
+                            ("b", [Point(5, 20), Point(55, 20)])):
+            for p in points:
+                covered = any(
+                    w.net == net and w.seg.contains_point(p) for w in result.layers.wires
+                )
+                assert covered, f"{net} endpoint {p} lost"
+
+    def test_channel_respects_corridor(self):
+        layout = Layout(Rect(0, 0, 60, 40))
+        layout.add_cell(Cell.rect("lo", 0, 0, 60, 10))
+        layout.add_cell(Cell.rect("hi", 0, 30, 60, 10))
+        route = route_of(
+            ("a", [Point(0, 20), Point(60, 20)]),
+            ("b", [Point(0, 22), Point(60, 22)]),
+            ("c", [Point(0, 18), Point(60, 18)]),
+        )
+        result = DetailedRouter(layout).run(route)
+        for wire in result.layers.wires:
+            if wire.layer == 1:
+                assert 10 <= wire.seg.track <= 30
+
+    def test_over_capacity_reported(self):
+        layout = Layout(Rect(0, 0, 60, 40))
+        layout.add_cell(Cell.rect("lo", 0, 0, 60, 18))
+        layout.add_cell(Cell.rect("hi", 0, 22, 60, 18))
+        # 6 nets through a 4-unit gap (capacity 5): overfull
+        route = route_of(
+            *((f"n{i}", [Point(0, 20), Point(60, 20)]) for i in range(6))
+        )
+        result = DetailedRouter(layout).run(route)
+        assert result.over_capacity_channels >= 1
+
+
+class TestFullFlow:
+    def test_wires_legal_on_random_layouts(self):
+        for seed in (11, 4):
+            layout = random_layout(
+                LayoutSpec(n_cells=10, n_nets=10, terminals_per_net=(2, 3)), seed=seed
+            )
+            global_route = GlobalRouter(layout).route_all()
+            result = DetailedRouter(layout).run(global_route)
+            assert verify_detailed(result, layout) == []
+
+    def test_result_metrics_populated(self, small_layout):
+        global_route = GlobalRouter(small_layout).route_all()
+        result = DetailedRouter(small_layout).run(global_route)
+        assert result.channel_count > 0
+        assert result.track_total >= result.channel_count
+        assert result.total_wirelength >= global_route.total_length
+        assert result.elapsed_seconds > 0
+
+    def test_vias_exist_for_bent_nets(self, small_layout):
+        global_route = GlobalRouter(small_layout).route_all()
+        if global_route.total_bends > 0:
+            result = DetailedRouter(small_layout).run(global_route)
+            assert result.via_count > 0
+
+    def test_empty_route(self, small_layout):
+        result = DetailedRouter(small_layout).run(GlobalRoute())
+        assert result.channel_count == 0
+        assert result.total_wirelength == 0
+
+    def test_deterministic(self, small_layout):
+        global_route = GlobalRouter(small_layout).route_all()
+        a = DetailedRouter(small_layout).run(global_route)
+        b = DetailedRouter(small_layout).run(global_route)
+        assert [(w.net, w.seg, w.layer) for w in a.layers.wires] == [
+            (w.net, w.seg, w.layer) for w in b.layers.wires
+        ]

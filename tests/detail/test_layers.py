@@ -1,0 +1,99 @@
+"""Unit tests for layer assignment and conflict auditing."""
+
+from repro.detail.layers import (
+    LAYER_HORIZONTAL,
+    LAYER_VERTICAL,
+    Via,
+    assign_layers,
+)
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+class TestLayers:
+    def test_orientation_determines_layer(self):
+        result = assign_layers(
+            [("n", Segment.horizontal(5, 0, 10)), ("n", Segment.vertical(10, 5, 15))]
+        )
+        layers = {w.seg.is_horizontal: w.layer for w in result.wires}
+        assert layers[True] == LAYER_HORIZONTAL
+        assert layers[False] == LAYER_VERTICAL
+
+    def test_degenerate_segments_dropped(self):
+        result = assign_layers([("n", Segment(Point(1, 1), Point(1, 1)))])
+        assert result.wires == []
+
+    def test_total_wirelength(self):
+        result = assign_layers(
+            [("n", Segment.horizontal(5, 0, 10)), ("m", Segment.vertical(3, 0, 4))]
+        )
+        assert result.total_wirelength == 14
+
+
+class TestVias:
+    def test_via_at_same_net_cross_layer_touch(self):
+        result = assign_layers(
+            [("n", Segment.horizontal(5, 0, 10)), ("n", Segment.vertical(10, 5, 15))]
+        )
+        assert result.vias == [Via("n", Point(10, 5))]
+
+    def test_no_via_between_different_nets(self):
+        result = assign_layers(
+            [("n", Segment.horizontal(5, 0, 10)), ("m", Segment.vertical(4, 0, 10))]
+        )
+        assert result.vias == []
+
+    def test_via_count_dedupes_touch_points(self):
+        result = assign_layers(
+            [
+                ("n", Segment.horizontal(5, 0, 10)),
+                ("n", Segment.vertical(4, 5, 15)),
+                ("n", Segment.vertical(4, 5, 20)),  # same touch point again
+            ]
+        )
+        assert result.via_count == 1
+
+    def test_crossing_mid_wire_gets_via(self):
+        result = assign_layers(
+            [("n", Segment.horizontal(5, 0, 10)), ("n", Segment.vertical(5, 0, 10))]
+        )
+        assert result.vias == [Via("n", Point(5, 5))]
+
+
+class TestConflicts:
+    def test_same_layer_different_net_overlap_flagged(self):
+        result = assign_layers(
+            [("a", Segment.horizontal(5, 0, 10)), ("b", Segment.horizontal(5, 5, 15))]
+        )
+        assert result.conflict_count == 1
+
+    def test_same_net_overlap_not_flagged(self):
+        result = assign_layers(
+            [("a", Segment.horizontal(5, 0, 10)), ("a", Segment.horizontal(5, 5, 15))]
+        )
+        assert result.conflict_count == 0
+
+    def test_touching_end_to_end_not_flagged(self):
+        result = assign_layers(
+            [("a", Segment.horizontal(5, 0, 10)), ("b", Segment.horizontal(5, 10, 15))]
+        )
+        assert result.conflict_count == 0
+
+    def test_different_tracks_not_flagged(self):
+        result = assign_layers(
+            [("a", Segment.horizontal(5, 0, 10)), ("b", Segment.horizontal(6, 0, 10))]
+        )
+        assert result.conflict_count == 0
+
+    def test_cross_layer_crossing_not_flagged(self):
+        # H and V wires of different nets may cross: different layers
+        result = assign_layers(
+            [("a", Segment.horizontal(5, 0, 10)), ("b", Segment.vertical(5, 0, 10))]
+        )
+        assert result.conflict_count == 0
+
+    def test_vertical_conflicts_detected_too(self):
+        result = assign_layers(
+            [("a", Segment.vertical(5, 0, 10)), ("b", Segment.vertical(5, 5, 15))]
+        )
+        assert result.conflict_count == 1

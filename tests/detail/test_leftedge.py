@@ -1,0 +1,86 @@
+"""Unit tests for the left-edge track assignment."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.detail.leftedge import channel_density, left_edge_assign
+from repro.geometry.interval import Interval
+
+
+class TestLeftEdge:
+    def test_disjoint_intervals_share_one_track(self):
+        result = left_edge_assign(
+            {"a": Interval(0, 5), "b": Interval(6, 9), "c": Interval(10, 12)}
+        )
+        assert result.track_count == 1
+        assert set(result.track_of.values()) == {0}
+
+    def test_touching_intervals_share_a_track(self):
+        result = left_edge_assign({"a": Interval(0, 5), "b": Interval(5, 9)})
+        assert result.track_count == 1
+
+    def test_overlapping_intervals_separate(self):
+        result = left_edge_assign({"a": Interval(0, 5), "b": Interval(3, 9)})
+        assert result.track_count == 2
+        assert result.track_of["a"] != result.track_of["b"]
+
+    def test_classic_example(self):
+        intervals = {
+            "n1": Interval(0, 4),
+            "n2": Interval(2, 6),
+            "n3": Interval(5, 9),
+            "n4": Interval(7, 12),
+            "n5": Interval(1, 11),
+        }
+        result = left_edge_assign(intervals)
+        assert result.track_count == channel_density(intervals)
+        # no two same-track intervals overlap with positive length
+        by_track: dict[int, list[Interval]] = {}
+        for key, track in result.track_of.items():
+            by_track.setdefault(track, []).append(intervals[key])
+        for members in by_track.values():
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    assert not members[i].overlaps(members[j], strict=True)
+
+    def test_track_count_equals_density(self):
+        # LEA is optimal for interval packing: track count == density
+        cases = [
+            {"a": Interval(0, 10), "b": Interval(0, 10), "c": Interval(0, 10)},
+            {"a": Interval(0, 3), "b": Interval(2, 5), "c": Interval(4, 8)},
+            {f"n{i}": Interval(i, i + 5) for i in range(10)},
+        ]
+        for intervals in cases:
+            assert left_edge_assign(intervals).track_count == channel_density(intervals)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            left_edge_assign({})
+
+    def test_deterministic(self):
+        intervals = {"b": Interval(0, 4), "a": Interval(0, 4)}
+        first = left_edge_assign(intervals)
+        second = left_edge_assign(intervals)
+        assert first.track_of == second.track_of
+        # ties broken by key: 'a' gets the lower track
+        assert first.track_of["a"] < first.track_of["b"]
+
+    def test_degenerate_intervals(self):
+        result = left_edge_assign({"a": Interval(3, 3), "b": Interval(3, 3)})
+        # zero-length intervals touch, they may share a track
+        assert result.track_count == 1
+
+
+class TestChannelDensity:
+    def test_no_overlap(self):
+        assert channel_density({"a": Interval(0, 2), "b": Interval(3, 5)}) == 1
+
+    def test_stacked(self):
+        assert channel_density({str(i): Interval(0, 10) for i in range(4)}) == 4
+
+    def test_touching_not_counted(self):
+        assert channel_density({"a": Interval(0, 5), "b": Interval(5, 9)}) == 1
+
+    def test_staircase(self):
+        intervals = {"a": Interval(0, 4), "b": Interval(3, 7), "c": Interval(6, 10)}
+        assert channel_density(intervals) == 2

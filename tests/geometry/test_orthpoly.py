@@ -1,0 +1,133 @@
+"""Unit tests for orthogonal polygons."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.orthpoly import OrthoPolygon
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def l_shape() -> OrthoPolygon:
+    """An L: 4x4 square minus the top-right 2x2."""
+    return OrthoPolygon(
+        [Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2), Point(2, 4), Point(0, 4)]
+    )
+
+
+def u_shape() -> OrthoPolygon:
+    """A U: 6x4 with a 2x3 notch cut from the top middle."""
+    return OrthoPolygon(
+        [
+            Point(0, 0), Point(6, 0), Point(6, 4), Point(4, 4),
+            Point(4, 1), Point(2, 1), Point(2, 4), Point(0, 4),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_minimum_vertices(self):
+        with pytest.raises(GeometryError):
+            OrthoPolygon([Point(0, 0), Point(1, 0), Point(1, 1)])
+
+    def test_diagonal_edge_rejected(self):
+        with pytest.raises(GeometryError):
+            OrthoPolygon([Point(0, 0), Point(2, 0), Point(3, 1), Point(0, 1)])
+
+    def test_repeated_vertex_rejected(self):
+        with pytest.raises(GeometryError):
+            OrthoPolygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2), Point(0, 0)])
+
+    def test_non_alternating_rejected(self):
+        # collinear consecutive edges (two horizontal in a row)
+        with pytest.raises(GeometryError):
+            OrthoPolygon(
+                [Point(0, 0), Point(1, 0), Point(3, 0), Point(3, 2), Point(0, 2)]
+            )
+
+    def test_from_rect(self):
+        poly = OrthoPolygon.from_rect(Rect(1, 1, 4, 3))
+        assert poly.area == 6
+        assert len(poly.vertices) == 4
+
+    def test_from_degenerate_rect_rejected(self):
+        with pytest.raises(GeometryError):
+            OrthoPolygon.from_rect(Rect(1, 1, 1, 3))
+
+
+class TestMeasures:
+    def test_rectangle_area(self):
+        assert OrthoPolygon.from_rect(Rect(0, 0, 5, 4)).area == 20
+
+    def test_l_shape_area(self):
+        assert l_shape().area == 12
+
+    def test_u_shape_area(self):
+        assert u_shape().area == 18
+
+    def test_bounding_box(self):
+        assert l_shape().bounding_box == Rect(0, 0, 4, 4)
+
+    def test_edge_count_matches_vertices(self):
+        assert len(l_shape().edges) == 6
+
+
+class TestContainment:
+    def test_interior_point(self):
+        assert l_shape().contains_point(Point(1, 1), strict=True)
+
+    def test_notch_point_outside(self):
+        assert not l_shape().contains_point(Point(3, 3))
+        assert not u_shape().contains_point(Point(3, 3))
+
+    def test_boundary_closed_not_strict(self):
+        poly = l_shape()
+        assert poly.contains_point(Point(0, 2))
+        assert not poly.contains_point(Point(0, 2), strict=True)
+
+    def test_on_boundary(self):
+        poly = l_shape()
+        assert poly.on_boundary(Point(4, 1))
+        assert poly.on_boundary(Point(2, 3))  # the inner notch edge
+        assert not poly.on_boundary(Point(1, 1))
+
+    def test_u_arms_are_inside(self):
+        poly = u_shape()
+        assert poly.contains_point(Point(1, 3), strict=True)
+        assert poly.contains_point(Point(5, 3), strict=True)
+
+
+class TestDecomposition:
+    def test_rect_decomposes_to_itself(self):
+        rects = OrthoPolygon.from_rect(Rect(0, 0, 5, 4)).to_rects()
+        assert rects == [Rect(0, 0, 5, 4)]
+
+    def test_l_shape_decomposition_area(self):
+        rects = l_shape().to_rects()
+        assert sum(r.area for r in rects) == 12
+        assert all(isinstance(r, Rect) for r in rects)
+
+    def test_u_shape_decomposition_area(self):
+        rects = u_shape().to_rects()
+        assert sum(r.area for r in rects) == 18
+
+    def test_slabs_do_not_overlap(self):
+        rects = u_shape().to_rects()
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                assert not rects[i].intersects(rects[j], strict=True)
+
+    def test_decomposition_covers_interior_points(self):
+        poly = u_shape()
+        rects = poly.to_rects()
+        for x in range(7):
+            for y in range(5):
+                p = Point(x, y)
+                inside_poly = poly.contains_point(p, strict=True)
+                inside_rects = any(r.contains_point(p, strict=True) for r in rects)
+                if inside_poly:
+                    # Slab seams may cut through the interior, so a
+                    # strictly-interior polygon point is in some closed rect.
+                    assert any(r.contains_point(p) for r in rects)
+                if inside_rects:
+                    assert inside_poly

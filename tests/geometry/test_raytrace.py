@@ -1,0 +1,167 @@
+"""Unit tests for the obstacle set and ray tracer."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Direction, Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+BOUND = Rect(0, 0, 100, 100)
+
+
+def make_set(*rects: Rect) -> ObstacleSet:
+    return ObstacleSet(BOUND, rects)
+
+
+class TestPointQueries:
+    def test_free_space(self):
+        obs = make_set(Rect(10, 10, 20, 20))
+        assert obs.point_free(Point(5, 5))
+
+    def test_strict_interior_blocked(self):
+        obs = make_set(Rect(10, 10, 20, 20))
+        assert not obs.point_free(Point(15, 15))
+
+    def test_boundary_is_routable(self):
+        obs = make_set(Rect(10, 10, 20, 20))
+        assert obs.point_free(Point(10, 15))
+        assert obs.point_free(Point(20, 20))
+
+    def test_outside_bound_not_free(self):
+        assert not make_set().point_free(Point(101, 5))
+
+    def test_rects_touching(self):
+        obs = make_set(Rect(10, 10, 20, 20), Rect(20, 10, 30, 20))
+        touching = obs.rects_touching(Point(20, 15))
+        assert len(touching) == 2
+        assert obs.rects_touching(Point(50, 50)) == []
+
+
+class TestSegmentQueries:
+    def test_clear_segment(self):
+        obs = make_set(Rect(10, 10, 20, 20))
+        assert obs.segment_free(Segment.horizontal(5, 0, 100))
+
+    def test_crossing_segment_blocked(self):
+        obs = make_set(Rect(10, 10, 20, 20))
+        assert not obs.segment_free(Segment.horizontal(15, 0, 100))
+        assert not obs.segment_free(Segment.vertical(15, 0, 100))
+
+    def test_hugging_segment_clear(self):
+        obs = make_set(Rect(10, 10, 20, 20))
+        assert obs.segment_free(Segment.horizontal(10, 0, 100))
+        assert obs.segment_free(Segment.vertical(20, 0, 100))
+
+    def test_segment_leaving_bound_blocked(self):
+        assert not make_set().segment_free(Segment.horizontal(5, -5, 50))
+
+    def test_degenerate_segment(self):
+        obs = make_set(Rect(10, 10, 20, 20))
+        assert not obs.segment_free(Segment(Point(15, 15), Point(15, 15)))
+        assert obs.segment_free(Segment(Point(10, 15), Point(10, 15)))
+
+
+class TestRays:
+    def test_unobstructed_ray_reaches_bound(self):
+        obs = make_set()
+        hit = obs.first_hit(Point(50, 50), Direction.EAST)
+        assert hit.reach == Point(100, 50)
+        assert hit.obstacle is None
+        assert hit.distance == 50
+
+    def test_blocked_ray_stops_at_near_edge(self):
+        rect = Rect(60, 40, 80, 60)
+        obs = make_set(rect)
+        hit = obs.first_hit(Point(10, 50), Direction.EAST)
+        assert hit.reach == Point(60, 50)
+        assert hit.obstacle == rect
+        assert hit.blocked_by_cell
+
+    def test_all_four_directions(self):
+        rect = Rect(40, 40, 60, 60)
+        obs = make_set(rect)
+        center = Point(50, 30)
+        assert obs.first_hit(center, Direction.NORTH).reach == Point(50, 40)
+        assert obs.first_hit(center, Direction.SOUTH).reach == Point(50, 0)
+        assert obs.first_hit(center, Direction.EAST).reach == Point(100, 30)
+        assert obs.first_hit(center, Direction.WEST).reach == Point(0, 30)
+
+    def test_ray_slides_along_edge(self):
+        # travelling exactly on the rect's edge coordinate is not blocked
+        obs = make_set(Rect(40, 40, 60, 60))
+        hit = obs.first_hit(Point(0, 40), Direction.EAST)
+        assert hit.reach == Point(100, 40)
+
+    def test_ray_from_obstacle_edge_heading_in_is_blocked_immediately(self):
+        rect = Rect(40, 40, 60, 60)
+        obs = make_set(rect)
+        hit = obs.first_hit(Point(40, 50), Direction.EAST)
+        assert hit.reach == Point(40, 50)
+        assert hit.obstacle == rect
+        assert hit.distance == 0
+
+    def test_ray_from_obstacle_edge_heading_away(self):
+        obs = make_set(Rect(40, 40, 60, 60))
+        hit = obs.first_hit(Point(40, 50), Direction.WEST)
+        assert hit.reach == Point(0, 50)
+
+    def test_nearest_of_several_blocks(self):
+        obs = make_set(Rect(60, 0, 70, 100), Rect(30, 40, 40, 60))
+        hit = obs.first_hit(Point(0, 50), Direction.EAST)
+        assert hit.reach == Point(30, 50)
+
+    def test_origin_outside_bound_raises(self):
+        with pytest.raises(GeometryError):
+            make_set().first_hit(Point(200, 50), Direction.EAST)
+
+    def test_origin_inside_obstacle_raises(self):
+        obs = make_set(Rect(40, 40, 60, 60))
+        with pytest.raises(GeometryError):
+            obs.first_hit(Point(50, 50), Direction.EAST)
+
+    def test_clear_run(self):
+        obs = make_set(Rect(60, 40, 80, 60))
+        run = obs.clear_run(Point(10, 50), Direction.EAST)
+        assert run == Segment.horizontal(50, 10, 60)
+
+
+class TestMutation:
+    def test_add_invalidates_queries(self):
+        obs = make_set()
+        assert obs.segment_free(Segment.horizontal(50, 0, 100))
+        obs.add(Rect(40, 40, 60, 60))
+        assert not obs.segment_free(Segment.horizontal(50, 0, 100))
+
+    def test_remove_restores(self):
+        rect = Rect(40, 40, 60, 60)
+        obs = make_set(rect)
+        obs.remove(rect)
+        assert obs.segment_free(Segment.horizontal(50, 0, 100))
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(GeometryError):
+            make_set().remove(Rect(0, 0, 1, 1))
+
+    def test_add_many(self):
+        obs = make_set()
+        obs.add_many([Rect(10, 10, 20, 20), Rect(30, 30, 40, 40)])
+        assert len(obs.rects) == 2
+
+
+class TestEdgeIndexes:
+    def test_edge_coordinates_include_bound(self):
+        obs = make_set(Rect(10, 10, 20, 20))
+        assert set(obs.edge_xs) == {0, 10, 20, 100}
+        assert set(obs.edge_ys) == {0, 10, 20, 100}
+
+    def test_edge_coordinates_track_mutation(self):
+        obs = make_set()
+        obs.add(Rect(33, 44, 55, 66))
+        assert 33 in obs.edge_xs and 66 in obs.edge_ys
+
+    def test_degenerate_rect_never_blocks_but_registers_edges(self):
+        obs = make_set(Rect(50, 10, 50, 90))
+        assert obs.segment_free(Segment.horizontal(50, 0, 100))
+        assert 50 in obs.edge_xs

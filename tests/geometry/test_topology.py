@@ -1,0 +1,106 @@
+"""Unit tests for CoordIndex and the linked point mesh."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.topology import CoordIndex, LinkedPointMesh
+
+
+class TestCoordIndex:
+    def test_sorted_iteration(self):
+        idx = CoordIndex([5, 1, 3, 1])
+        assert list(idx) == [1, 3, 5]
+
+    def test_multiset_semantics(self):
+        idx = CoordIndex([4, 4])
+        idx.remove(4)
+        assert 4 in idx
+        idx.remove(4)
+        assert 4 not in idx
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(KeyError):
+            CoordIndex([1]).remove(9)
+
+    def test_between_open_default(self):
+        idx = CoordIndex([0, 2, 4, 6, 8])
+        assert idx.between(2, 6) == [4]
+
+    def test_between_inclusive_flags(self):
+        idx = CoordIndex([0, 2, 4, 6, 8])
+        assert idx.between(2, 6, include_lo=True) == [2, 4]
+        assert idx.between(2, 6, include_hi=True) == [4, 6]
+        assert idx.between(2, 6, include_lo=True, include_hi=True) == [2, 4, 6]
+
+    def test_between_swapped_bounds(self):
+        idx = CoordIndex([0, 2, 4])
+        assert idx.between(4, 0) == [2]
+
+    def test_nearest_queries(self):
+        idx = CoordIndex([0, 4, 9])
+        assert idx.nearest_at_or_below(5) == 4
+        assert idx.nearest_at_or_below(-1) is None
+        assert idx.nearest_at_or_above(5) == 9
+        assert idx.nearest_at_or_above(10) is None
+
+    def test_len(self):
+        assert len(CoordIndex([1, 1, 2])) == 2
+
+
+class TestLinkedPointMesh:
+    def test_x_order_ties_broken_by_y(self):
+        mesh = LinkedPointMesh()
+        mesh.insert(Point(1, 9))
+        mesh.insert(Point(1, 2))
+        mesh.insert(Point(0, 5))
+        points = [n.point for n in mesh.iter_x_order()]
+        assert points == [Point(0, 5), Point(1, 2), Point(1, 9)]
+
+    def test_y_order_ties_broken_by_x(self):
+        mesh = LinkedPointMesh()
+        mesh.insert(Point(9, 1))
+        mesh.insert(Point(2, 1))
+        mesh.insert(Point(5, 0))
+        points = [n.point for n in mesh.iter_y_order()]
+        assert points == [Point(5, 0), Point(2, 1), Point(9, 1)]
+
+    def test_remove_relinks_both_orders(self):
+        mesh = LinkedPointMesh()
+        nodes = [mesh.insert(Point(i, 10 - i)) for i in range(5)]
+        mesh.remove(nodes[2])
+        xs = [n.point.x for n in mesh.iter_x_order()]
+        ys = [n.point.y for n in mesh.iter_y_order()]
+        assert xs == [0, 1, 3, 4]
+        assert ys == [6, 7, 9, 10]
+
+    def test_remove_head(self):
+        mesh = LinkedPointMesh()
+        first = mesh.insert(Point(0, 0))
+        mesh.insert(Point(1, 1))
+        mesh.remove(first)
+        assert [n.point for n in mesh.iter_x_order()] == [Point(1, 1)]
+
+    def test_remove_foreign_node_raises(self):
+        mesh_a, mesh_b = LinkedPointMesh(), LinkedPointMesh()
+        node = mesh_a.insert(Point(0, 0))
+        with pytest.raises(GeometryError):
+            mesh_b.remove(node)
+
+    def test_duplicate_points_coexist(self):
+        mesh = LinkedPointMesh()
+        mesh.insert(Point(3, 3), owner="box")
+        mesh.insert(Point(3, 3), owner="wire")
+        assert len(mesh) == 2
+        assert set(mesh.owners_at(Point(3, 3))) == {"box", "wire"}
+
+    def test_points_helper(self):
+        mesh = LinkedPointMesh()
+        mesh.insert(Point(2, 0))
+        mesh.insert(Point(1, 0))
+        assert mesh.points() == [Point(1, 0), Point(2, 0)]
+
+    def test_owner_tagging(self):
+        mesh = LinkedPointMesh()
+        node = mesh.insert(Point(1, 1), owner=("net", "n1"))
+        assert node.owner == ("net", "n1")

@@ -1,0 +1,101 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.layout.io import layout_to_json
+
+
+@pytest.fixture
+def layout_file(tmp_path, small_layout):
+    path = tmp_path / "chip.json"
+    path.write_text(layout_to_json(small_layout), encoding="utf-8")
+    return path
+
+
+class TestGenerate:
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--cells", "5", "--nets", "4", "--seed", "1"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["cells"]) == 5
+        assert len(data["nets"]) == 4
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "gen.json"
+        assert main(["generate", "--cells", "6", "-o", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert len(data["cells"]) == 6
+
+    def test_generate_deterministic(self, capsys):
+        main(["generate", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["generate", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestRoute:
+    def test_route_basic(self, layout_file, capsys):
+        assert main(["route", str(layout_file)]) == 0
+        out = capsys.readouterr().out
+        assert "global routing" in out
+        assert "len/hpwl" in out
+
+    def test_route_two_pass(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--two-pass"]) == 0
+        assert "two-pass" in capsys.readouterr().out
+
+    def test_route_with_detail(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--detail"]) == 0
+        assert "detailed routing" in capsys.readouterr().out
+
+    def test_route_ascii(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--ascii"]) == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_route_svg(self, layout_file, tmp_path, capsys):
+        svg = tmp_path / "out.svg"
+        assert main(["route", str(layout_file), "--svg", str(svg)]) == 0
+        assert svg.read_text().startswith("<svg")
+
+    def test_route_aggressive_mode(self, layout_file):
+        assert main(["route", str(layout_file), "--mode", "aggressive"]) == 0
+
+    def test_route_inverted_corner(self, layout_file):
+        assert main(["route", str(layout_file), "--inverted-corner"]) == 0
+
+    def test_route_refine(self, layout_file):
+        assert main(["route", str(layout_file), "--refine"]) == 0
+
+    def test_route_two_pass_with_extra_passes(self, layout_file):
+        assert main(["route", str(layout_file), "--two-pass", "--passes", "3"]) == 0
+
+    def test_route_report(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--report", "--detail"]) == 0
+        out = capsys.readouterr().out
+        assert "nets by wirelength" in out
+        assert "detailed routing" in out
+
+    def test_route_skip_unroutable(self, layout_file):
+        assert main(["route", str(layout_file), "--skip-unroutable"]) == 0
+
+    def test_bad_layout_json_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["route", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRender:
+    def test_render(self, layout_file, capsys):
+        assert main(["render", str(layout_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("+")
+        assert "#" in out
+
+    def test_render_width(self, layout_file, capsys):
+        assert main(["render", str(layout_file), "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert max(len(line) for line in out.splitlines()) == 42

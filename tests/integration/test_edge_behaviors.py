@@ -1,0 +1,99 @@
+"""Edge-case behaviors across modules not covered elsewhere."""
+
+from repro.core.congestion import Passage
+from repro.core.escape import EscapeMode, escape_moves
+from repro.baselines.sequential import SequentialRouter
+from repro.cli import main
+from repro.geometry.point import Axis, Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.layout.pin import Pin
+from repro.layout.terminal import Terminal
+
+
+class TestHorizontalFlowPassages:
+    """Passage.carries for vertically adjacent cells (flow along X)."""
+
+    def passage(self) -> Passage:
+        return Passage(Rect(10, 26, 30, 30), Axis.X, ("lo", "hi"))
+
+    def test_carries_horizontal_wire_inside(self):
+        p = self.passage()
+        assert p.carries(Segment.horizontal(28, 0, 40))
+        assert p.carries(Segment.horizontal(26, 12, 18))  # hugging
+
+    def test_rejects_vertical_and_outside(self):
+        p = self.passage()
+        assert not p.carries(Segment.vertical(20, 0, 40))
+        assert not p.carries(Segment.horizontal(40, 0, 40))
+        assert not p.carries(Segment.horizontal(28, 30, 50))  # touches end only
+
+    def test_capacity_from_height(self):
+        assert self.passage().capacity == 5  # gap 4 + 1
+        assert self.passage().length == 20
+
+
+class TestEscapeAtBoundaries:
+    def test_origin_on_bound_corner(self):
+        obs = ObstacleSet(Rect(0, 0, 50, 50))
+        moves = escape_moves(Point(0, 0), obs, mode=EscapeMode.FULL)
+        points = {p for p, _d in moves}
+        assert points == {Point(50, 0), Point(0, 50)}
+
+    def test_origin_on_bound_edge_aggressive(self):
+        obs = ObstacleSet(Rect(0, 0, 50, 50))
+        moves = escape_moves(
+            Point(0, 25), obs, mode=EscapeMode.AGGRESSIVE, extra_xs=[30]
+        )
+        assert (Point(30, 25), ) [0] in {p for p, _d in moves}
+
+    def test_origin_squeezed_between_cell_and_bound(self):
+        obs = ObstacleSet(Rect(0, 0, 50, 50), [Rect(0, 10, 50, 40)])
+        # corridor y in [0, 10]: the cell's bottom edge is huggable
+        moves = escape_moves(Point(25, 10), obs, mode=EscapeMode.FULL)
+        assert all(obs.segment_free(Segment(Point(25, 10), p)) for p, _d in moves)
+        directions = {d for _p, d in moves}
+        assert len(directions) == 3  # north is blocked immediately
+
+
+class TestSequentialMultiTerminal:
+    def test_multi_terminal_nets_sequentially(self):
+        layout = Layout(Rect(0, 0, 100, 100))
+        layout.add_net(
+            Net(
+                "tri",
+                [
+                    Terminal("a", [Pin("a", Point(10, 10))]),
+                    Terminal("b", [Pin("b", Point(90, 10))]),
+                    Terminal("c", [Pin("c", Point(50, 90))]),
+                ],
+            )
+        )
+        layout.add_net(Net.two_point("bar", Point(0, 50), Point(100, 50)))
+        route = SequentialRouter(layout).route_all(["tri", "bar"])
+        assert route.routed_count == 2
+        # 'bar' must detour around tri's vertical trunk
+        assert route.tree("bar").total_length > 100
+
+
+class TestCliGeneratorKnobs:
+    def test_terminals_and_pins_ranges(self, tmp_path, capsys):
+        out = tmp_path / "multi.json"
+        code = main(
+            [
+                "generate", "--cells", "8", "--nets", "6", "--seed", "2",
+                "--terminals", "3", "4", "--pins", "2", "2",
+                "-o", str(out),
+            ]
+        )
+        assert code == 0
+        import json
+
+        data = json.loads(out.read_text())
+        for net in data["nets"]:
+            assert 3 <= len(net["terminals"]) <= 4
+            for term in net["terminals"]:
+                assert len(term["pins"]) == 2

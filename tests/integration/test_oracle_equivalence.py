@@ -1,0 +1,101 @@
+"""Admissibility sweeps: the router against independent oracles.
+
+The paper claims A* with the rectilinear-distance heuristic "will
+always find an optimal route".  These tests check that claim across
+randomized scenes against two oracles that share no code with the
+router: a networkx Dijkstra over the explicit track graph, and the
+Lee–Moore grid baseline (itself BFS-optimal on the unit grid).
+"""
+
+import random
+
+import pytest
+
+from repro.core.escape import EscapeMode
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.errors import UnroutableError
+from repro.baselines.leemoore import lee_moore_route
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.layout.generators import LayoutSpec, random_layout
+
+from tests.conftest import oracle_shortest_length
+
+
+def random_scene(seed: int, n_cells: int = 8) -> ObstacleSet:
+    layout = random_layout(
+        LayoutSpec(n_cells=n_cells, n_nets=1, surface=Rect(0, 0, 80, 80),
+                   cell_min=6, cell_max=18),
+        seed=seed,
+    )
+    return layout.obstacles()
+
+
+def random_free_point(obs: ObstacleSet, rng: random.Random) -> Point:
+    while True:
+        p = Point(rng.randint(0, 80), rng.randint(0, 80))
+        if obs.point_free(p):
+            return p
+
+
+@pytest.mark.parametrize("mode", [EscapeMode.FULL, EscapeMode.AGGRESSIVE])
+@pytest.mark.parametrize("seed", range(8))
+def test_matches_track_graph_oracle(mode, seed):
+    obs = random_scene(seed)
+    rng = random.Random(seed * 7 + 1)
+    for _case in range(4):
+        s = random_free_point(obs, rng)
+        d = random_free_point(obs, rng)
+        expected = oracle_shortest_length(obs, s, d)
+        request = PathRequest(
+            obstacles=obs, sources=[(s, 0.0)], targets=TargetSet(points=[d]), mode=mode
+        )
+        try:
+            result = find_path(request)
+        except UnroutableError:
+            assert expected is None
+            continue
+        assert result.path.length == expected, (
+            f"seed={seed} mode={mode.value} {s}->{d}: "
+            f"router {result.path.length} vs oracle {expected}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_matches_lee_moore_baseline(seed):
+    obs = random_scene(seed, n_cells=6)
+    rng = random.Random(seed * 13 + 3)
+    for _case in range(3):
+        s = random_free_point(obs, rng)
+        d = random_free_point(obs, rng)
+        request = PathRequest(
+            obstacles=obs, sources=[(s, 0.0)], targets=TargetSet(points=[d])
+        )
+        try:
+            gridless = find_path(request)
+        except UnroutableError:
+            continue
+        grid = lee_moore_route(obs, s, d)
+        assert gridless.path.length == grid.path.length
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_gridless_expands_far_fewer_nodes(seed):
+    """The headline efficiency claim, asserted as an invariant."""
+    obs = random_scene(seed)
+    rng = random.Random(seed + 100)
+    s = random_free_point(obs, rng)
+    d = random_free_point(obs, rng)
+    if s.manhattan(d) < 30:
+        d = Point(80 - s.x, 80 - s.y)
+        if not obs.point_free(d):
+            return
+    request = PathRequest(obstacles=obs, sources=[(s, 0.0)], targets=TargetSet(points=[d]))
+    try:
+        gridless = find_path(request)
+        grid = lee_moore_route(obs, s, d)
+    except UnroutableError:
+        return
+    assert gridless.stats.nodes_expanded * 5 < grid.stats.nodes_expanded

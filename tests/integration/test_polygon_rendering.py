@@ -1,0 +1,85 @@
+"""Integration tests: polygon cells through rendering and grid paths."""
+
+from repro.baselines.grid import GridProblem, RoutingGrid
+from repro.baselines.leemoore import lee_moore_route
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.geometry.orthpoly import OrthoPolygon
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.layout import Layout
+from repro.search.engine import Order, search
+from repro.analysis.render import render_layout
+from repro.analysis.svg import layout_to_svg
+
+
+def u_layout() -> Layout:
+    """One U-shaped macro whose mouth opens east."""
+    layout = Layout(Rect(0, 0, 80, 60))
+    layout.add_cell(
+        Cell(
+            "u",
+            OrthoPolygon(
+                [
+                    Point(15, 10), Point(45, 10), Point(45, 20), Point(25, 20),
+                    Point(25, 40), Point(45, 40), Point(45, 50), Point(15, 50),
+                ]
+            ),
+        )
+    )
+    return layout
+
+
+class TestPolygonRendering:
+    def test_ascii_renders_decomposed_shape(self):
+        art = render_layout(u_layout(), width=60)
+        assert "#" in art
+
+    def test_svg_renders_each_slab(self):
+        layout = u_layout()
+        svg = layout_to_svg(layout)
+        slabs = layout.cell("u").blocking_rects
+        # background + one rect per slab
+        assert svg.count("<rect") == 1 + len(slabs)
+
+
+class TestPolygonRouting:
+    def test_route_into_the_mouth(self):
+        layout = u_layout()
+        obs = layout.obstacles()
+        # target inside the U's mouth (free space between the arms)
+        result = find_path(
+            PathRequest(
+                obstacles=obs,
+                sources=[(Point(70, 30), 0.0)],
+                targets=TargetSet(points=[Point(30, 30)]),
+            )
+        )
+        for seg in result.path.segments:
+            assert obs.segment_free(seg)
+        assert result.path.length == 40  # straight into the mouth
+
+    def test_route_around_the_back(self):
+        layout = u_layout()
+        obs = layout.obstacles()
+        # from inside the mouth to behind the U: must exit east and wrap
+        result = find_path(
+            PathRequest(
+                obstacles=obs,
+                sources=[(Point(30, 30), 0.0)],
+                targets=TargetSet(points=[Point(5, 30)]),
+            )
+        )
+        assert result.path.length > Point(30, 30).manhattan(Point(5, 30))
+        grid = lee_moore_route(obs, Point(30, 30), Point(5, 30))
+        assert result.path.length == grid.path.length
+
+    def test_grid_problem_multi_source(self):
+        layout = u_layout()
+        grid = RoutingGrid(layout.obstacles())
+        sources = [grid.to_grid(Point(0, 0)), grid.to_grid(Point(70, 30))]
+        problem = GridProblem(grid, sources, grid.to_grid(Point(60, 30)))
+        result = search(problem, Order.A_STAR)
+        assert result.found
+        assert result.cost == 10  # the near source wins

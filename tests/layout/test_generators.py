@@ -1,0 +1,117 @@
+"""Unit tests for the synthetic layout/netlist generators."""
+
+import random
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.generators import (
+    LayoutSpec,
+    figure1_layout,
+    grid_layout,
+    random_layout,
+    random_netlist,
+)
+from repro.layout.validate import validate_layout
+
+
+class TestRandomLayout:
+    def test_produces_requested_counts(self):
+        layout = random_layout(LayoutSpec(n_cells=9, n_nets=7), seed=1)
+        assert len(layout.cells) == 9
+        assert len(layout.nets) == 7
+
+    def test_always_valid(self):
+        for seed in range(6):
+            layout = random_layout(
+                LayoutSpec(n_cells=10, n_nets=8, terminals_per_net=(2, 4)), seed=seed
+            )
+            validate_layout(layout, min_separation=2)
+
+    def test_deterministic_per_seed(self):
+        a = random_layout(LayoutSpec(n_cells=6, n_nets=4), seed=9)
+        b = random_layout(LayoutSpec(n_cells=6, n_nets=4), seed=9)
+        assert [c.bounding_box for c in a.cells] == [c.bounding_box for c in b.cells]
+        assert [n.all_pin_locations for n in a.nets] == [n.all_pin_locations for n in b.nets]
+
+    def test_different_seeds_differ(self):
+        a = random_layout(LayoutSpec(n_cells=6, n_nets=4), seed=1)
+        b = random_layout(LayoutSpec(n_cells=6, n_nets=4), seed=2)
+        assert [c.bounding_box for c in a.cells] != [c.bounding_box for c in b.cells]
+
+    def test_multi_terminal_and_multi_pin_generation(self):
+        layout = random_layout(
+            LayoutSpec(
+                n_cells=8, n_nets=10, terminals_per_net=(3, 5), pins_per_terminal=(2, 3)
+            ),
+            seed=5,
+        )
+        assert all(len(net.terminals) >= 3 for net in layout.nets)
+        assert any(t.is_multi_pin for net in layout.nets for t in net.terminals)
+
+    def test_impossible_density_raises(self):
+        spec = LayoutSpec(n_cells=50, cell_min=30, cell_max=40, density=0.99, separation=5)
+        with pytest.raises(LayoutError, match="dense"):
+            random_layout(spec, seed=0)
+
+    def test_pins_lie_on_their_cell_boundary(self):
+        layout = random_layout(LayoutSpec(n_cells=8, n_nets=10, pad_fraction=0.0), seed=2)
+        for net in layout.nets:
+            for term in net.terminals:
+                for pin in term.pins:
+                    assert pin.cell is not None
+                    assert layout.cell(pin.cell).on_boundary(pin.location)
+
+
+class TestRandomNetlist:
+    def test_netlist_over_existing_cells(self):
+        layout = grid_layout(2, 2)
+        nets = random_netlist(layout, 5, seed=3)
+        assert len(nets) == 5
+
+    def test_netlist_on_empty_layout_raises(self):
+        from repro.geometry.rect import Rect
+        from repro.layout.layout import Layout
+
+        with pytest.raises(LayoutError):
+            random_netlist(Layout(Rect(0, 0, 10, 10)), 3, seed=0)
+
+    def test_rng_object_overrides_seed(self):
+        layout = grid_layout(2, 2)
+        rng = random.Random(7)
+        a = random_netlist(layout, 3, rng=rng)
+        b = random_netlist(layout, 3, seed=7)
+        assert [n.all_pin_locations for n in a] == [n.all_pin_locations for n in b]
+
+
+class TestGridLayout:
+    def test_dimensions(self):
+        layout = grid_layout(2, 3, cell_width=10, cell_height=8, gap=4, margin=5)
+        assert len(layout.cells) == 6
+        assert layout.outline.width == 5 * 2 + 3 * 10 + 2 * 4
+        assert layout.outline.height == 5 * 2 + 2 * 8 + 1 * 4
+
+    def test_uniform_gaps(self):
+        layout = grid_layout(3, 3, gap=4)
+        validate_layout(layout, min_separation=4)
+        assert layout.min_cell_separation() == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(LayoutError):
+            grid_layout(0, 3)
+        with pytest.raises(LayoutError):
+            grid_layout(2, 2, gap=0)
+
+
+class TestFigure1:
+    def test_reconstruction_is_valid(self):
+        layout, start, dest = figure1_layout()
+        validate_layout(layout)
+        assert layout.outline.contains_point(start)
+        assert layout.outline.contains_point(dest)
+
+    def test_endpoints_in_free_space(self):
+        layout, start, dest = figure1_layout()
+        obs = layout.obstacles()
+        assert obs.point_free(start)
+        assert obs.point_free(dest)

@@ -1,0 +1,95 @@
+"""Unit tests for layout serialization."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.geometry.orthpoly import OrthoPolygon
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.generators import LayoutSpec, random_layout
+from repro.layout.io import (
+    layout_from_dict,
+    layout_from_json,
+    layout_to_dict,
+    layout_to_json,
+)
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.layout.pin import Pin
+from repro.layout.terminal import Terminal
+
+
+def sample_layout() -> Layout:
+    layout = Layout(Rect(0, 0, 60, 60))
+    layout.add_cell(Cell.rect("a", 5, 5, 10, 10))
+    layout.add_cell(
+        Cell(
+            "L",
+            OrthoPolygon(
+                [Point(30, 30), Point(50, 30), Point(50, 40), Point(40, 40),
+                 Point(40, 50), Point(30, 50)]
+            ),
+        )
+    )
+    layout.add_net(
+        Net(
+            "n0",
+            [
+                Terminal("s", [Pin("s.0", Point(5, 10), "a"), Pin("s.1", Point(15, 10), "a")]),
+                Terminal("d", [Pin("d.0", Point(30, 40), "L")]),
+            ],
+        )
+    )
+    return layout
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        layout = sample_layout()
+        restored = layout_from_dict(layout_to_dict(layout))
+        assert restored.outline == layout.outline
+        assert [c.name for c in restored.cells] == ["a", "L"]
+        assert restored.cell("L").area == layout.cell("L").area
+        assert restored.net("n0").pin_count == 3
+
+    def test_json_round_trip(self):
+        layout = sample_layout()
+        restored = layout_from_json(layout_to_json(layout))
+        assert layout_to_dict(restored) == layout_to_dict(layout)
+
+    def test_random_layout_round_trip(self):
+        layout = random_layout(LayoutSpec(n_cells=7, n_nets=5), seed=4)
+        restored = layout_from_json(layout_to_json(layout))
+        assert layout_to_dict(restored) == layout_to_dict(layout)
+
+    def test_pin_cell_references_survive(self):
+        restored = layout_from_dict(layout_to_dict(sample_layout()))
+        pins = list(restored.iter_pins())
+        assert {p.cell for p in pins} == {"a", "L"}
+
+
+class TestErrors:
+    def test_wrong_version(self):
+        data = layout_to_dict(sample_layout())
+        data["version"] = 99
+        with pytest.raises(LayoutError, match="version"):
+            layout_from_dict(data)
+
+    def test_missing_keys(self):
+        with pytest.raises(LayoutError):
+            layout_from_dict({"version": 1})
+
+    def test_cell_without_shape(self):
+        data = layout_to_dict(sample_layout())
+        del data["cells"][0]["rect"]
+        with pytest.raises(LayoutError):
+            layout_from_dict(data)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(LayoutError, match="JSON"):
+            layout_from_json("{not json")
+
+    def test_compact_json_mode(self):
+        text = layout_to_json(sample_layout(), indent=None)
+        assert "\n" not in text

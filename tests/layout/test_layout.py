@@ -1,0 +1,115 @@
+"""Unit tests for the Layout container."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+
+
+def basic_layout() -> Layout:
+    layout = Layout(Rect(0, 0, 100, 100))
+    layout.add_cell(Cell.rect("a", 10, 10, 20, 20))
+    layout.add_cell(Cell.rect("b", 50, 50, 20, 20))
+    return layout
+
+
+class TestConstruction:
+    def test_degenerate_outline_rejected(self):
+        with pytest.raises(LayoutError):
+            Layout(Rect(0, 0, 0, 100))
+
+    def test_duplicate_cell_rejected(self):
+        layout = basic_layout()
+        with pytest.raises(LayoutError):
+            layout.add_cell(Cell.rect("a", 80, 80, 5, 5))
+
+    def test_cell_outside_outline_rejected(self):
+        layout = basic_layout()
+        with pytest.raises(LayoutError):
+            layout.add_cell(Cell.rect("c", 95, 95, 20, 20))
+
+    def test_net_with_unknown_cell_rejected(self):
+        layout = basic_layout()
+        net = Net.two_point("n", Point(0, 0), Point(5, 5))
+        object.__setattr__(net.terminals[0].pins[0], "cell", "ghost")
+        with pytest.raises(LayoutError):
+            layout.add_net(net)
+
+    def test_duplicate_net_rejected(self):
+        layout = basic_layout()
+        layout.add_net(Net.two_point("n", Point(0, 0), Point(5, 5)))
+        with pytest.raises(LayoutError):
+            layout.add_net(Net.two_point("n", Point(1, 1), Point(2, 2)))
+
+    def test_constructor_accepts_contents(self):
+        layout = Layout(
+            Rect(0, 0, 50, 50),
+            cells=[Cell.rect("a", 5, 5, 10, 10)],
+            nets=[Net.two_point("n", Point(0, 0), Point(3, 3))],
+        )
+        assert len(layout.cells) == 1 and len(layout.nets) == 1
+
+
+class TestAccess:
+    def test_lookup(self):
+        layout = basic_layout()
+        assert layout.cell("a").name == "a"
+        with pytest.raises(LayoutError):
+            layout.cell("zz")
+
+    def test_net_lookup(self):
+        layout = basic_layout()
+        layout.add_net(Net.two_point("n", Point(0, 0), Point(5, 5)))
+        assert layout.net("n").name == "n"
+        with pytest.raises(LayoutError):
+            layout.net("zz")
+
+    def test_contains(self):
+        layout = basic_layout()
+        layout.add_net(Net.two_point("n", Point(0, 0), Point(5, 5)))
+        assert "a" in layout and "n" in layout and "zz" not in layout
+
+    def test_remove_net(self):
+        layout = basic_layout()
+        layout.add_net(Net.two_point("n", Point(0, 0), Point(5, 5)))
+        removed = layout.remove_net("n")
+        assert removed.name == "n"
+        assert len(layout.nets) == 0
+        with pytest.raises(LayoutError):
+            layout.remove_net("n")
+
+    def test_iter_pins(self):
+        layout = basic_layout()
+        layout.add_net(Net.two_point("n", Point(0, 0), Point(5, 5)))
+        assert len(list(layout.iter_pins())) == 2
+
+    def test_cell_at(self):
+        layout = basic_layout()
+        assert layout.cell_at(Point(15, 15)).name == "a"
+        assert layout.cell_at(Point(10, 15)).name == "a"  # boundary
+        assert layout.cell_at(Point(0, 0)) is None
+
+
+class TestViews:
+    def test_obstacles_snapshot(self):
+        layout = basic_layout()
+        obs = layout.obstacles()
+        assert len(obs.rects) == 2
+        # mutating the view must not affect the layout
+        obs.add(Rect(0, 0, 1, 1))
+        assert len(layout.obstacles().rects) == 2
+
+    def test_metrics(self):
+        layout = basic_layout()
+        assert layout.cell_area == 800
+        assert layout.utilization == pytest.approx(0.08)
+        # rectilinear gap: 20 in x plus 20 in y
+        assert layout.min_cell_separation() == 40
+
+    def test_min_separation_single_cell(self):
+        layout = Layout(Rect(0, 0, 50, 50), cells=[Cell.rect("a", 5, 5, 10, 10)])
+        assert layout.min_cell_separation() is None

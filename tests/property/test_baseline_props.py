@@ -1,0 +1,113 @@
+"""Property-based tests for the baseline routers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.errors import UnroutableError
+from repro.baselines.fallback import route_with_fallback
+from repro.baselines.hightower import hightower_route
+from repro.baselines.leemoore import lee_moore_route
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+
+SIZE = 40
+
+
+@st.composite
+def scenes_with_endpoints(draw):
+    n = draw(st.integers(min_value=0, max_value=5))
+    rects = []
+    for _ in range(n):
+        x0 = draw(st.integers(min_value=1, max_value=SIZE - 9))
+        y0 = draw(st.integers(min_value=1, max_value=SIZE - 9))
+        w = draw(st.integers(min_value=2, max_value=8))
+        h = draw(st.integers(min_value=2, max_value=8))
+        candidate = Rect(x0, y0, min(x0 + w, SIZE - 1), min(y0 + h, SIZE - 1))
+        if all(not candidate.inflated(1).intersects(r, strict=True) for r in rects):
+            rects.append(candidate)
+    obs = ObstacleSet(Rect(0, 0, SIZE, SIZE), rects)
+    free = st.builds(
+        Point,
+        st.integers(min_value=0, max_value=SIZE),
+        st.integers(min_value=0, max_value=SIZE),
+    ).filter(obs.point_free)
+    return obs, draw(free), draw(free)
+
+
+class TestHightowerProperties:
+    @given(scenes_with_endpoints())
+    @settings(max_examples=60, deadline=None)
+    def test_found_paths_always_legal(self, case):
+        obs, s, d = case
+        result = hightower_route(obs, s, d)
+        if result.found:
+            assert result.path.start == s and result.path.end == d
+            for seg in result.path.segments:
+                assert obs.segment_free(seg)
+
+    @given(scenes_with_endpoints())
+    @settings(max_examples=60, deadline=None)
+    def test_never_beats_the_optimum(self, case):
+        obs, s, d = case
+        probe = hightower_route(obs, s, d)
+        if not probe.found:
+            return
+        optimum = find_path(
+            PathRequest(obstacles=obs, sources=[(s, 0.0)], targets=TargetSet(points=[d]))
+        )
+        assert probe.path.length >= optimum.path.length
+
+    @given(scenes_with_endpoints())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, case):
+        obs, s, d = case
+        a = hightower_route(obs, s, d)
+        b = hightower_route(obs, s, d)
+        assert a.found == b.found
+        if a.found:
+            assert a.path.points == b.path.points
+
+
+class TestFallbackProperties:
+    @given(scenes_with_endpoints())
+    @settings(max_examples=40, deadline=None)
+    def test_combination_complete_and_legal(self, case):
+        obs, s, d = case
+        # scene generator keeps endpoints in open space; the fallback
+        # guarantees completeness, so this must never raise
+        result = route_with_fallback(obs, s, d, max_level=2, max_lines=16)
+        assert result.path.start == s and result.path.end == d
+        for seg in result.path.segments:
+            assert obs.segment_free(seg)
+
+    @given(scenes_with_endpoints())
+    @settings(max_examples=30, deadline=None)
+    def test_fallback_engine_is_optimal(self, case):
+        obs, s, d = case
+        result = route_with_fallback(obs, s, d, max_level=0, max_lines=2)
+        if result.engine == "line-search-a*":
+            optimum = find_path(
+                PathRequest(
+                    obstacles=obs, sources=[(s, 0.0)], targets=TargetSet(points=[d])
+                )
+            )
+            assert result.path.length == optimum.path.length
+
+
+class TestLeeMooreProperties:
+    @given(scenes_with_endpoints())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_gridless_optimum(self, case):
+        obs, s, d = case
+        try:
+            gridless = find_path(
+                PathRequest(
+                    obstacles=obs, sources=[(s, 0.0)], targets=TargetSet(points=[d])
+                )
+            )
+        except UnroutableError:
+            return
+        grid = lee_moore_route(obs, s, d)
+        assert grid.path.length == gridless.path.length

@@ -1,0 +1,97 @@
+"""Property-based tests for the congestion model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.congestion import find_passages, measure_congestion
+from repro.core.route import GlobalRoute, RoutePath, RouteTree
+from repro.core.router import GlobalRouter
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.layout import Layout
+
+SIZE = 60
+
+
+@st.composite
+def placed_layouts(draw):
+    layout = Layout(Rect(0, 0, SIZE, SIZE))
+    count = draw(st.integers(min_value=1, max_value=5))
+    rects: list[Rect] = []
+    for i in range(count):
+        x0 = draw(st.integers(min_value=2, max_value=SIZE - 12))
+        y0 = draw(st.integers(min_value=2, max_value=SIZE - 12))
+        w = draw(st.integers(min_value=4, max_value=10))
+        h = draw(st.integers(min_value=4, max_value=10))
+        candidate = Rect(x0, y0, min(x0 + w, SIZE - 2), min(y0 + h, SIZE - 2))
+        if all(candidate.inflated(2).separation(r) >= 0 and
+               not candidate.inflated(1).intersects(r, strict=True) for r in rects):
+            rects.append(candidate)
+            layout.add_cell(Cell(f"c{i}", candidate))
+    return layout
+
+
+class TestPassageProperties:
+    @given(placed_layouts())
+    @settings(max_examples=60, deadline=None)
+    def test_passages_have_positive_capacity_and_clear_regions(self, layout):
+        obs = layout.obstacles()
+        for passage in find_passages(layout):
+            assert passage.capacity >= 2  # gap >= 1 implies >= 2 tracks
+            assert passage.length >= 1
+            # the corridor interior must be free of cell interiors
+            center = passage.region.center
+            if passage.region.contains_point(center, strict=True):
+                assert obs.point_free(center)
+
+    @given(placed_layouts())
+    @settings(max_examples=60, deadline=None)
+    def test_no_symmetric_duplicates(self, layout):
+        passages = find_passages(layout)
+        keys = {(p.region, p.flow) for p in passages}
+        assert len(keys) == len(passages)
+
+    @given(placed_layouts())
+    @settings(max_examples=40, deadline=None)
+    def test_max_gap_is_monotone_filter(self, layout):
+        all_passages = find_passages(layout)
+        narrow = find_passages(layout, max_gap=5)
+        assert len(narrow) <= len(all_passages)
+        assert all(p.gap <= 5 for p in narrow)
+
+
+class TestMeasurementProperties:
+    @given(placed_layouts(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_usage_bounded_by_net_count(self, layout, n_nets):
+        route = GlobalRoute()
+        for i in range(n_nets):
+            tree = RouteTree(net_name=f"n{i}")
+            y = 5 + 7 * i
+            tree.paths.append(RoutePath((Point(0, y), Point(SIZE, y))))
+            route.trees[f"n{i}"] = tree
+        cmap = measure_congestion(find_passages(layout), route)
+        for entry in cmap.entries:
+            assert 0 <= entry.usage <= n_nets
+
+    @given(placed_layouts())
+    @settings(max_examples=25, deadline=None)
+    def test_affected_nets_subset_of_routed(self, layout):
+        from repro.layout.net import Net
+
+        outline = layout.outline
+        obs = layout.obstacles()
+        added = 0
+        attempt = 0
+        while added < 4 and attempt < 40:
+            attempt += 1
+            a = Point(2 + attempt, outline.y0)
+            b = Point(outline.x1 - 2, outline.y1 - attempt % 10)
+            if obs.point_free(a) and obs.point_free(b):
+                layout.add_net(Net.two_point(f"n{added}", a, b))
+                added += 1
+        if not layout.nets:
+            return
+        route = GlobalRouter(layout).route_all(on_unroutable="skip")
+        cmap = measure_congestion(find_passages(layout), route)
+        assert cmap.affected_nets() <= set(route.trees)

@@ -1,0 +1,82 @@
+"""Property-based round-trip tests for layout and route serialization."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.route_io import route_from_json, route_to_dict, route_to_json
+from repro.core.router import GlobalRouter
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.io import layout_from_json, layout_to_dict, layout_to_json
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.layout.pin import Pin
+from repro.layout.terminal import Terminal
+
+SIZE = 50
+
+
+@st.composite
+def layouts(draw):
+    layout = Layout(Rect(0, 0, SIZE, SIZE))
+    cells = []
+    n_cells = draw(st.integers(min_value=0, max_value=4))
+    for i in range(n_cells):
+        x0 = draw(st.integers(min_value=1, max_value=SIZE - 8))
+        y0 = draw(st.integers(min_value=1, max_value=SIZE - 8))
+        w = draw(st.integers(min_value=2, max_value=6))
+        h = draw(st.integers(min_value=2, max_value=6))
+        candidate = Rect(x0, y0, min(x0 + w, SIZE - 1), min(y0 + h, SIZE - 1))
+        if all(not candidate.inflated(1).intersects(c, strict=True) for c in cells):
+            cells.append(candidate)
+            layout.add_cell(Cell(f"c{i}", candidate))
+
+    free = st.builds(
+        Point,
+        st.integers(min_value=0, max_value=SIZE),
+        st.integers(min_value=0, max_value=SIZE),
+    ).filter(lambda p: not any(c.contains_point(p, strict=True) for c in cells))
+    n_nets = draw(st.integers(min_value=0, max_value=3))
+    for i in range(n_nets):
+        n_terms = draw(st.integers(min_value=2, max_value=3))
+        terminals = []
+        for t in range(n_terms):
+            n_pins = draw(st.integers(min_value=1, max_value=2))
+            pins = [
+                Pin(f"p{t}.{k}", draw(free)) for k in range(n_pins)
+            ]
+            terminals.append(Terminal(f"t{t}", pins))
+        layout.add_net(Net(f"n{i}", terminals))
+    return layout
+
+
+class TestLayoutIoProperties:
+    @given(layouts())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_identity_on_dicts(self, layout):
+        text = layout_to_json(layout)
+        restored = layout_from_json(text)
+        assert layout_to_dict(restored) == layout_to_dict(layout)
+
+    @given(layouts())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_structure(self, layout):
+        restored = layout_from_json(layout_to_json(layout))
+        assert restored.outline == layout.outline
+        assert [c.name for c in restored.cells] == [c.name for c in layout.cells]
+        assert [n.name for n in restored.nets] == [n.name for n in layout.nets]
+        for net in layout.nets:
+            assert restored.net(net.name).all_pin_locations == net.all_pin_locations
+
+
+class TestRouteIoProperties:
+    @given(layouts())
+    @settings(max_examples=25, deadline=None)
+    def test_routed_layouts_round_trip(self, layout):
+        if not layout.nets:
+            return
+        route = GlobalRouter(layout).route_all(on_unroutable="skip")
+        restored = route_from_json(route_to_json(route))
+        assert route_to_dict(restored) == route_to_dict(route)
+        assert restored.total_length == route.total_length
+        assert restored.total_bends == route.total_bends

@@ -1,0 +1,121 @@
+"""Property-based tests for the search engine."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.search.blind import breadth_first_search, exhaustive_search
+from repro.search.engine import Order, search
+from repro.search.problem import SearchProblem
+
+
+class DigraphProblem(SearchProblem):
+    def __init__(self, edges: dict, start, goal, heuristic=None):
+        self.edges = edges
+        self.start = start
+        self.goal = goal
+        self._h = heuristic or (lambda s: 0.0)
+
+    def start_states(self):
+        return [(self.start, 0.0)]
+
+    def is_goal(self, state):
+        return state == self.goal
+
+    def successors(self, state):
+        return self.edges.get(state, [])
+
+    def heuristic(self, state):
+        return self._h(state)
+
+
+@st.composite
+def random_weighted_graphs(draw):
+    """A random digraph plus start/goal node ids."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    edges: dict[int, list[tuple[int, float]]] = {i: [] for i in range(n)}
+    n_edges = draw(st.integers(min_value=1, max_value=min(30, n * (n - 1))))
+    for _ in range(n_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        w = draw(st.integers(min_value=0, max_value=20))
+        edges[u].append((v, float(w)))
+    start = 0
+    goal = n - 1
+    return edges, start, goal
+
+
+def nx_shortest(edges, start, goal):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(edges)
+    for u, succs in edges.items():
+        for v, w in succs:
+            if graph.has_edge(u, v):
+                graph[u][v]["weight"] = min(graph[u][v]["weight"], w)
+            else:
+                graph.add_edge(u, v, weight=w)
+    try:
+        return nx.dijkstra_path_length(graph, start, goal)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+
+
+class TestAgainstNetworkx:
+    @given(random_weighted_graphs())
+    @settings(max_examples=150, deadline=None)
+    def test_best_first_matches_dijkstra(self, case):
+        edges, start, goal = case
+        expected = nx_shortest(edges, start, goal)
+        result = search(DigraphProblem(edges, start, goal), Order.BEST_FIRST)
+        if expected is None:
+            assert not result.found
+        else:
+            assert result.found and result.cost == expected
+
+    @given(random_weighted_graphs())
+    @settings(max_examples=150, deadline=None)
+    def test_astar_zero_heuristic_matches_dijkstra(self, case):
+        edges, start, goal = case
+        expected = nx_shortest(edges, start, goal)
+        result = search(DigraphProblem(edges, start, goal), Order.A_STAR)
+        if expected is None:
+            assert not result.found
+        else:
+            assert result.cost == expected
+
+    @given(random_weighted_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_exhaustive_matches_dijkstra(self, case):
+        edges, start, goal = case
+        expected = nx_shortest(edges, start, goal)
+        result = exhaustive_search(DigraphProblem(edges, start, goal))
+        if expected is None:
+            assert not result.found
+        else:
+            assert result.cost == expected
+
+
+class TestPathInvariants:
+    @given(random_weighted_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_path_cost_consistency(self, case):
+        """The returned path's edge costs must sum to the returned cost."""
+        edges, start, goal = case
+        result = search(DigraphProblem(edges, start, goal), Order.BEST_FIRST)
+        if not result.found:
+            return
+        total = 0.0
+        path = result.path
+        for u, v in zip(path, path[1:]):
+            best = min(w for succ, w in edges[u] if succ == v)
+            total += best
+        assert total == result.cost
+
+    @given(random_weighted_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_bfs_finds_goal_iff_reachable(self, case):
+        edges, start, goal = case
+        expected = nx_shortest(edges, start, goal)
+        result = breadth_first_search(DigraphProblem(edges, start, goal))
+        assert result.found == (expected is not None)

@@ -1,0 +1,101 @@
+"""Unit tests for depth-first, breadth-first, and exhaustive wrappers."""
+
+from repro.search.blind import breadth_first_search, depth_first_search, exhaustive_search
+from repro.search.engine import Order, search
+from repro.search.problem import SearchProblem
+
+
+class GridProblem(SearchProblem):
+    """Small open grid with four-neighbour moves, unit cost."""
+
+    def __init__(self, size, start, goal, blocked=frozenset()):
+        self.size = size
+        self.start = start
+        self.goal = goal
+        self.blocked = blocked
+
+    def start_states(self):
+        return [(self.start, 0.0)]
+
+    def is_goal(self, state):
+        return state == self.goal
+
+    def successors(self, state):
+        x, y = state
+        for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+            if 0 <= nx < self.size and 0 <= ny < self.size and (nx, ny) not in self.blocked:
+                yield (nx, ny), 1.0
+
+    def heuristic(self, state):
+        return abs(state[0] - self.goal[0]) + abs(state[1] - self.goal[1])
+
+
+class TestBreadthFirst:
+    def test_optimal_on_unit_grid(self):
+        result = breadth_first_search(GridProblem(8, (0, 0), (5, 3)))
+        assert result.found
+        assert result.cost == 8  # BFS = shortest hops = shortest unit cost
+
+    def test_handles_obstacles(self):
+        blocked = frozenset({(3, y) for y in range(7)})
+        result = breadth_first_search(GridProblem(8, (0, 0), (6, 0), blocked))
+        assert result.found
+        assert result.cost == 6 + 2 * 7  # detour over the wall
+
+    def test_unreachable(self):
+        blocked = frozenset({(3, y) for y in range(8)})
+        result = breadth_first_search(GridProblem(8, (0, 0), (6, 0), blocked))
+        assert not result.found
+        assert result.stats.termination == "exhausted"
+
+
+class TestDepthFirst:
+    def test_finds_some_path(self):
+        result = depth_first_search(GridProblem(6, (0, 0), (5, 5)))
+        assert result.found
+        assert result.cost >= 10  # at least the Manhattan distance
+
+    def test_depth_limit_prunes(self):
+        result = depth_first_search(GridProblem(6, (0, 0), (5, 5)), depth_limit=3)
+        assert not result.found
+
+    def test_depth_limit_generous_enough(self):
+        result = depth_first_search(GridProblem(6, (0, 0), (2, 0)), depth_limit=40)
+        assert result.found
+
+    def test_node_limit(self):
+        result = depth_first_search(GridProblem(20, (0, 0), (19, 19)), node_limit=3)
+        assert not result.found
+        assert result.stats.termination == "limit"
+
+    def test_each_state_expanded_at_most_once(self):
+        problem = GridProblem(5, (0, 0), (4, 4))
+        result = search(problem, Order.DEPTH_FIRST, trace=True)
+        if result.trace is not None:
+            states = result.trace.states
+            assert len(states) == len(set(states))
+
+
+class TestExhaustive:
+    def test_matches_astar_cost(self):
+        problem = GridProblem(6, (0, 0), (4, 2))
+        astar = search(problem, Order.A_STAR)
+        exhaustive = exhaustive_search(problem)
+        assert exhaustive.found
+        assert exhaustive.cost == astar.cost
+
+    def test_expands_everything_reachable(self):
+        problem = GridProblem(5, (0, 0), (4, 4))
+        result = exhaustive_search(problem)
+        # all 25 cells reachable; exhaustive search expands each once
+        assert result.stats.nodes_expanded == 25
+
+
+class TestStrategyOrdering:
+    def test_astar_beats_blind_on_node_count(self):
+        problem = GridProblem(15, (0, 0), (14, 7))
+        astar = search(problem, Order.A_STAR)
+        bfs = breadth_first_search(problem)
+        assert astar.found and bfs.found
+        assert astar.cost == bfs.cost
+        assert astar.stats.nodes_expanded < bfs.stats.nodes_expanded

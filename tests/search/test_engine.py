@@ -1,0 +1,195 @@
+"""Unit tests for the OPEN/CLOSED search engine."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.search.engine import Order, search
+from repro.search.problem import SearchProblem
+
+
+class GraphProblem(SearchProblem):
+    """Explicit weighted digraph for precise engine behaviour checks."""
+
+    def __init__(self, edges, start, goal, heuristic=None):
+        self.edges = edges  # dict node -> list[(succ, cost)]
+        self.start = start
+        self.goal = goal
+        self._h = heuristic or {}
+
+    def start_states(self):
+        if isinstance(self.start, list):
+            return self.start
+        return [(self.start, 0.0)]
+
+    def is_goal(self, state):
+        return state == self.goal
+
+    def successors(self, state):
+        return self.edges.get(state, [])
+
+    def heuristic(self, state):
+        return self._h.get(state, 0.0)
+
+
+def diamond() -> GraphProblem:
+    """s -> a(1) -> d(1); s -> b(4) -> d(1): optimal cost 2 via a."""
+    return GraphProblem(
+        {"s": [("a", 1), ("b", 4)], "a": [("d", 1)], "b": [("d", 1)]}, "s", "d"
+    )
+
+
+class TestAStar:
+    def test_finds_optimal(self):
+        result = search(diamond(), Order.A_STAR)
+        assert result.found
+        assert result.cost == 2
+        assert result.path == ["s", "a", "d"]
+
+    def test_no_path(self):
+        problem = GraphProblem({"s": [("a", 1)]}, "s", "zzz")
+        result = search(problem, Order.A_STAR)
+        assert not result.found
+        assert result.stats.termination == "exhausted"
+
+    def test_cost_and_path_raise_when_not_found(self):
+        problem = GraphProblem({}, "s", "zzz")
+        result = search(problem, Order.A_STAR)
+        with pytest.raises(SearchError):
+            _ = result.cost
+        with pytest.raises(SearchError):
+            _ = result.path
+
+    def test_reopening_closed_nodes(self):
+        # Admissible but inconsistent heuristic: b is expanded with
+        # g=3 (via s) before the cheaper g=2 route via a is found, so b
+        # must move from CLOSED back to OPEN ("pointers redirected").
+        problem = GraphProblem(
+            {
+                "s": [("a", 1), ("b", 3)],
+                "a": [("b", 1)],
+                "b": [("d", 10)],
+            },
+            "s",
+            "d",
+            # true remaining costs: a->d = 11, b->d = 10, so h is a
+            # lower bound everywhere yet drops by 9 along a->b (cost 1).
+            heuristic={"s": 0, "a": 10, "b": 1, "d": 0},
+        )
+        result = search(problem, Order.A_STAR)
+        assert result.cost == 12
+        assert result.path == ["s", "a", "b", "d"]
+        assert result.stats.nodes_reopened >= 1
+
+    def test_goal_test_at_expansion_not_generation(self):
+        # First-generated path to d costs 10; the admissible stop at
+        # *expansion* must still return the cost-2 path.
+        problem = GraphProblem(
+            {"s": [("d", 10), ("a", 1)], "a": [("d", 1)]}, "s", "d"
+        )
+        result = search(problem, Order.A_STAR)
+        assert result.cost == 2
+
+    def test_multi_source(self):
+        problem = GraphProblem(
+            {"s1": [("d", 10)], "s2": [("d", 1)]},
+            [("s1", 0.0), ("s2", 0.0)],
+            "d",
+        )
+        result = search(problem, Order.A_STAR)
+        assert result.cost == 1
+        assert result.path == ["s2", "d"]
+
+    def test_multi_source_with_initial_costs(self):
+        problem = GraphProblem(
+            {"s1": [("d", 1)], "s2": [("d", 1)]},
+            [("s1", 5.0), ("s2", 0.0)],
+            "d",
+        )
+        result = search(problem, Order.A_STAR)
+        assert result.cost == 1
+
+    def test_negative_edge_rejected(self):
+        problem = GraphProblem({"s": [("d", -1)]}, "s", "d")
+        with pytest.raises(SearchError, match="negative"):
+            search(problem, Order.A_STAR)
+
+    def test_negative_start_cost_rejected(self):
+        problem = GraphProblem({}, [("s", -1.0)], "s")
+        with pytest.raises(SearchError, match="negative"):
+            search(problem, Order.A_STAR)
+
+    def test_node_limit(self):
+        chain = {i: [(i + 1, 1)] for i in range(100)}
+        problem = GraphProblem(chain, 0, 100)
+        result = search(problem, Order.A_STAR, node_limit=5)
+        assert not result.found
+        assert result.stats.termination == "limit"
+        assert result.stats.nodes_expanded == 5
+
+    def test_start_equals_goal(self):
+        problem = GraphProblem({}, "s", "s")
+        result = search(problem, Order.A_STAR)
+        assert result.found and result.cost == 0 and result.path == ["s"]
+
+    def test_trace_records_expansions_with_parents(self):
+        result = search(diamond(), Order.A_STAR, trace=True)
+        assert result.trace is not None
+        states = result.trace.states
+        assert states[0] == "s"
+        parents = dict(result.trace.entries)
+        assert parents["a"] == "s"
+
+
+class TestBestFirst:
+    def test_ignores_heuristic(self):
+        # A misleading (inadmissible) heuristic must not affect best-first.
+        problem = GraphProblem(
+            {"s": [("a", 1), ("b", 4)], "a": [("d", 1)], "b": [("d", 1)]},
+            "s",
+            "d",
+            heuristic={"a": 1000},
+        )
+        result = search(problem, Order.BEST_FIRST)
+        assert result.cost == 2
+
+    def test_expands_in_g_order(self):
+        problem = diamond()
+        result = search(problem, Order.BEST_FIRST, trace=True)
+        gs = []
+        seen = {"s": 0, "a": 1, "b": 4, "d": 2}
+        for state in result.trace.states:
+            gs.append(seen[state])
+        assert gs == sorted(gs)
+
+
+class TestExhaustive:
+    def test_exhaustive_finds_best_goal(self):
+        problem = diamond()
+        result = search(problem, Order.BEST_FIRST, exhaustive=True)
+        assert result.found and result.cost == 2
+        assert result.stats.termination == "goal"
+
+    def test_exhaustive_expands_more(self):
+        problem = diamond()
+        normal = search(problem, Order.BEST_FIRST)
+        exhaustive = search(problem, Order.BEST_FIRST, exhaustive=True)
+        assert exhaustive.stats.nodes_expanded >= normal.stats.nodes_expanded
+
+
+class TestStats:
+    def test_counters_populated(self):
+        result = search(diamond(), Order.A_STAR)
+        stats = result.stats
+        assert stats.nodes_expanded >= 2
+        assert stats.nodes_generated >= 3
+        assert stats.max_open_size >= 1
+        assert stats.elapsed_seconds >= 0
+        assert stats.termination == "goal"
+
+    def test_merged_with(self):
+        a = search(diamond(), Order.A_STAR).stats
+        b = search(diamond(), Order.BEST_FIRST).stats
+        merged = a.merged_with(b)
+        assert merged.nodes_expanded == a.nodes_expanded + b.nodes_expanded
+        assert merged.max_open_size == max(a.max_open_size, b.max_open_size)
+        assert merged.termination == "goal"
