@@ -40,11 +40,18 @@ from repro.layout import (
 )
 from repro.search import Order, SearchProblem, SearchStats, search
 from repro.core import (
+    CongestionHistory,
+    CongestionMap,
     CostModel,
     EscapeMode,
     GlobalRoute,
     GlobalRouter,
     InvertedCornerCost,
+    IterationStats,
+    NegotiatedCongestionCost,
+    NegotiatedRouter,
+    NegotiationConfig,
+    NegotiationResult,
     PathRequest,
     RoutePath,
     RouteTree,
@@ -73,6 +80,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Cell",
+    "CongestionHistory",
+    "CongestionMap",
     "CostModel",
     "DetailedResult",
     "DetailedRouter",
@@ -83,9 +92,14 @@ __all__ = [
     "GlobalRouter",
     "Interval",
     "InvertedCornerCost",
+    "IterationStats",
     "Layout",
     "LayoutError",
     "LayoutSpec",
+    "NegotiatedCongestionCost",
+    "NegotiatedRouter",
+    "NegotiationConfig",
+    "NegotiationResult",
     "Net",
     "ObstacleSet",
     "Order",

@@ -7,7 +7,8 @@ Python:
     Produce a random general-cell layout as JSON.
 ``route``
     Globally route a layout JSON; optionally run the congestion
-    two-pass and the detailed phase; print the summary; optionally
+    two-pass or the negotiated rip-up-and-reroute loop (with parallel
+    net fan-out) and the detailed phase; print the summary; optionally
     write ASCII art and/or SVG.
 ``render``
     ASCII-render a layout JSON (with no routing).
@@ -16,6 +17,7 @@ Example::
 
     python -m repro generate --cells 12 --nets 10 --seed 7 -o chip.json
     python -m repro route chip.json --two-pass --detail --svg chip.svg
+    python -m repro route chip.json --negotiate 20 --workers 4
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.escape import EscapeMode
+from repro.core.negotiate import NegotiationConfig
 from repro.core.router import GlobalRouter, RouterConfig
 from repro.detail.detailed import DetailedRouter
 from repro.errors import ReproError
@@ -70,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="congestion-penalized second pass")
     route.add_argument("--passes", type=int, default=2,
                        help="repasses for --two-pass (default 2)")
+    route.add_argument("--negotiate", type=int, default=0, metavar="N",
+                       help="negotiated rip-up-and-reroute with at most N "
+                            "iterations (0 disables; excludes --two-pass)")
+    route.add_argument("--workers", type=int, default=1, metavar="K",
+                       help="parallel net fan-out over K worker processes "
+                            "(default 1 = serial)")
     route.add_argument("--detail", action="store_true",
                        help="also run the detailed router")
     route.add_argument("--report", action="store_true",
@@ -130,12 +139,17 @@ def _load_layout(path: str) -> Layout:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
+    if args.two_pass and args.negotiate:
+        raise ReproError("--two-pass and --negotiate are mutually exclusive")
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
     layout = _load_layout(args.layout)
     validate_layout(layout)
     config = RouterConfig(
         mode=EscapeMode.FULL if args.mode == "full" else EscapeMode.AGGRESSIVE,
         inverted_corner=args.inverted_corner,
         refine=args.refine,
+        workers=args.workers,
     )
     router = GlobalRouter(layout, config)
     on_unroutable = "skip" if args.skip_unroutable else "raise"
@@ -145,6 +159,37 @@ def _cmd_route(args: argparse.Namespace) -> int:
         route = result.final
         print(
             f"two-pass: overflow {result.congestion_before.total_overflow} -> "
+            f"{result.congestion_after.total_overflow}, "
+            f"{len(result.rerouted_nets)} nets rerouted"
+        )
+    elif args.negotiate:
+        result = router.route_negotiated(
+            NegotiationConfig(max_iterations=args.negotiate),
+            on_unroutable=on_unroutable,
+        )
+        route = result.final
+        rows = [
+            [
+                it.iteration,
+                it.overflowed_passages,
+                it.total_overflow,
+                it.max_overflow,
+                it.wirelength,
+                it.rerouted,
+                f"{it.elapsed_seconds * 1e3:.1f}",
+            ]
+            for it in result.iterations
+        ]
+        print(format_table(
+            ["iter", "passages over", "overflow", "max", "wirelength",
+             "rerouted", "t ms"],
+            rows,
+            title="negotiated congestion",
+        ))
+        status = "converged" if result.converged else "budget exhausted"
+        print(
+            f"negotiation {status}: overflow "
+            f"{result.congestion_before.total_overflow} -> "
             f"{result.congestion_after.total_overflow}, "
             f"{len(result.rerouted_nets)} nets rerouted"
         )

@@ -7,11 +7,15 @@ Public surface:
 * :func:`~repro.core.steiner.route_net` — a whole multi-terminal /
   multi-pin net as an approximate Steiner tree.
 * :class:`~repro.core.router.GlobalRouter` — all nets of a layout,
-  independently routed, with the optional congestion-driven second
-  pass from the paper's Conclusions.
+  independently routed (optionally fanned out over worker processes),
+  with the optional congestion-driven second pass from the paper's
+  Conclusions.
+* :class:`~repro.core.negotiate.NegotiatedRouter` — the PathFinder-
+  style generalization of that sketch: iterated rip-up-and-reroute
+  under present-usage × accumulated-history congestion costs.
 * Cost models (:mod:`repro.core.costs`) — the "generalized cost
   function concept": wirelength, inverted-corner epsilon, bend/via
-  penalties, congestion penalties.
+  penalties, congestion penalties (fixed and negotiated).
 """
 
 from repro.core.escape import EscapeMode, escape_moves
@@ -20,12 +24,25 @@ from repro.core.costs import (
     CongestionPenaltyCost,
     CostModel,
     InvertedCornerCost,
+    NegotiatedCongestionCost,
     WirelengthCost,
 )
 from repro.core.route import GlobalRoute, RoutePath, RouteTree, TargetSet
 from repro.core.pathfinder import PathRequest, find_path
 from repro.core.steiner import route_net
-from repro.core.congestion import CongestionMap, Passage, find_passages, measure_congestion
+from repro.core.congestion import (
+    CongestionHistory,
+    CongestionMap,
+    Passage,
+    find_passages,
+    measure_congestion,
+)
+from repro.core.negotiate import (
+    IterationStats,
+    NegotiatedRouter,
+    NegotiationConfig,
+    NegotiationResult,
+)
 from repro.core.router import GlobalRouter, RouterConfig, TwoPassResult
 from repro.core.feedback import FeedbackResult, adjust_placement, move_cell
 from repro.core.refine import refine_tree
@@ -38,6 +55,7 @@ from repro.core.route_io import (
 
 __all__ = [
     "BendPenaltyCost",
+    "CongestionHistory",
     "CongestionMap",
     "CongestionPenaltyCost",
     "CostModel",
@@ -45,6 +63,11 @@ __all__ = [
     "FeedbackResult",
     "GlobalRoute",
     "GlobalRouter",
+    "IterationStats",
+    "NegotiatedCongestionCost",
+    "NegotiatedRouter",
+    "NegotiationConfig",
+    "NegotiationResult",
     "adjust_placement",
     "move_cell",
     "InvertedCornerCost",

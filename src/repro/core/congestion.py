@@ -203,6 +203,16 @@ class PassageUsage:
         """Nets beyond capacity (0 when within capacity)."""
         return max(0, self.usage - self.passage.capacity)
 
+    @property
+    def overuse(self) -> float:
+        """PathFinder's present-sharing term, relative to capacity.
+
+        ``max(0, usage + 1 - capacity) / capacity``: positive as soon
+        as the passage has no room for one more net, so full passages
+        already repel newcomers before they overflow.
+        """
+        return max(0, self.usage + 1 - self.passage.capacity) / self.passage.capacity
+
 
 @dataclass
 class CongestionMap:
@@ -219,6 +229,16 @@ class CongestionMap:
     def total_overflow(self) -> int:
         """Summed overflow over all passages."""
         return sum(e.overflow for e in self.entries)
+
+    @property
+    def overflow_count(self) -> int:
+        """Number of passages loaded beyond capacity."""
+        return len(self.overflowed())
+
+    @property
+    def max_overflow(self) -> int:
+        """Worst single-passage overflow (0 when everything fits)."""
+        return max((e.overflow for e in self.entries), default=0)
 
     def overflowed(self) -> list[PassageUsage]:
         """Passages loaded beyond capacity."""
@@ -242,6 +262,62 @@ class CongestionMap:
             overload = entry.usage / entry.passage.capacity
             regions.append((entry.passage.region, weight * overload))
         return regions
+
+
+@dataclass
+class CongestionHistory:
+    """Accumulated per-passage overflow history — PathFinder's *h* term.
+
+    The two-pass scheme forgets: a passage that overflowed in round one
+    but drained in round two exerts no force in round three, so nets
+    oscillate back in.  Negotiated congestion (McMurchie & Ebeling's
+    PathFinder, and both cgra_pnr routers) fixes this by accumulating a
+    monotone history value per congested resource; the penalty a
+    passage exerts grows with every iteration it spends over capacity,
+    so repeat offenders become ever more expensive and the negotiation
+    converges instead of cycling.
+
+    Values are keyed by the (hashable) :class:`Passage` itself and
+    never decrease; :meth:`update` folds in one iteration's measured
+    overflow, scaled by ``gain``.
+    """
+
+    gain: float = 1.0
+    values: dict[Passage, float] = field(default_factory=dict)
+
+    def value(self, passage: Passage) -> float:
+        """Accumulated history of *passage* (0.0 if it never overflowed)."""
+        return self.values.get(passage, 0.0)
+
+    def update(self, congestion: CongestionMap) -> None:
+        """Fold one iteration's overflow into the history.
+
+        Each overflowed passage gains ``gain * overflow / capacity``,
+        so badly overloaded narrow passages build history fastest.
+        History is monotone: passages that stopped overflowing keep
+        what they accrued.
+        """
+        for entry in congestion.overflowed():
+            self.values[entry.passage] = self.value(entry.passage) + self.gain * (
+                entry.overflow / entry.passage.capacity
+            )
+
+    def penalty_terms(self, congestion: CongestionMap) -> list[tuple[Rect, float, float]]:
+        """``(region, present, history)`` terms for the negotiated cost.
+
+        One term per passage that is presently out of room
+        (:attr:`PassageUsage.overuse` > 0) *or* carries history; the
+        history term keeps repelling even after a passage drains, which
+        is what stops ripped-up nets from oscillating straight back.
+        Terms follow the congestion map's entry order, so identical
+        inputs yield an identical (deterministic) cost model.
+        """
+        terms: list[tuple[Rect, float, float]] = []
+        for entry in congestion.entries:
+            history = self.value(entry.passage)
+            if entry.overuse > 0 or history > 0:
+                terms.append((entry.passage.region, entry.overuse, history))
+        return terms
 
 
 def measure_congestion(passages: Iterable[Passage], route: GlobalRoute) -> CongestionMap:

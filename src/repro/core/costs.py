@@ -156,6 +156,72 @@ class CongestionPenaltyCost(CostModel):
         return self.base.bend_cost(at, incoming, outgoing)
 
 
+class NegotiatedCongestionCost(CongestionPenaltyCost):
+    """PathFinder-style negotiated congestion surcharge.
+
+    Where :class:`CongestionPenaltyCost` takes fixed region weights,
+    this model derives each region's per-unit-length weight from the
+    negotiation state, in PathFinder's multiplicative form
+    ``cost = (base + history) * present``.  With the base unit of wire
+    already priced by the underlying model, the *surcharge* per unit
+    of wire inside a region is::
+
+        weight = (1 + history_weight * history)
+                 * (1 + present_weight * present) - 1
+
+    The present term repels nets from passages that have no room right
+    now; the history term makes passages that keep overflowing
+    progressively more expensive across iterations — and keeps
+    repelling even when the present term drops to zero, which is what
+    breaks the oscillation the plain two-pass scheme is prone to.  All
+    weights are >= 0, so the model still dominates pure wirelength and
+    A* stays admissible.
+
+    Parameters
+    ----------
+    terms:
+        ``(region, present, history)`` triples, typically from
+        :meth:`repro.core.congestion.CongestionHistory.penalty_terms`.
+    present_weight, history_weight:
+        Scale factors for the two terms (both must be >= 0).
+    base:
+        Underlying model to surcharge (default plain wirelength).
+    """
+
+    def __init__(
+        self,
+        terms: Sequence[tuple[Rect, float, float]],
+        *,
+        present_weight: float = 1.0,
+        history_weight: float = 2.0,
+        base: Optional[CostModel] = None,
+    ):
+        terms = list(terms)
+        if present_weight < 0:
+            raise RoutingError(f"present_weight must be >= 0, got {present_weight}")
+        if history_weight < 0:
+            raise RoutingError(f"history_weight must be >= 0, got {history_weight}")
+        for region, present, history in terms:
+            if present < 0 or history < 0:
+                raise RoutingError(
+                    f"negotiated terms must be >= 0, got ({present}, {history}) for {region}"
+                )
+        self.terms = terms
+        self.present_weight = present_weight
+        self.history_weight = history_weight
+        regions = [
+            (region, self.region_weight(present, history))
+            for region, present, history in terms
+        ]
+        super().__init__(regions, base=base)
+
+    def region_weight(self, present: float, history: float) -> float:
+        """The derived per-unit-length weight for one ``(present, history)``."""
+        return (1.0 + self.history_weight * history) * (
+            1.0 + self.present_weight * present
+        ) - 1.0
+
+
 def _overlap_length(seg: Segment, region: Rect) -> int:
     """Length of *seg* lying within the closed *region*.
 

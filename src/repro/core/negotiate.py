@@ -1,0 +1,267 @@
+"""Negotiated-congestion rip-up-and-reroute — the iterated generalization.
+
+The paper's Conclusions sketch exactly one feedback round: "A first-pass
+route of all nets would reveal congested areas. ... A second route of
+the affected nets could penalize those paths which chose the congested
+area."  :meth:`GlobalRouter.route_two_pass` reproduces that sketch; this
+module grows it into the scheme the field converged on a few years
+later (McMurchie & Ebeling's PathFinder, used by both cgra_pnr
+reference routers): iterate rip-up-and-reroute under a cost that
+combines *present* passage utilization with a monotonically
+*accumulating history* of overflow, until every passage fits or an
+iteration budget runs out.
+
+Why iterate, and why history?  One penalized repass can only push the
+affected nets somewhere else — and with fixed penalties they often
+push each other back, oscillating between two over-capacity
+configurations.  The history term breaks the tie: each iteration a
+passage spends over capacity makes it permanently more expensive, so
+the set of nets willing to pay for it shrinks until the passage fits.
+Dense, over-subscribed layouts that the two-pass mode leaves illegal
+are legalized this way (see ``benchmarks/bench_x3_negotiation.py``).
+
+Parallelism rides along for free: within one iteration the negotiated
+cost model is frozen, so the paper's E7 order-invariance applies to
+every pass, and both the first pass and each reroute wave fan out over
+``RouterConfig.workers`` (see :mod:`repro.core.parallel`) with results
+identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import RoutingError
+from repro.core.congestion import (
+    CongestionHistory,
+    CongestionMap,
+    find_passages,
+    measure_congestion,
+)
+from repro.core.costs import CostModel, NegotiatedCongestionCost
+from repro.core.route import GlobalRoute
+from repro.core.router import GlobalRouter, RouterConfig
+from repro.layout.layout import Layout
+
+
+@dataclass(frozen=True)
+class NegotiationConfig:
+    """Knobs of the negotiation loop.
+
+    Attributes
+    ----------
+    max_iterations:
+        Rip-up-and-reroute rounds after the first pass (the budget;
+        convergence usually needs far fewer).
+    present_weight:
+        Scale of the present-utilization penalty term.
+    history_weight:
+        Scale of the accumulated-history multiplier.
+    history_gain:
+        How much history one unit of relative overflow deposits per
+        iteration (:class:`~repro.core.congestion.CongestionHistory`).
+    max_gap:
+        Ignore passages wider than this when measuring congestion
+        (``None`` considers all of them).
+    """
+
+    max_iterations: int = 20
+    present_weight: float = 1.0
+    history_weight: float = 2.0
+    history_gain: float = 2.0
+    max_gap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise RoutingError(
+                f"negotiation needs max_iterations >= 1, got {self.max_iterations}"
+            )
+        for knob in ("present_weight", "history_weight", "history_gain"):
+            value = getattr(self, knob)
+            if value < 0:
+                raise RoutingError(f"negotiation {knob} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Convergence telemetry for one negotiation iteration.
+
+    Iteration 0 describes the first (unpenalized) pass; iterations
+    1..N describe each reroute wave, measured after its nets moved.
+    """
+
+    iteration: int
+    overflowed_passages: int
+    total_overflow: int
+    max_overflow: int
+    wirelength: int
+    wirelength_delta: int
+    rerouted: int
+    elapsed_seconds: float
+
+
+@dataclass
+class NegotiationResult:
+    """Outcome of negotiated rip-up-and-reroute."""
+
+    first: GlobalRoute
+    final: GlobalRoute
+    congestion_before: CongestionMap
+    congestion_after: CongestionMap
+    iterations: list[IterationStats] = field(default_factory=list)
+    rerouted_nets: list[str] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def iteration_count(self) -> int:
+        """Reroute waves actually run (excludes the first pass)."""
+        return max(0, len(self.iterations) - 1)
+
+
+class NegotiatedRouter:
+    """Iterated negotiated-congestion routing of one layout.
+
+    Parameters mirror :class:`~repro.core.router.GlobalRouter`, plus a
+    :class:`NegotiationConfig`.  The loop:
+
+    1. Route all nets independently (parallel when
+       ``config.workers > 1``) and measure passage congestion.
+    2. While any passage is over capacity and budget remains: fold the
+       overflow into the history, build a
+       :class:`~repro.core.costs.NegotiatedCongestionCost` from the
+       present utilizations and accumulated history, rip up every net
+       through an overflowed passage, and reroute those nets under the
+       frozen negotiated model (again fanning out over workers).
+    3. Return the best route seen — least total overflow, then least
+       wirelength — with per-iteration convergence stats.
+    """
+
+    def __init__(
+        self,
+        layout: Optional[Layout] = None,
+        config: RouterConfig = RouterConfig(),
+        *,
+        cost_model: Optional[CostModel] = None,
+        negotiation: Optional[NegotiationConfig] = None,
+        router: Optional[GlobalRouter] = None,
+    ):
+        if (layout is None) == (router is None):
+            raise RoutingError("provide exactly one of layout or router")
+        self.router = (
+            router
+            if router is not None
+            else GlobalRouter(layout, config, cost_model=cost_model)
+        )
+        self.negotiation = negotiation if negotiation is not None else NegotiationConfig()
+
+    @classmethod
+    def from_router(
+        cls, router: GlobalRouter, *, negotiation: Optional[NegotiationConfig] = None
+    ) -> "NegotiatedRouter":
+        """Wrap an existing configured router."""
+        return cls(router=router, negotiation=negotiation)
+
+    @property
+    def layout(self) -> Layout:
+        """The layout being routed."""
+        return self.router.layout
+
+    def run(self, *, on_unroutable: str = "raise") -> NegotiationResult:
+        """Negotiate until congestion-free or out of budget.
+
+        Parameters
+        ----------
+        on_unroutable:
+            ``"raise"`` propagates the first unroutable net;
+            ``"skip"`` records it in the route's ``failed_nets``.  A
+            net that fails *during a reroute wave* keeps its previous
+            tree, so the route never loses a net it once had.
+        """
+        if on_unroutable not in ("raise", "skip"):
+            raise RoutingError(f"on_unroutable must be 'raise' or 'skip', not {on_unroutable!r}")
+        # One pool for the whole run: the first pass and every reroute
+        # wave reuse the same workers instead of paying spawn +
+        # layout-pickle costs per iteration.
+        pool = self.router.open_pool()
+        try:
+            return self._run(on_unroutable, pool)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _run(self, on_unroutable: str, pool) -> NegotiationResult:
+        """The negotiation loop proper (*pool* is shared by all passes)."""
+        knobs = self.negotiation
+        passages = find_passages(self.layout, max_gap=knobs.max_gap)
+        history = CongestionHistory(gain=knobs.history_gain)
+
+        started = time.perf_counter()
+        first = self.router.route_all(on_unroutable=on_unroutable, pool=pool)
+        before = measure_congestion(passages, first)
+        iterations = [
+            IterationStats(
+                iteration=0,
+                overflowed_passages=before.overflow_count,
+                total_overflow=before.total_overflow,
+                max_overflow=before.max_overflow,
+                wirelength=first.total_length,
+                wirelength_delta=0,
+                rerouted=0,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        ]
+
+        current, current_map = first, before
+        best, best_map = first, before
+        rerouted: set[str] = set()
+        for iteration in range(1, knobs.max_iterations + 1):
+            if current_map.total_overflow == 0:
+                break
+            wave_started = time.perf_counter()
+            history.update(current_map)
+            model = NegotiatedCongestionCost(
+                history.penalty_terms(current_map),
+                present_weight=knobs.present_weight,
+                history_weight=knobs.history_weight,
+                base=self.router.cost_model,
+            )
+            affected = sorted(current_map.affected_nets())
+            candidate, candidate_map, moved = self.router.reroute_pass(
+                current,
+                affected,
+                model,
+                passages=passages,
+                pool=pool,
+                on_unroutable=on_unroutable,
+                rerouted=rerouted,
+            )
+            iterations.append(
+                IterationStats(
+                    iteration=iteration,
+                    overflowed_passages=candidate_map.overflow_count,
+                    total_overflow=candidate_map.total_overflow,
+                    max_overflow=candidate_map.max_overflow,
+                    wirelength=candidate.total_length,
+                    wirelength_delta=candidate.total_length - current.total_length,
+                    rerouted=moved,
+                    elapsed_seconds=time.perf_counter() - wave_started,
+                )
+            )
+            current, current_map = candidate, candidate_map
+            if (candidate_map.total_overflow, candidate.total_length) < (
+                best_map.total_overflow,
+                best.total_length,
+            ):
+                best, best_map = candidate, candidate_map
+
+        return NegotiationResult(
+            first=first,
+            final=best,
+            congestion_before=before,
+            congestion_after=best_map,
+            iterations=iterations,
+            rerouted_nets=sorted(rerouted),
+            converged=best_map.total_overflow == 0,
+        )

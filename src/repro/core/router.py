@@ -4,10 +4,18 @@
 the search since the only obstacles are the cells. ... Independent net
 routing also eliminates the problem of net ordering."
 
-:class:`GlobalRouter` routes every net of a layout against the cells
-alone, in any order, with identical results (experiment E7 checks the
-order-invariance).  The optional two-pass mode implements the
-congestion feedback sketched in the Conclusions.
+In its base mode :class:`GlobalRouter` routes every net of a layout
+against the cells alone — there the cells are the only obstacles, and
+nets can be routed in any order with identical results (experiment E7
+checks that order-invariance).  The congestion modes qualify both
+statements: the two-pass scheme from the Conclusions and the
+negotiated rip-up-and-reroute loop (:mod:`repro.core.negotiate`) add
+usage-dependent penalty regions on top of the cells, so route costs
+there depend on where other nets went in *earlier* passes.  Within any
+single pass the cost model is frozen, so E7 order-invariance — and
+hence the parallel fan-out behind ``RouterConfig.workers`` — still
+holds pass by pass; it is only across passes that ordering (which
+iteration a net is ripped up in) matters.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.errors import RoutingError, UnroutableError
+from repro.errors import LayoutError, RoutingError, UnroutableError
 from repro.core.congestion import CongestionMap, find_passages, measure_congestion
 from repro.core.costs import (
     BendPenaltyCost,
@@ -59,6 +67,15 @@ class RouterConfig:
         Per-connection expansion budget (``None`` = unlimited).
     trace:
         Record expansion traces on every connection.
+    workers:
+        Net-level fan-out for the independent passes (see
+        :mod:`repro.core.parallel`).  1 (the default) routes serially;
+        larger values partition each pass's netlist over a worker
+        pool, producing identical trees in identical order.
+    executor:
+        Pool flavour for ``workers > 1``: ``"process"`` (scales with
+        cores) or ``"thread"`` (GIL-bound fallback for unpicklable
+        layouts/cost models).
     """
 
     mode: EscapeMode = EscapeMode.FULL
@@ -70,6 +87,8 @@ class RouterConfig:
     refine: bool = False
     node_limit: Optional[int] = None
     trace: bool = False
+    workers: int = 1
+    executor: str = "process"
 
 
 @dataclass
@@ -153,11 +172,156 @@ class GlobalRouter:
             )
         return tree
 
+    def open_pool(self) -> Optional["NetRoutingPool"]:  # noqa: F821
+        """A reusable worker pool per the config, or ``None`` if serial.
+
+        Multi-pass loops (two-pass, negotiation) call this once and
+        pass the result through :meth:`route_all`/:meth:`route_each`
+        so every pass reuses the same workers instead of paying spawn
+        and layout-pickle costs per pass.  The caller owns the pool
+        and must ``close()`` it (or use it as a context manager).
+        """
+        if self.config.workers > 1 and len(self.layout.nets) > 1 and not self.config.trace:
+            from repro.core.parallel import NetRoutingPool
+
+            return NetRoutingPool(self)
+        return None
+
+    def route_each(
+        self,
+        net_names: Iterable[str],
+        *,
+        cost_model: Optional[CostModel] = None,
+        pool: Optional["NetRoutingPool"] = None,  # noqa: F821
+        fail_fast: bool = False,
+    ) -> list[tuple[str, Optional[RouteTree], Optional[UnroutableError]]]:
+        """Route the named layout nets under one frozen cost model.
+
+        The pass primitive shared by :meth:`route_all` and the
+        congestion loops.  Returns ``(name, tree_or_None,
+        error_or_None)`` outcomes in input order, the error slot
+        carrying the original :class:`UnroutableError` (``partial``
+        diagnostic intact, even across process boundaries);
+        unroutability comes back as data so the caller picks
+        raise-vs-skip semantics —
+        except with ``fail_fast=True``, where the *serial* path
+        re-raises the first :class:`UnroutableError` immediately
+        (pool-backed passes always run to completion first, so there
+        fail-fast only skips the merge).
+
+        With ``config.workers > 1`` the nets fan out over a worker
+        pool (:mod:`repro.core.parallel`); because the cost model is
+        frozen for the whole pass this produces trees identical to the
+        serial run.  Callers that run many passes should obtain one
+        pool via :meth:`open_pool` and pass it through to amortize the
+        pool setup.  Trace-recording runs stay serial so expansion
+        traces never cross a process boundary.
+        """
+        names = list(net_names)
+        if names and not self.config.trace:
+            if pool is not None:
+                return pool.route_each(names, cost_model=cost_model)
+            if self.config.workers > 1 and len(names) > 1:
+                from repro.core.parallel import route_each_parallel
+
+                return route_each_parallel(
+                    self,
+                    names,
+                    cost_model=cost_model,
+                    workers=self.config.workers,
+                    executor=self.config.executor,
+                )
+        outcomes: list[tuple[str, Optional[RouteTree], Optional[UnroutableError]]] = []
+        for name in names:
+            try:
+                outcomes.append((name, self.route_one(self.layout.net(name), cost_model=cost_model), None))
+            except UnroutableError as exc:
+                if fail_fast:
+                    raise
+                outcomes.append((name, None, exc))
+        return outcomes
+
+    def merge_outcomes(
+        self,
+        route: GlobalRoute,
+        outcomes: Iterable[tuple[str, Optional[RouteTree], Optional[UnroutableError]]],
+        *,
+        on_unroutable: str,
+        keep_previous: bool = False,
+        rerouted: Optional[set] = None,
+    ) -> int:
+        """Fold :meth:`route_each` outcomes into *route*; returns nets merged.
+
+        The one place raise-vs-skip semantics live.  In raise mode the
+        first failed outcome's original error is re-raised (its
+        ``partial`` diagnostic intact).  In skip mode a failed net is
+        recorded in ``failed_nets`` — unless ``keep_previous`` is set,
+        the reroute-loop behaviour where the net's earlier tree is
+        still in *route* and should simply survive.  *rerouted*, when
+        given, collects the names of successfully merged nets.
+        """
+        merged = 0
+        for name, tree, error in outcomes:
+            if tree is None:
+                if on_unroutable == "raise":
+                    if error is not None:
+                        raise error
+                    raise UnroutableError(f"net {name!r} is unroutable")
+                if not keep_previous:
+                    route.failed_nets.append(name)
+                continue
+            route.trees[name] = tree
+            route.stats = route.stats.merged_with(tree.stats)
+            if rerouted is not None:
+                rerouted.add(name)
+            merged += 1
+        return merged
+
+    def reroute_pass(
+        self,
+        current: GlobalRoute,
+        affected: Iterable[str],
+        cost_model: CostModel,
+        *,
+        passages: list,
+        pool: Optional["NetRoutingPool"] = None,  # noqa: F821
+        on_unroutable: str = "raise",
+        rerouted: Optional[set] = None,
+    ) -> tuple[GlobalRoute, CongestionMap, int]:
+        """One penalized repass: the shared skeleton of the congestion loops.
+
+        Copies *current* (trees, stats, failed nets), reroutes the
+        *affected* nets under the frozen *cost_model* (a net whose
+        reroute fails keeps its previous tree), and re-measures the
+        *passages*.  Returns ``(candidate, congestion_map,
+        nets_moved)``.
+        """
+        candidate = GlobalRoute(
+            trees=dict(current.trees),
+            stats=current.stats,
+            failed_nets=list(current.failed_nets),
+        )
+        outcomes = self.route_each(
+            affected,
+            cost_model=cost_model,
+            pool=pool,
+            fail_fast=on_unroutable == "raise",
+        )
+        moved = self.merge_outcomes(
+            candidate,
+            outcomes,
+            on_unroutable=on_unroutable,
+            keep_previous=True,
+            rerouted=rerouted,
+        )
+        return candidate, measure_congestion(passages, candidate), moved
+
     def route_all(
         self,
         nets: Optional[Iterable[Net]] = None,
         *,
         on_unroutable: str = "raise",
+        pool: Optional["NetRoutingPool"] = None,  # noqa: F821
     ) -> GlobalRoute:
         """Route every net (or the given subset) independently.
 
@@ -167,23 +331,51 @@ class GlobalRouter:
             ``"raise"`` (default) propagates the first failure;
             ``"skip"`` records the net in ``failed_nets`` and carries
             on — useful for diagnostics on deliberately hard inputs.
+        pool:
+            An existing :class:`~repro.core.parallel.NetRoutingPool`
+            to reuse (multi-pass loops); otherwise ``config.workers``
+            decides whether a one-shot pool is spun up.
+
+        With ``config.workers > 1`` the nets are partitioned over a
+        worker pool; the resulting trees (and their order) are
+        identical to the serial run.  In raise mode the serial path
+        fails fast on the first unroutable net, while the parallel
+        path finishes the in-flight pass before raising the same
+        error.  Ad-hoc :class:`Net` objects not registered in the
+        layout are routed too, but their presence makes the *whole*
+        pass serial (workers address nets by name, so a mixed list
+        cannot be partitioned without reordering outcomes).
         """
         if on_unroutable not in ("raise", "skip"):
             raise RoutingError(f"on_unroutable must be 'raise' or 'skip', not {on_unroutable!r}")
+        net_list = list(nets) if nets is not None else list(self.layout.nets)
         route = GlobalRoute()
         started = time.perf_counter()
-        for net in nets if nets is not None else self.layout.nets:
-            try:
-                tree = self.route_one(net)
-            except UnroutableError:
-                if on_unroutable == "raise":
-                    raise
-                route.failed_nets.append(net.name)
-                continue
-            route.trees[net.name] = tree
-            route.stats = route.stats.merged_with(tree.stats)
+        if all(self._owns(net) for net in net_list):
+            outcomes = self.route_each(
+                [net.name for net in net_list],
+                pool=pool,
+                fail_fast=on_unroutable == "raise",
+            )
+        else:
+            outcomes = []
+            for net in net_list:
+                try:
+                    outcomes.append((net.name, self.route_one(net), None))
+                except UnroutableError as exc:
+                    if on_unroutable == "raise":
+                        raise
+                    outcomes.append((net.name, None, exc))
+        self.merge_outcomes(route, outcomes, on_unroutable=on_unroutable)
         route.stats.elapsed_seconds = time.perf_counter() - started
         return route
+
+    def _owns(self, net: Net) -> bool:
+        """Whether *net* is the layout's own net object (routable by name)."""
+        try:
+            return self.layout.net(net.name) is net
+        except LayoutError:
+            return False
 
     # ------------------------------------------------------------------
     # Two-pass congestion routing (Conclusions)
@@ -205,43 +397,67 @@ class GlobalRouter:
         currently-overflowed regions on top of the previous penalties)
         and the best route seen — by total overflow, then wirelength —
         is returned as ``final``.
+
+        In skip mode a net whose *reroute* fails under the penalties
+        keeps its earlier tree (first-pass failures stay recorded in
+        ``failed_nets``); with ``workers > 1`` all passes share one
+        worker pool.
         """
         if passes < 2:
             raise RoutingError(f"two-pass routing needs passes >= 2, got {passes}")
         passages = find_passages(self.layout, max_gap=max_gap)
-        first = self.route_all(on_unroutable=on_unroutable)
-        before = measure_congestion(passages, first)
+        pool = self.open_pool()
+        try:
+            first = self.route_all(on_unroutable=on_unroutable, pool=pool)
+            before = measure_congestion(passages, first)
 
-        best = first
-        best_map = before
-        current = first
-        current_map = before
-        rerouted: set[str] = set()
-        regions: list[tuple] = []
-        for _round in range(passes - 1):
-            affected = sorted(current_map.affected_nets())
-            if not affected:
-                break
-            regions = regions + current_map.penalty_regions(weight=penalty_weight)
-            penalized = CongestionPenaltyCost(regions, base=self._cost_model)
-            candidate = GlobalRoute(trees=dict(current.trees), stats=current.stats)
-            for net_name in affected:
-                net = self.layout.net(net_name)
-                try:
-                    tree = self.route_one(net, cost_model=penalized)
-                except UnroutableError:
-                    if on_unroutable == "raise":
-                        raise
-                    candidate.failed_nets.append(net_name)
-                    continue
-                candidate.trees[net_name] = tree
-                candidate.stats = candidate.stats.merged_with(tree.stats)
-                rerouted.add(net_name)
-            candidate_map = measure_congestion(passages, candidate)
-            current, current_map = candidate, candidate_map
-            if (candidate_map.total_overflow, candidate.total_length) < (
-                best_map.total_overflow,
-                best.total_length,
-            ):
-                best, best_map = candidate, candidate_map
+            best = first
+            best_map = before
+            current = first
+            current_map = before
+            rerouted: set[str] = set()
+            regions: list[tuple] = []
+            for _round in range(passes - 1):
+                affected = sorted(current_map.affected_nets())
+                if not affected:
+                    break
+                regions = regions + current_map.penalty_regions(weight=penalty_weight)
+                penalized = CongestionPenaltyCost(regions, base=self._cost_model)
+                candidate, candidate_map, _moved = self.reroute_pass(
+                    current,
+                    affected,
+                    penalized,
+                    passages=passages,
+                    pool=pool,
+                    on_unroutable=on_unroutable,
+                    rerouted=rerouted,
+                )
+                current, current_map = candidate, candidate_map
+                if (candidate_map.total_overflow, candidate.total_length) < (
+                    best_map.total_overflow,
+                    best.total_length,
+                ):
+                    best, best_map = candidate, candidate_map
+        finally:
+            if pool is not None:
+                pool.close()
         return TwoPassResult(first, best, before, best_map, rerouted_nets=sorted(rerouted))
+
+    # ------------------------------------------------------------------
+    # Negotiated congestion (PathFinder-style generalization)
+    # ------------------------------------------------------------------
+    def route_negotiated(
+        self, negotiation=None, *, on_unroutable: str = "raise"
+    ) -> "NegotiationResult":  # noqa: F821
+        """Iterated negotiated rip-up-and-reroute.
+
+        Convenience delegate to
+        :class:`repro.core.negotiate.NegotiatedRouter`; *negotiation*
+        is an optional
+        :class:`~repro.core.negotiate.NegotiationConfig`.
+        """
+        from repro.core.negotiate import NegotiatedRouter
+
+        return NegotiatedRouter.from_router(self, negotiation=negotiation).run(
+            on_unroutable=on_unroutable
+        )

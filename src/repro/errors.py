@@ -47,6 +47,11 @@ class UnroutableError(RoutingError):
         super().__init__(message)
         self.partial = partial
 
+    def __reduce__(self):
+        # Default exception pickling would drop ``partial``; the
+        # parallel router ships these across process boundaries.
+        return (type(self), (self.args[0], self.partial))
+
 
 class SearchError(ReproError):
     """The state-space search engine was misused or exhausted its limits."""

@@ -1,5 +1,7 @@
 """Unit tests for passage detection and congestion measurement."""
 
+import pytest
+
 from repro.core.congestion import (
     BOUNDARY,
     CongestionMap,
@@ -135,3 +137,33 @@ class TestMeasurement:
         assert cmap.max_utilization == 0.0
         assert cmap.total_overflow == 0
         assert cmap.affected_nets() == set()
+
+
+class TestOverflowQueries:
+    def passage(self, width: int = 2) -> Passage:
+        return Passage(Rect(26, 10, 26 + width, 30), Axis.Y, ("a", "b"))
+
+    def test_overflow_count_and_max(self):
+        passage = self.passage()  # capacity 3
+        cmap = CongestionMap(
+            [
+                PassageUsage(passage, nets={"a", "b", "c", "d", "e"}),  # over by 2
+                PassageUsage(passage, nets={"x", "y", "z", "w"}),  # over by 1
+                PassageUsage(passage, nets={"q"}),  # fine
+            ]
+        )
+        assert cmap.overflow_count == 2
+        assert cmap.max_overflow == 2
+
+    def test_empty_map_queries(self):
+        cmap = CongestionMap([])
+        assert cmap.overflow_count == 0
+        assert cmap.max_overflow == 0
+
+    def test_overuse_positive_once_full(self):
+        passage = self.passage()  # capacity 3
+        assert PassageUsage(passage, nets={"a"}).overuse == 0.0
+        assert PassageUsage(passage, nets={"a", "b"}).overuse == 0.0
+        # at capacity: one more net would not fit -> present term kicks in
+        assert PassageUsage(passage, nets={"a", "b", "c"}).overuse == pytest.approx(1 / 3)
+        assert PassageUsage(passage, nets={"a", "b", "c", "d"}).overuse == pytest.approx(2 / 3)

@@ -8,6 +8,7 @@ from repro.core.costs import (
     CongestionPenaltyCost,
     CostModel,
     InvertedCornerCost,
+    NegotiatedCongestionCost,
     WirelengthCost,
 )
 from repro.geometry.point import Direction, Point
@@ -158,3 +159,50 @@ class TestDominanceInvariant:
             for incoming in (Direction.EAST, Direction.NORTH):
                 for outgoing in (Direction.EAST, Direction.SOUTH, Direction.WEST):
                     assert model.bend_cost(Point(33, 33), incoming, outgoing) >= 0
+
+
+class TestNegotiatedCongestion:
+    def test_weight_formula(self):
+        model = NegotiatedCongestionCost(
+            [(Rect(10, 0, 20, 100), 0.5, 2.0)], present_weight=2.0, history_weight=1.0
+        )
+        # (1 + 1*2) * (1 + 2*0.5) - 1 = 3 * 2 - 1 = 5
+        assert model.regions[0][1] == pytest.approx(5.0)
+        seg = Segment.horizontal(50, 0, 30)  # 10 units inside the region
+        assert model.segment_cost(seg) == pytest.approx(30 + 5.0 * 10)
+
+    def test_zero_terms_price_nothing(self):
+        model = NegotiatedCongestionCost([(Rect(10, 0, 20, 100), 0.0, 0.0)])
+        assert model.segment_cost(Segment.horizontal(50, 0, 30)) == 30.0
+
+    def test_history_surcharges_even_drained_regions(self):
+        # present = 0 but history > 0 must still repel (anti-oscillation)
+        model = NegotiatedCongestionCost(
+            [(Rect(10, 0, 20, 100), 0.0, 1.0)], history_weight=2.0
+        )
+        seg = Segment.horizontal(50, 0, 30)
+        assert model.segment_cost(seg) > 30.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(RoutingError):
+            NegotiatedCongestionCost([(Rect(0, 0, 1, 1), -0.1, 0.0)])
+        with pytest.raises(RoutingError):
+            NegotiatedCongestionCost([(Rect(0, 0, 1, 1), 0.1, -1.0)])
+        with pytest.raises(RoutingError):
+            NegotiatedCongestionCost([], present_weight=-1.0)
+        with pytest.raises(RoutingError):
+            NegotiatedCongestionCost([], history_weight=-1.0)
+
+    def test_dominates_wirelength(self):
+        model = NegotiatedCongestionCost(
+            [(Rect(0, 0, 100, 100), 3.0, 4.0)], base=BendPenaltyCost(0.25)
+        )
+        seg = Segment.horizontal(50, 0, 30)
+        assert model.segment_cost(seg) >= seg.length
+        assert model.direction_sensitive
+
+    def test_accepts_generator_terms(self):
+        terms = ((Rect(10, 0, 20, 100), 0.5, 1.0) for _ in range(1))
+        model = NegotiatedCongestionCost(terms, present_weight=2.0, history_weight=1.0)
+        assert len(model.regions) == 1
+        assert model.segment_cost(Segment.horizontal(50, 0, 30)) > 30.0

@@ -1,0 +1,344 @@
+"""Tests for negotiated rip-up-and-reroute and the parallel fan-out.
+
+Covers the three acceptance behaviours of the negotiation engine:
+convergence on an over-subscribed workload that the two-pass scheme
+cannot legalize, determinism of the parallel backend (workers=1 vs
+workers=4 produce identical trees), and monotonicity of the
+accumulated history cost.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.core.congestion import (
+    CongestionHistory,
+    CongestionMap,
+    Passage,
+    PassageUsage,
+    find_passages,
+    measure_congestion,
+)
+from repro.core.costs import NegotiatedCongestionCost, WirelengthCost
+from repro.core.negotiate import NegotiatedRouter, NegotiationConfig
+from repro.core.parallel import NetRoutingPool, route_each_parallel
+from repro.core.router import GlobalRouter, RouterConfig
+from repro.geometry.point import Axis
+from repro.geometry.rect import Rect
+from repro.layout.generators import LayoutSpec, grid_layout, random_netlist
+from repro.layout.layout import Layout
+from repro.analysis.verify import verify_global_route
+
+
+def oversubscribed_layout(n_nets: int = 16, seed: int = 5, gap: int = 3) -> Layout:
+    """The narrow-passage macro grid with more nets than two-pass can fit."""
+    layout = grid_layout(3, 3, cell_width=20, cell_height=20, gap=gap, margin=8)
+    rng = random.Random(seed)
+    spec = LayoutSpec(terminals_per_net=(2, 3), pad_fraction=0.0)
+    for net in random_netlist(layout, n_nets, rng=rng, spec=spec):
+        layout.add_net(net)
+    return layout
+
+
+def trees_of(route):
+    return {name: [p.points for p in tree.paths] for name, tree in route.trees.items()}
+
+
+class TestConvergence:
+    def test_legalizes_what_two_pass_cannot(self):
+        layout = oversubscribed_layout()
+        two_pass = GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=2)
+        assert two_pass.congestion_after.total_overflow > 0
+
+        result = NegotiatedRouter(layout).run()
+        assert result.converged
+        assert result.congestion_after.total_overflow == 0
+        assert result.congestion_before.total_overflow > 0
+        assert verify_global_route(result.final, layout) == {}
+
+    def test_iteration_stats_recorded(self):
+        layout = oversubscribed_layout()
+        result = NegotiatedRouter(layout).run()
+        assert result.iterations[0].iteration == 0
+        assert result.iterations[0].total_overflow == result.congestion_before.total_overflow
+        assert result.iteration_count == len(result.iterations) - 1
+        assert result.iterations[-1].total_overflow == 0
+        assert all(it.elapsed_seconds >= 0 for it in result.iterations)
+        deltas = [it.wirelength for it in result.iterations]
+        for prev, it in zip(result.iterations, result.iterations[1:]):
+            assert it.wirelength_delta == it.wirelength - prev.wirelength
+        assert deltas[0] == result.first.total_length
+
+    def test_rerouted_nets_tracked(self):
+        layout = oversubscribed_layout()
+        result = NegotiatedRouter(layout).run()
+        assert result.rerouted_nets
+        assert set(result.rerouted_nets) <= {n.name for n in layout.nets}
+
+    def test_uncongested_layout_needs_no_iterations(self, small_layout):
+        result = NegotiatedRouter(small_layout).run()
+        if result.congestion_before.total_overflow == 0:
+            assert result.converged
+            assert result.iteration_count == 0
+            assert result.final is result.first
+            assert result.rerouted_nets == []
+
+    def test_budget_exhaustion_returns_best_seen(self):
+        layout = oversubscribed_layout(n_nets=24)
+        result = NegotiatedRouter(
+            layout, negotiation=NegotiationConfig(max_iterations=2)
+        ).run()
+        assert not result.converged
+        assert len(result.iterations) == 3
+        assert (
+            result.congestion_after.total_overflow
+            <= result.congestion_before.total_overflow
+        )
+        assert verify_global_route(result.final, layout) == {}
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(RoutingError):
+            NegotiationConfig(max_iterations=0)
+        with pytest.raises(RoutingError):
+            NegotiationConfig(present_weight=-1.0)
+        with pytest.raises(RoutingError):
+            NegotiationConfig(history_weight=-0.5)
+        with pytest.raises(RoutingError):
+            NegotiationConfig(history_gain=-2.0)
+
+    def test_invalid_on_unroutable_rejected(self, small_layout):
+        with pytest.raises(RoutingError):
+            NegotiatedRouter(small_layout).run(on_unroutable="explode")
+
+    def test_from_router_shares_config(self, small_layout):
+        router = GlobalRouter(small_layout, RouterConfig(inverted_corner=True))
+        negotiated = NegotiatedRouter.from_router(router)
+        assert negotiated.router is router
+        assert negotiated.layout is small_layout
+
+    def test_layout_and_router_mutually_exclusive(self, small_layout):
+        router = GlobalRouter(small_layout)
+        with pytest.raises(RoutingError):
+            NegotiatedRouter(small_layout, router=router)
+        with pytest.raises(RoutingError):
+            NegotiatedRouter()
+
+    def test_route_negotiated_delegate(self, small_layout):
+        result = GlobalRouter(small_layout).route_negotiated(
+            NegotiationConfig(max_iterations=3)
+        )
+        assert result.final.routed_count == len(small_layout.nets)
+
+
+class TestParallelParity:
+    """workers=1 and workers=4 must produce byte-identical routes."""
+
+    def test_first_pass_parity_process(self, medium_layout):
+        serial = GlobalRouter(medium_layout).route_all()
+        parallel = GlobalRouter(medium_layout, RouterConfig(workers=4)).route_all()
+        assert list(serial.trees) == list(parallel.trees)
+        assert trees_of(serial) == trees_of(parallel)
+        assert serial.stats.nodes_expanded == parallel.stats.nodes_expanded
+
+    def test_first_pass_parity_thread(self, medium_layout):
+        serial = GlobalRouter(medium_layout).route_all()
+        threaded = GlobalRouter(
+            medium_layout, RouterConfig(workers=4, executor="thread")
+        ).route_all()
+        assert trees_of(serial) == trees_of(threaded)
+
+    def test_negotiation_parity(self):
+        layout = oversubscribed_layout()
+        serial = NegotiatedRouter(layout).run()
+        parallel = NegotiatedRouter(layout, RouterConfig(workers=4)).run()
+        assert serial.converged == parallel.converged
+        assert serial.iteration_count == parallel.iteration_count
+        assert serial.rerouted_nets == parallel.rerouted_nets
+        assert trees_of(serial.final) == trees_of(parallel.final)
+
+    def test_route_each_outcomes_in_input_order(self, small_layout):
+        router = GlobalRouter(small_layout)
+        names = [n.name for n in small_layout.nets]
+        reordered = list(reversed(names))
+        outcomes = router.route_each(reordered)
+        assert [name for name, _tree, _err in outcomes] == reordered
+        assert all(tree is not None for _n, tree, _e in outcomes)
+
+    def test_parallel_skip_mode_records_failures(self):
+        layout = Layout(Rect(0, 0, 100, 100))
+        from repro.layout.cell import Cell
+        from repro.layout.net import Net
+        from repro.geometry.point import Point
+
+        for cell in (
+            Cell.rect("w", 40, 40, 2, 20),
+            Cell.rect("e", 58, 40, 2, 20),
+            Cell.rect("s", 40, 40, 20, 2),
+            Cell.rect("n", 40, 58, 20, 2),
+        ):
+            layout.add_cell(cell)
+        layout.add_net(Net.two_point("trapped", Point(10, 10), Point(50, 50)))
+        layout.add_net(Net.two_point("fine", Point(5, 5), Point(90, 5)))
+        route = GlobalRouter(layout, RouterConfig(workers=2)).route_all(
+            on_unroutable="skip"
+        )
+        assert route.failed_nets == ["trapped"]
+        assert route.routed_count == 1
+
+    def test_pool_reuse_across_passes(self, small_layout):
+        router = GlobalRouter(small_layout)
+        names = [n.name for n in small_layout.nets]
+        serial = router.route_each(names)
+        with NetRoutingPool(router, workers=2) as pool:
+            first = pool.route_each(names)
+            second = pool.route_each(names)
+        for reference, outcome in ((serial, first), (serial, second)):
+            assert [
+                (name, [p.points for p in tree.paths]) for name, tree, _e in reference
+            ] == [(name, [p.points for p in tree.paths]) for name, tree, _e in outcome]
+
+    def test_two_pass_uses_workers(self):
+        layout = oversubscribed_layout()
+        serial = GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=3)
+        parallel = GlobalRouter(layout, RouterConfig(workers=2)).route_two_pass(
+            penalty_weight=4.0, passes=3
+        )
+        assert serial.rerouted_nets == parallel.rerouted_nets
+        assert trees_of(serial.final) == trees_of(parallel.final)
+
+    def test_parallel_raise_preserves_partial(self):
+        from repro.errors import UnroutableError
+        from repro.layout.cell import Cell
+        from repro.layout.net import Net
+        from repro.geometry.point import Point
+
+        layout = Layout(Rect(0, 0, 100, 100))
+        for cell in (
+            Cell.rect("w", 40, 40, 2, 20),
+            Cell.rect("e", 58, 40, 2, 20),
+            Cell.rect("s", 40, 40, 20, 2),
+            Cell.rect("n", 40, 58, 20, 2),
+        ):
+            layout.add_cell(cell)
+        layout.add_net(Net.two_point("trapped", Point(10, 10), Point(50, 50)))
+        layout.add_net(Net.two_point("fine", Point(5, 5), Point(90, 5)))
+        with pytest.raises(UnroutableError) as excinfo:
+            GlobalRouter(layout, RouterConfig(workers=2)).route_all()
+        # the partial-tree diagnostic must survive the process boundary
+        assert excinfo.value.partial is not None
+
+    def test_two_pass_skip_never_contradicts(self):
+        layout = oversubscribed_layout()
+        result = GlobalRouter(layout).route_two_pass(
+            penalty_weight=4.0, passes=3, on_unroutable="skip"
+        )
+        assert not (set(result.final.failed_nets) & set(result.final.trees))
+
+    def test_two_pass_skip_keeps_first_pass_failures(self):
+        from repro.layout.cell import Cell
+        from repro.layout.net import Net
+        from repro.geometry.point import Point
+
+        # congestion around the macros plus one net walled off in a ring
+        layout = oversubscribed_layout()
+        for cell in (
+            Cell.rect("rw", 1, 1, 1, 4),
+            Cell.rect("re", 6, 1, 1, 4),
+            Cell.rect("rs", 1, 1, 6, 1),
+            Cell.rect("rn", 1, 6, 6, 1),
+        ):
+            layout.add_cell(cell)
+        layout.add_net(Net.two_point("walled", Point(4, 4), Point(60, 60)))
+        result = GlobalRouter(layout).route_two_pass(
+            penalty_weight=4.0, passes=3, on_unroutable="skip"
+        )
+        assert "walled" in result.first.failed_nets
+        assert "walled" in result.final.failed_nets
+
+    def test_bad_executor_rejected(self, small_layout):
+        router = GlobalRouter(small_layout, RouterConfig(workers=2, executor="fiber"))
+        with pytest.raises(RoutingError):
+            router.route_all()
+
+    def test_too_few_workers_rejected(self, small_layout):
+        router = GlobalRouter(small_layout)
+        with pytest.raises(RoutingError):
+            route_each_parallel(
+                router, [n.name for n in small_layout.nets], workers=1
+            )
+
+
+class TestHistoryMonotonicity:
+    def passage(self, x0: int = 10) -> Passage:
+        return Passage(Rect(x0, 0, x0 + 2, 20), Axis.Y, ("a", "b"))
+
+    def overflowed_map(self, passage: Passage, n_nets: int) -> CongestionMap:
+        usage = PassageUsage(passage, nets={f"n{i}" for i in range(n_nets)})
+        return CongestionMap([usage])
+
+    def test_history_accumulates_and_never_decreases(self):
+        passage = self.passage()
+        history = CongestionHistory()
+        seen = [history.value(passage)]
+        for load in (8, 6, 4, 8):
+            history.update(self.overflowed_map(passage, load))
+            seen.append(history.value(passage))
+        assert seen == sorted(seen)
+        assert seen[0] == 0.0
+        assert seen[-1] > seen[0]
+
+    def test_drained_passage_keeps_history(self):
+        passage = self.passage()
+        history = CongestionHistory()
+        history.update(self.overflowed_map(passage, 8))
+        accrued = history.value(passage)
+        assert accrued > 0
+        history.update(self.overflowed_map(passage, 1))  # within capacity
+        assert history.value(passage) == accrued
+
+    def test_gain_scales_deposits(self):
+        passage = self.passage()
+        slow, fast = CongestionHistory(gain=1.0), CongestionHistory(gain=2.0)
+        cmap = self.overflowed_map(passage, 8)
+        slow.update(cmap)
+        fast.update(cmap)
+        assert fast.value(passage) == pytest.approx(2 * slow.value(passage))
+
+    def test_penalty_terms_keep_drained_history(self):
+        passage = self.passage()
+        history = CongestionHistory()
+        history.update(self.overflowed_map(passage, 8))
+        drained = self.overflowed_map(passage, 1)
+        terms = history.penalty_terms(drained)
+        assert len(terms) == 1
+        region, present, hist = terms[0]
+        assert region == passage.region
+        assert present == 0.0
+        assert hist == history.value(passage)
+
+    def test_negotiated_weight_monotone_in_history(self):
+        model = NegotiatedCongestionCost([])
+        weights = [model.region_weight(0.5, h) for h in (0.0, 1.0, 2.0, 5.0)]
+        assert weights == sorted(weights)
+        assert model.region_weight(0.0, 0.0) == 0.0
+
+    def test_negotiated_weight_monotone_in_present(self):
+        model = NegotiatedCongestionCost([])
+        weights = [model.region_weight(p, 1.0) for p in (0.0, 0.5, 1.0, 2.0)]
+        assert weights == sorted(weights)
+        assert all(w >= 0 for w in weights)
+
+    def test_measured_history_monotone_during_negotiation(self):
+        layout = oversubscribed_layout()
+        passages = find_passages(layout)
+        router = GlobalRouter(layout)
+        history = CongestionHistory()
+        route = router.route_all()
+        cmap = measure_congestion(passages, route)
+        previous = {p: 0.0 for p in (e.passage for e in cmap.entries)}
+        for _ in range(3):
+            history.update(cmap)
+            for entry in cmap.entries:
+                assert history.value(entry.passage) >= previous[entry.passage]
+                previous[entry.passage] = history.value(entry.passage)

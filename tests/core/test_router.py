@@ -32,6 +32,15 @@ class TestRouteAll:
         route = GlobalRouter(small_layout).route_all(nets)
         assert route.routed_count == 2
 
+    def test_adhoc_net_not_in_layout_routes(self, small_layout):
+        # route_all accepts nets that were never added to the layout
+        adhoc = Net.two_point(
+            "adhoc", small_layout.outline.corners[0], small_layout.outline.corners[2]
+        )
+        route = GlobalRouter(small_layout).route_all([adhoc])
+        assert route.routed_count == 1
+        assert "adhoc" in route.trees
+
     def test_stats_accumulate(self, small_layout):
         route = GlobalRouter(small_layout).route_all()
         assert route.stats.nodes_expanded > 0

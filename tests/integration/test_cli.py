@@ -81,6 +81,26 @@ class TestRoute:
     def test_route_skip_unroutable(self, layout_file):
         assert main(["route", str(layout_file), "--skip-unroutable"]) == 0
 
+    def test_route_negotiate(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--negotiate", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "negotiated congestion" in out
+        assert "negotiation" in out
+
+    def test_route_negotiate_with_workers(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--negotiate", "2",
+                     "--workers", "2"]) == 0
+        assert "negotiated congestion" in capsys.readouterr().out
+
+    def test_negotiate_excludes_two_pass(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--two-pass",
+                     "--negotiate", "2"]) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bad_workers_fails_cleanly(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--workers", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_bad_layout_json_fails_cleanly(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text("{}")
