@@ -12,7 +12,8 @@ Run:  python examples/congestion_twopass.py
 import random
 
 from repro import GlobalRouter, grid_layout
-from repro.core.congestion import find_passages, measure_congestion
+from repro.api import RouteRequest, TwoPassStrategy
+from repro.core.congestion import find_passages
 from repro.layout.generators import LayoutSpec, random_netlist
 from repro.analysis.tables import format_table
 
@@ -30,10 +31,15 @@ def main() -> None:
     print(f"{len(layout.cells)} macros, {len(layout.nets)} nets, "
           f"{len(passages)} passages detected\n")
 
+    # Running the strategy object directly (rather than the whole
+    # RoutingPipeline) keeps the full per-passage congestion maps and
+    # the unpenalized first-pass route for the inspection tables below;
+    # the request only contributes the raise-vs-skip policy here.
     router = GlobalRouter(layout)
-    result = router.route_two_pass(penalty_weight=4.0, passes=4)
+    request = RouteRequest(layout=layout, strategy="two-pass")
+    outcome = TwoPassStrategy(penalty_weight=4.0, passes=4).run(router, request)
 
-    before, after = result.congestion_before, result.congestion_after
+    before, after = outcome.congestion_before, outcome.congestion_after
     print("worst passages before the second pass:")
     worst = sorted(before.entries, key=lambda e: -e.utilization)[:5]
     rows = [
@@ -54,11 +60,11 @@ def main() -> None:
             ["total overflow", before.total_overflow, after.total_overflow],
             ["peak utilization", f"{before.max_utilization:.2f}",
              f"{after.max_utilization:.2f}"],
-            ["wirelength", result.first.total_length, result.final.total_length],
+            ["wirelength", outcome.first.total_length, outcome.route.total_length],
         ],
     )
     print(summary)
-    print(f"\nnets rerouted: {len(result.rerouted_nets)}")
+    print(f"\nnets rerouted: {len(outcome.rerouted_nets)}")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,8 @@ Run:  python examples/negotiated_routing.py
 
 import random
 
-from repro import GlobalRouter, NegotiatedRouter, grid_layout
+from repro import NegotiatedRouter, grid_layout
+from repro.api import RouteRequest, RoutingPipeline
 from repro.layout.generators import LayoutSpec, random_netlist
 from repro.analysis.tables import format_table
 
@@ -30,8 +31,13 @@ def main() -> None:
     print(f"{len(layout.cells)} macros, {len(layout.nets)} nets\n")
 
     # The paper's two-pass sketch gets stuck: one penalized repass can
-    # only push the affected nets somewhere else.
-    two_pass = GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=2)
+    # only push the affected nets somewhere else.  (Routed through the
+    # unified pipeline — the canonical entry point for any strategy.)
+    two_pass = RoutingPipeline().run(RouteRequest(
+        layout=layout,
+        strategy="two-pass",
+        strategy_params={"penalty_weight": 4.0},
+    ))
     print(f"two-pass:   overflow {two_pass.congestion_before.total_overflow} -> "
           f"{two_pass.congestion_after.total_overflow} (stuck over capacity)")
 

@@ -15,6 +15,9 @@ The top-level namespace re-exports the public API; subpackages:
 * :mod:`repro.baselines` — Lee–Moore, grid A*, Hightower, sequential.
 * :mod:`repro.detail` — dynamic-channel detailed routing.
 * :mod:`repro.analysis` — metrics, verification, rendering.
+* :mod:`repro.api` — the canonical public surface: ``RouteRequest`` →
+  :class:`~repro.api.pipeline.RoutingPipeline` → ``RouteResult``, the
+  pluggable strategy registry, and the ``route_many`` batch facade.
 """
 
 from repro.errors import (
@@ -75,14 +78,29 @@ from repro.analysis import (
     summarize_route,
     verify_global_route,
 )
+from repro.api import (
+    Batch,
+    CongestionSummary,
+    DetailSummary,
+    RouteRequest,
+    RouteResult,
+    RoutingPipeline,
+    StrategyOutcome,
+    StrategyRegistry,
+    register_strategy,
+    route_many,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Batch",
     "Cell",
     "CongestionHistory",
     "CongestionMap",
+    "CongestionSummary",
     "CostModel",
+    "DetailSummary",
     "DetailedResult",
     "DetailedRouter",
     "Direction",
@@ -110,14 +128,19 @@ __all__ = [
     "Rect",
     "ReproError",
     "RoutePath",
+    "RouteRequest",
+    "RouteResult",
     "RouteTree",
     "RouterConfig",
     "RoutingError",
+    "RoutingPipeline",
     "SearchError",
     "SearchProblem",
     "SearchStats",
     "Segment",
     "SequentialRouter",
+    "StrategyOutcome",
+    "StrategyRegistry",
     "TargetSet",
     "Terminal",
     "UnroutableError",
@@ -129,8 +152,10 @@ __all__ = [
     "hightower_route",
     "lee_moore_route",
     "random_layout",
+    "register_strategy",
     "render_expansion",
     "render_layout",
+    "route_many",
     "route_net",
     "route_with_fallback",
     "search",

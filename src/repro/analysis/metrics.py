@@ -44,6 +44,35 @@ class RoutingSummary:
             "time_s": f"{self.elapsed_seconds:.4f}",
         }
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by :mod:`repro.api.result`)."""
+        return {
+            "nets_total": self.nets_total,
+            "nets_routed": self.nets_routed,
+            "nets_failed": self.nets_failed,
+            "total_length": self.total_length,
+            "total_bends": self.total_bends,
+            "nodes_expanded": self.nodes_expanded,
+            "nodes_generated": self.nodes_generated,
+            "elapsed_seconds": self.elapsed_seconds,
+            "length_over_hpwl": self.length_over_hpwl,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoutingSummary":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            nets_total=int(data["nets_total"]),
+            nets_routed=int(data["nets_routed"]),
+            nets_failed=int(data["nets_failed"]),
+            total_length=int(data["total_length"]),
+            total_bends=int(data["total_bends"]),
+            nodes_expanded=int(data["nodes_expanded"]),
+            nodes_generated=int(data["nodes_generated"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+            length_over_hpwl=float(data["length_over_hpwl"]),
+        )
+
 
 def summarize_route(route: GlobalRoute, layout: Layout) -> RoutingSummary:
     """Build the aggregate report for *route* against *layout*."""

@@ -1,0 +1,73 @@
+"""repro.api — the canonical public surface of the router.
+
+One declarative contract for every frontend::
+
+    RouteRequest  →  RoutingPipeline  →  RouteResult
+
+* :class:`~repro.api.request.RouteRequest` — frozen, JSON-serializable
+  description of one routing run (layout, config, strategy + params,
+  verify/detail/report toggles).
+* :class:`~repro.api.pipeline.RoutingPipeline` — resolves the strategy
+  from a :class:`~repro.api.registry.StrategyRegistry` (``"single"``,
+  ``"two-pass"``, ``"negotiated"`` built in; third parties register via
+  :func:`~repro.api.registry.register_strategy`) and executes it.
+* :class:`~repro.api.result.RouteResult` — the unified outcome: final
+  route, congestion before/after, per-iteration stats, timings,
+  verification violations, optional detailed-routing summary; JSON
+  round-trippable like the request.
+* :class:`~repro.api.batch.Batch` / :func:`~repro.api.batch.route_many`
+  — many layouts over one shared executor.
+
+The CLI (``python -m repro route``) is a thin shim over this package,
+and the legacy ``GlobalRouter.route_two_pass`` /
+``GlobalRouter.route_negotiated`` entry points now delegate here with
+:class:`DeprecationWarning`.
+"""
+
+from repro.api.request import (
+    RouteRequest,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.api.result import (
+    CongestionSummary,
+    DetailSummary,
+    RouteResult,
+)
+from repro.api.registry import (
+    DEFAULT_REGISTRY,
+    RoutingStrategy,
+    StrategyOutcome,
+    StrategyRegistry,
+    register_strategy,
+)
+from repro.api.strategies import (
+    BUILTIN_STRATEGIES,
+    NegotiatedStrategy,
+    SingleStrategy,
+    TwoPassStrategy,
+)
+from repro.api.pipeline import RoutingPipeline, route
+from repro.api.batch import Batch, route_many
+
+__all__ = [
+    "BUILTIN_STRATEGIES",
+    "Batch",
+    "CongestionSummary",
+    "DEFAULT_REGISTRY",
+    "DetailSummary",
+    "NegotiatedStrategy",
+    "RouteRequest",
+    "RouteResult",
+    "RoutingPipeline",
+    "RoutingStrategy",
+    "SingleStrategy",
+    "StrategyOutcome",
+    "StrategyRegistry",
+    "TwoPassStrategy",
+    "config_from_dict",
+    "config_to_dict",
+    "register_strategy",
+    "route",
+    "route_many",
+]

@@ -1,0 +1,114 @@
+"""The batch facade: many layouts, one shared executor.
+
+Where :mod:`repro.core.parallel` fans the *nets of one layout* out over
+workers, :class:`Batch` fans *whole requests* out — the
+service/benchmark-farm shape where many independent layouts arrive at
+once.  Both share the executor machinery
+(:func:`repro.core.parallel.make_executor`), so the flavour semantics
+are identical: ``"process"`` scales with cores, ``"thread"`` is the
+GIL-bound fallback for unpicklable inputs.
+
+Nesting note: requests routed by a process batch should keep
+``config.workers == 1`` — one process per request is already the
+scaling axis, and nesting process pools inside pool workers multiplies
+processes without adding cores.  ``Batch`` rejects that combination
+rather than silently oversubscribing.
+
+Process batches resolve strategies inside fresh worker processes, so
+only strategies importable at ``repro.api`` import time (the built-ins,
+or anything a custom ``initializer`` registers) are available there;
+third-party strategies registered at runtime in the parent need the
+``"thread"`` executor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import RoutingError
+from repro.core.parallel import EXECUTORS, make_executor
+from repro.api.pipeline import RoutingPipeline
+from repro.api.request import RouteRequest
+from repro.api.result import RouteResult
+from repro.api.registry import StrategyRegistry
+
+
+def _run_request(request: RouteRequest) -> RouteResult:
+    """Route one request in a worker process (module-level for pickling)."""
+    return RoutingPipeline().run(request)
+
+
+class Batch:
+    """Routes many :class:`~repro.api.request.RouteRequest` objects.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent requests; 1 routes serially (no pool is built).
+    executor:
+        ``"process"`` or ``"thread"`` (see module docstring).
+    registry:
+        Registry for the serial and thread paths; process workers use
+        the default registry (see module docstring).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        executor: str = "process",
+        registry: Optional[StrategyRegistry] = None,
+    ):
+        if workers < 1:
+            raise RoutingError(f"batch workers must be >= 1, got {workers}")
+        if executor not in EXECUTORS:
+            raise RoutingError(f"executor must be one of {EXECUTORS}, not {executor!r}")
+        self.workers = workers
+        self.executor = executor
+        self._pipeline = RoutingPipeline(registry)
+
+    def route_many(self, requests: Iterable[RouteRequest]) -> list[RouteResult]:
+        """Route every request; results come back in input order.
+
+        Results are identical to routing each request through a
+        :class:`~repro.api.pipeline.RoutingPipeline` serially — the
+        batch is purely a wall-time facade.  A failing request
+        propagates its error after in-flight work completes.
+        """
+        reqs: Sequence[RouteRequest] = list(requests)
+        if not reqs:
+            return []
+        if self.workers == 1 or len(reqs) == 1:
+            return [self._pipeline.run(r) for r in reqs]
+        if self.executor == "process":
+            oversubscribed = [r for r in reqs if r.config.workers > 1]
+            if oversubscribed:
+                raise RoutingError(
+                    "process batches require config.workers == 1 per request "
+                    f"({len(oversubscribed)} request(s) ask for nested net fan-out); "
+                    "drop the per-request workers or use executor='thread'"
+                )
+            # Layout references would be opened in worker processes with
+            # whatever cwd they inherit; resolve them here so the batch
+            # behaves like the serial path regardless of worker state.
+            reqs = [
+                r if r.layout is not None else r.with_layout(r.resolve_layout())
+                for r in reqs
+            ]
+            with make_executor(min(self.workers, len(reqs)), "process") as pool:
+                return list(pool.map(_run_request, reqs))
+        with make_executor(min(self.workers, len(reqs)), "thread") as pool:
+            return list(pool.map(self._pipeline.run, reqs))
+
+
+def route_many(
+    requests: Iterable[RouteRequest],
+    *,
+    workers: int = 1,
+    executor: str = "process",
+    registry: Optional[StrategyRegistry] = None,
+) -> list[RouteResult]:
+    """One-shot convenience over :class:`Batch`."""
+    return Batch(workers=workers, executor=executor, registry=registry).route_many(
+        requests
+    )

@@ -1,0 +1,110 @@
+"""The routing pipeline: RouteRequest in, RouteResult out.
+
+:class:`RoutingPipeline` is the one execution path behind every public
+frontend — the CLI, the batch facade, library callers, and any future
+service.  It resolves the layout, validates it, builds the router,
+resolves the strategy from the registry, runs it, and folds
+verification and detailed routing into one :class:`RouteResult` with
+per-phase timings.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.analysis.metrics import summarize_route
+from repro.analysis.verify import verify_global_route
+from repro.core.router import GlobalRouter
+from repro.layout.layout import Layout
+from repro.layout.validate import validate_layout
+from repro.api.registry import DEFAULT_REGISTRY, StrategyRegistry
+from repro.api.request import RouteRequest
+from repro.api.result import CongestionSummary, DetailSummary, RouteResult
+
+# Installing the built-in strategies is a side effect of importing the
+# strategies module; the pipeline must never see an empty registry.
+import repro.api.strategies  # noqa: F401
+
+
+class RoutingPipeline:
+    """Executes :class:`~repro.api.request.RouteRequest` objects.
+
+    Parameters
+    ----------
+    registry:
+        Strategy registry to resolve names from; defaults to the
+        process-wide :data:`~repro.api.registry.DEFAULT_REGISTRY` with
+        the built-ins installed.
+    """
+
+    def __init__(self, registry: Optional[StrategyRegistry] = None):
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+
+    def run(self, request: RouteRequest, *, layout: Optional[Layout] = None) -> RouteResult:
+        """Execute *request* and return the unified result.
+
+        *layout* short-circuits :meth:`RouteRequest.resolve_layout` for
+        callers that already hold the parsed layout (the CLI resolves
+        once and reuses it for rendering).
+        """
+        total_started = time.perf_counter()
+        timings: dict[str, float] = {}
+
+        if layout is None:
+            layout = request.resolve_layout()
+        validate_layout(layout)
+        # Resolve the strategy before routing so an unknown name or bad
+        # params fail fast, not after minutes of first-pass work.
+        strategy = self.registry.create(request.strategy, request.strategy_params)
+        router = GlobalRouter(layout, request.config)
+
+        route_started = time.perf_counter()
+        outcome = strategy.run(router, request)
+        timings["route"] = time.perf_counter() - route_started
+
+        violations: dict[str, list[str]] = {}
+        if request.verify:
+            verify_started = time.perf_counter()
+            violations = verify_global_route(outcome.route, layout)
+            timings["verify"] = time.perf_counter() - verify_started
+
+        detailed = None
+        detail_summary = None
+        if request.detail:
+            from repro.detail.detailed import DetailedRouter
+
+            detail_started = time.perf_counter()
+            detailed = DetailedRouter(layout).run(outcome.route)
+            timings["detail"] = time.perf_counter() - detail_started
+            detail_summary = DetailSummary.from_detailed(detailed)
+
+        timings["total"] = time.perf_counter() - total_started
+        return RouteResult(
+            strategy=request.strategy,
+            route=outcome.route,
+            summary=summarize_route(outcome.route, layout),
+            congestion_before=(
+                None
+                if outcome.congestion_before is None
+                else CongestionSummary.from_map(outcome.congestion_before)
+            ),
+            congestion_after=(
+                None
+                if outcome.congestion_after is None
+                else CongestionSummary.from_map(outcome.congestion_after)
+            ),
+            iterations=tuple(outcome.iterations),
+            rerouted_nets=tuple(outcome.rerouted_nets),
+            converged=outcome.converged,
+            timings=timings,
+            violations=violations,
+            verified=request.verify,
+            detail_summary=detail_summary,
+            detailed=detailed,
+        )
+
+
+def route(request: RouteRequest) -> RouteResult:
+    """One-shot convenience: run *request* through a default pipeline."""
+    return RoutingPipeline().run(request)

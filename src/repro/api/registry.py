@@ -1,0 +1,150 @@
+"""The pluggable strategy registry.
+
+A *strategy* is the policy that turns one configured
+:class:`~repro.core.router.GlobalRouter` into a routed layout plus
+congestion telemetry: the paper's plain independent pass, the
+Conclusions' two-pass sketch, the PathFinder-style negotiation — or
+anything a third party registers.
+
+Strategies are looked up by name from a :class:`StrategyRegistry`;
+:data:`DEFAULT_REGISTRY` ships with ``"single"``, ``"two-pass"``, and
+``"negotiated"`` installed (see :mod:`repro.api.strategies`).  Third
+parties add their own::
+
+    from repro.api import register_strategy
+
+    @register_strategy("greedy-ripup")
+    class GreedyRipup:
+        def __init__(self, **params): ...
+        def run(self, router, request): ...  # -> StrategyOutcome
+
+The factory is called with the request's ``strategy_params`` as
+keywords; ``run`` receives the configured router and the originating
+:class:`~repro.api.request.RouteRequest` and returns a
+:class:`StrategyOutcome`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Protocol, runtime_checkable
+
+from repro.errors import RoutingError
+from repro.core.congestion import CongestionMap
+from repro.core.negotiate import IterationStats
+from repro.core.route import GlobalRoute
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.request import RouteRequest
+    from repro.core.router import GlobalRouter
+
+
+@dataclass
+class StrategyOutcome:
+    """What a strategy hands back to the pipeline.
+
+    ``route`` is mandatory; the congestion/iteration fields are
+    telemetry that strategies fill in as far as they measure it.
+    ``first`` carries the unpenalized first-pass route when the
+    strategy runs repasses (strategy-level callers compare it against
+    the final route without re-routing; it stays runtime-only and is
+    not serialized into :class:`~repro.api.result.RouteResult`).
+    """
+
+    route: GlobalRoute
+    first: Optional[GlobalRoute] = None
+    congestion_before: Optional[CongestionMap] = None
+    congestion_after: Optional[CongestionMap] = None
+    iterations: tuple[IterationStats, ...] = ()
+    rerouted_nets: tuple[str, ...] = ()
+    converged: Optional[bool] = None
+
+
+@runtime_checkable
+class RoutingStrategy(Protocol):
+    """Structural interface every registered strategy must satisfy."""
+
+    def run(self, router: "GlobalRouter", request: "RouteRequest") -> StrategyOutcome:
+        """Route the layout behind *router* per *request*."""
+        ...
+
+
+#: A factory builds a strategy instance from the request's params.
+StrategyFactory = Callable[..., RoutingStrategy]
+
+
+@dataclass
+class StrategyRegistry:
+    """Name → strategy-factory mapping with decorator registration."""
+
+    _factories: dict[str, StrategyFactory] = field(default_factory=dict)
+
+    def register(
+        self, name: str, factory: Optional[StrategyFactory] = None, *, replace: bool = False
+    ):
+        """Register *factory* under *name*.
+
+        Usable directly (``registry.register("x", Factory)``) or as a
+        decorator (``@registry.register("x")``).  Duplicate names raise
+        :class:`RoutingError` unless ``replace=True``.
+        """
+        if not name or not isinstance(name, str):
+            raise RoutingError(f"strategy name must be a non-empty string, got {name!r}")
+
+        def _install(f: StrategyFactory) -> StrategyFactory:
+            if not callable(f):
+                raise RoutingError(f"strategy factory for {name!r} is not callable")
+            if name in self._factories and not replace:
+                raise RoutingError(
+                    f"strategy {name!r} is already registered "
+                    f"(pass replace=True to override)"
+                )
+            self._factories[name] = f
+            return f
+
+        if factory is None:
+            return _install
+        return _install(factory)
+
+    def unregister(self, name: str) -> None:
+        """Remove *name*; unknown names raise :class:`RoutingError`."""
+        if name not in self._factories:
+            raise RoutingError(f"strategy {name!r} is not registered")
+        del self._factories[name]
+
+    def create(self, name: str, params: Mapping[str, Any] = ()) -> RoutingStrategy:
+        """Instantiate the strategy registered under *name*.
+
+        The factory receives ``params`` as keyword arguments; a factory
+        rejecting them (unknown knob, bad arity) surfaces as
+        :class:`RoutingError` naming the strategy.
+        """
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise RoutingError(
+                f"unknown strategy {name!r}; registered: {self.names()}"
+            ) from None
+        try:
+            return factory(**dict(params))
+        except TypeError as exc:
+            raise RoutingError(f"bad parameters for strategy {name!r}: {exc}") from exc
+
+    def names(self) -> list[str]:
+        """Registered strategy names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+#: The process-wide default registry (built-ins are installed by
+#: :mod:`repro.api.strategies` at import time).
+DEFAULT_REGISTRY = StrategyRegistry()
+
+
+def register_strategy(
+    name: str, factory: Optional[StrategyFactory] = None, *, replace: bool = False
+):
+    """Register on the :data:`DEFAULT_REGISTRY` (module-level decorator)."""
+    return DEFAULT_REGISTRY.register(name, factory, replace=replace)

@@ -1,0 +1,216 @@
+"""The declarative routing request — one contract for every caller.
+
+:class:`RouteRequest` is the single entry ticket of the public API: it
+names the layout (inline or by file reference), the router knobs
+(:class:`~repro.core.router.RouterConfig`), the strategy to drive the
+congestion loop with, and the post-routing toggles (independent
+verification, detailed routing, report rendering).  Because a strategy
+is one *name*, flag conflicts like the CLI's historical
+``--two-pass`` + ``--negotiate`` clash are structurally
+unrepresentable.
+
+Requests are frozen and JSON round-trippable (:meth:`RouteRequest.to_json`
+/ :meth:`RouteRequest.from_json`), so the CLI, tests, services, and
+batch files all speak the same format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional
+
+from repro.errors import RoutingError
+from repro.core.escape import EscapeMode
+from repro.core.router import RouterConfig
+from repro.layout.io import layout_from_dict, layout_from_json, layout_to_dict
+from repro.layout.layout import Layout
+from repro.search.engine import Order
+
+FORMAT_VERSION = 1
+
+#: The raise-vs-skip policies a request may ask for.
+UNROUTABLE_POLICIES = ("raise", "skip")
+
+
+def config_to_dict(config: RouterConfig) -> dict[str, Any]:
+    """Convert a :class:`RouterConfig` to a JSON-ready dict."""
+    return {
+        "mode": config.mode.value,
+        "order": config.order.value,
+        "inverted_corner": config.inverted_corner,
+        "corner_epsilon": config.corner_epsilon,
+        "bend_penalty": config.bend_penalty,
+        "exact_steiner_order": config.exact_steiner_order,
+        "refine": config.refine,
+        "node_limit": config.node_limit,
+        "trace": config.trace,
+        "workers": config.workers,
+        "executor": config.executor,
+    }
+
+
+def config_from_dict(data: Mapping[str, Any]) -> RouterConfig:
+    """Rebuild a :class:`RouterConfig` from :func:`config_to_dict` output.
+
+    Missing keys fall back to the config defaults, so old request files
+    keep working when new knobs are added; unknown keys raise.
+    """
+    defaults = RouterConfig()
+    known = set(config_to_dict(defaults))
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise RoutingError(f"unknown router config key(s) {unknown}")
+    try:
+        node_limit = data.get("node_limit", defaults.node_limit)
+        return RouterConfig(
+            mode=EscapeMode(data.get("mode", defaults.mode.value)),
+            order=Order(data.get("order", defaults.order.value)),
+            inverted_corner=bool(data.get("inverted_corner", defaults.inverted_corner)),
+            corner_epsilon=float(data.get("corner_epsilon", defaults.corner_epsilon)),
+            bend_penalty=float(data.get("bend_penalty", defaults.bend_penalty)),
+            exact_steiner_order=bool(
+                data.get("exact_steiner_order", defaults.exact_steiner_order)
+            ),
+            refine=bool(data.get("refine", defaults.refine)),
+            node_limit=None if node_limit is None else int(node_limit),
+            trace=bool(data.get("trace", defaults.trace)),
+            workers=int(data.get("workers", defaults.workers)),
+            executor=str(data.get("executor", defaults.executor)),
+        )
+    except ValueError as exc:
+        raise RoutingError(f"malformed router config: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """A complete, declarative description of one routing run.
+
+    Attributes
+    ----------
+    layout:
+        The placed design, inline.  Exactly one of ``layout`` and
+        ``layout_path`` must be set.
+    layout_path:
+        File reference to a layout JSON (resolved lazily by
+        :meth:`resolve_layout`); this is the form that travels well in
+        request files.
+    config:
+        Router knobs (validated at construction by
+        :class:`~repro.core.router.RouterConfig` itself).
+    strategy:
+        Name of the congestion strategy to resolve from the
+        :class:`~repro.api.registry.StrategyRegistry` — ``"single"``,
+        ``"two-pass"``, and ``"negotiated"`` ship built in.
+    strategy_params:
+        Keyword parameters for the strategy factory (e.g.
+        ``{"passes": 3}`` for two-pass, ``{"max_iterations": 30}`` for
+        negotiated).  Stored read-only.
+    on_unroutable:
+        ``"raise"`` propagates the first unroutable net; ``"skip"``
+        records it and carries on.
+    verify:
+        Run the independent route checker and attach its violations to
+        the result (default on).
+    detail:
+        Also run the detailed router on the final global route.
+    report:
+        Ask renderers for the full engineering report (a presentation
+        hint carried on the request so batch runs can honor it).
+    """
+
+    layout: Optional[Layout] = None
+    layout_path: Optional[str] = None
+    config: RouterConfig = field(default_factory=RouterConfig)
+    strategy: str = "single"
+    strategy_params: Mapping[str, Any] = field(default_factory=dict)
+    on_unroutable: str = "raise"
+    verify: bool = True
+    detail: bool = False
+    report: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.layout is None) == (self.layout_path is None):
+            raise RoutingError(
+                "provide exactly one of layout (inline) or layout_path (reference)"
+            )
+        if not self.strategy or not isinstance(self.strategy, str):
+            raise RoutingError(f"strategy must be a non-empty name, got {self.strategy!r}")
+        if self.on_unroutable not in UNROUTABLE_POLICIES:
+            raise RoutingError(
+                f"on_unroutable must be one of {UNROUTABLE_POLICIES}, "
+                f"not {self.on_unroutable!r}"
+            )
+        # Defensively copy the params so later caller-side mutation
+        # cannot reach into a frozen request.  A plain dict (not a
+        # MappingProxyType) keeps requests picklable for process-pool
+        # batches (repro.api.batch).
+        object.__setattr__(self, "strategy_params", dict(self.strategy_params))
+
+    # ------------------------------------------------------------------
+    # Layout resolution
+    # ------------------------------------------------------------------
+    def resolve_layout(self) -> Layout:
+        """The inline layout, or the referenced file loaded and parsed."""
+        if self.layout is not None:
+            return self.layout
+        assert self.layout_path is not None
+        with open(self.layout_path, "r", encoding="utf-8") as handle:
+            return layout_from_json(handle.read())
+
+    def with_layout(self, layout: Layout) -> "RouteRequest":
+        """A copy of this request with *layout* inlined (reference dropped)."""
+        return replace(self, layout=layout, layout_path=None)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Convert to a JSON-ready dict (inline layouts are embedded)."""
+        return {
+            "version": FORMAT_VERSION,
+            "layout": None if self.layout is None else layout_to_dict(self.layout),
+            "layout_path": self.layout_path,
+            "config": config_to_dict(self.config),
+            "strategy": self.strategy,
+            "strategy_params": dict(self.strategy_params),
+            "on_unroutable": self.on_unroutable,
+            "verify": self.verify,
+            "detail": self.detail,
+            "report": self.report,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RouteRequest":
+        """Rebuild a request from :meth:`to_dict` output."""
+        try:
+            version = data["version"]
+            if version != FORMAT_VERSION:
+                raise RoutingError(f"unsupported request format version {version!r}")
+            layout_data = data.get("layout")
+            return cls(
+                layout=None if layout_data is None else layout_from_dict(layout_data),
+                layout_path=data.get("layout_path"),
+                config=config_from_dict(data.get("config", {})),
+                strategy=data.get("strategy", "single"),
+                strategy_params=data.get("strategy_params", {}),
+                on_unroutable=data.get("on_unroutable", "raise"),
+                verify=bool(data.get("verify", True)),
+                detail=bool(data.get("detail", False)),
+                report=bool(data.get("report", False)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise RoutingError(f"malformed route request: {exc}") from exc
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RouteRequest":
+        """Parse a request from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RoutingError(f"invalid request JSON: {exc}") from exc
+        return cls.from_dict(data)

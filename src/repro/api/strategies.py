@@ -1,0 +1,134 @@
+"""Built-in routing strategies: single pass, two-pass, negotiated.
+
+Importing this module installs the three built-ins on
+:data:`~repro.api.registry.DEFAULT_REGISTRY`:
+
+``"single"``
+    The paper's base algorithm — every net routed independently, one
+    frozen cost model.  Congestion is still measured once so callers
+    can see where a congestion strategy would have helped.
+``"two-pass"``
+    The Conclusions' sketch — route, measure, penalize the overflowed
+    passages, reroute the affected nets (``passes`` generalizes to
+    accumulated repasses).
+``"negotiated"``
+    The PathFinder-style generalization — iterated rip-up-and-reroute
+    under present × history congestion costs
+    (:mod:`repro.core.negotiate`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.congestion import find_passages, measure_congestion
+from repro.core.negotiate import NegotiatedRouter, NegotiationConfig
+from repro.api.registry import StrategyOutcome, register_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.request import RouteRequest
+    from repro.core.router import GlobalRouter
+
+
+@register_strategy("single")
+class SingleStrategy:
+    """One independent pass of every net.
+
+    Parameters
+    ----------
+    max_gap:
+        Passage width cutoff for the diagnostic congestion measurement
+        (``None`` considers all passages).
+    measure_congestion:
+        Skip the measurement entirely when ``False`` (large batch runs
+        that only want wirelength).
+    """
+
+    def __init__(self, *, max_gap: Optional[int] = None, measure_congestion: bool = True):
+        self.max_gap = max_gap
+        self.measure = measure_congestion
+
+    def run(self, router: "GlobalRouter", request: "RouteRequest") -> StrategyOutcome:
+        """One independent pass, plus a diagnostic congestion measurement."""
+        route = router.route_all(on_unroutable=request.on_unroutable)
+        if not self.measure:
+            return StrategyOutcome(route=route, first=route)
+        congestion = measure_congestion(
+            find_passages(router.layout, max_gap=self.max_gap), route
+        )
+        return StrategyOutcome(
+            route=route,
+            first=route,
+            congestion_before=congestion,
+            congestion_after=congestion,
+            converged=congestion.total_overflow == 0,
+        )
+
+
+@register_strategy("two-pass")
+class TwoPassStrategy:
+    """The paper's congestion-penalized repass scheme.
+
+    Parameters mirror the historical ``GlobalRouter.route_two_pass``
+    keywords: ``penalty_weight``, ``passes`` (>= 2), ``max_gap``.
+    """
+
+    def __init__(
+        self,
+        *,
+        penalty_weight: float = 2.0,
+        passes: int = 2,
+        max_gap: Optional[int] = None,
+    ):
+        self.penalty_weight = penalty_weight
+        self.passes = passes
+        self.max_gap = max_gap
+
+    def run(self, router: "GlobalRouter", request: "RouteRequest") -> StrategyOutcome:
+        """Route, measure, penalize, reroute the affected nets."""
+        result = router._two_pass(
+            penalty_weight=self.penalty_weight,
+            passes=self.passes,
+            max_gap=self.max_gap,
+            on_unroutable=request.on_unroutable,
+        )
+        return StrategyOutcome(
+            route=result.final,
+            first=result.first,
+            congestion_before=result.congestion_before,
+            congestion_after=result.congestion_after,
+            rerouted_nets=tuple(result.rerouted_nets),
+            converged=result.congestion_after.total_overflow == 0,
+        )
+
+
+@register_strategy("negotiated")
+class NegotiatedStrategy:
+    """PathFinder-style iterated negotiation.
+
+    Parameters are the :class:`~repro.core.negotiate.NegotiationConfig`
+    knobs (``max_iterations``, ``present_weight``, ``history_weight``,
+    ``history_gain``, ``max_gap``); unknown names are rejected.
+    """
+
+    def __init__(self, **params):
+        self.negotiation = NegotiationConfig.from_params(params)
+
+    def run(self, router: "GlobalRouter", request: "RouteRequest") -> StrategyOutcome:
+        """Iterate rip-up-and-reroute until legal or out of budget."""
+        result = NegotiatedRouter.from_router(router, negotiation=self.negotiation).run(
+            on_unroutable=request.on_unroutable
+        )
+        return StrategyOutcome(
+            route=result.final,
+            first=result.first,
+            congestion_before=result.congestion_before,
+            congestion_after=result.congestion_after,
+            iterations=tuple(result.iterations),
+            rerouted_nets=tuple(result.rerouted_nets),
+            converged=result.converged,
+        )
+
+
+#: The names guaranteed to be available out of the box.
+BUILTIN_STRATEGIES = ("single", "two-pass", "negotiated")

@@ -1,4 +1,4 @@
-"""Command-line interface.
+"""Command-line interface — a thin shim over :mod:`repro.api`.
 
 Three subcommands cover the library's everyday use without writing
 Python:
@@ -6,18 +6,25 @@ Python:
 ``generate``
     Produce a random general-cell layout as JSON.
 ``route``
-    Globally route a layout JSON; optionally run the congestion
-    two-pass or the negotiated rip-up-and-reroute loop (with parallel
-    net fan-out) and the detailed phase; print the summary; optionally
-    write ASCII art and/or SVG.
+    Build a :class:`~repro.api.request.RouteRequest` (from flags, or
+    from a request JSON file via ``--request``), run it through the
+    :class:`~repro.api.pipeline.RoutingPipeline`, and render the
+    :class:`~repro.api.result.RouteResult` (tables, ASCII art, SVG,
+    and/or ``--json-out`` result JSON).
 ``render``
     ASCII-render a layout JSON (with no routing).
 
 Example::
 
     python -m repro generate --cells 12 --nets 10 --seed 7 -o chip.json
-    python -m repro route chip.json --two-pass --detail --svg chip.svg
-    python -m repro route chip.json --negotiate 20 --workers 4
+    python -m repro route chip.json --strategy two-pass --detail --svg chip.svg
+    python -m repro route chip.json --strategy negotiated --workers 4
+    python -m repro route --request request.json --json-out result.json
+
+The historical ``--two-pass`` / ``--negotiate N`` flags still work as
+aliases for ``--strategy two-pass`` / ``--strategy negotiated``; since
+a request holds exactly one strategy name, the old flag conflict is
+caught here at the flag boundary and is unrepresentable beyond it.
 """
 
 from __future__ import annotations
@@ -26,20 +33,18 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.api import RouteRequest, RouteResult, RoutingPipeline
+from repro.api.strategies import BUILTIN_STRATEGIES
 from repro.core.escape import EscapeMode
-from repro.core.negotiate import NegotiationConfig
-from repro.core.router import GlobalRouter, RouterConfig
-from repro.detail.detailed import DetailedRouter
+from repro.core.router import RouterConfig
 from repro.errors import ReproError
 from repro.layout.generators import LayoutSpec, random_layout
 from repro.layout.io import layout_from_json, layout_to_json
 from repro.layout.layout import Layout
 from repro.layout.validate import validate_layout
-from repro.analysis.metrics import summarize_route
 from repro.analysis.render import render_layout
 from repro.analysis.svg import layout_to_svg, save_svg
 from repro.analysis.tables import format_table
-from repro.analysis.verify import verify_global_route
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,24 +68,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output path ('-' for stdout)")
 
     route = sub.add_parser("route", help="route a layout JSON")
-    route.add_argument("layout", help="layout JSON path ('-' for stdin)")
+    route.add_argument("layout", nargs="?", default=None,
+                       help="layout JSON path ('-' for stdin); omit with --request")
+    route.add_argument("--request", metavar="PATH", dest="request",
+                       help="RouteRequest JSON file ('-' for stdin); replaces "
+                            "the layout argument and the routing flags")
+    route.add_argument("--json-out", metavar="PATH",
+                       help="write the RouteResult JSON ('-' for stdout)")
+    route.add_argument("--strategy", choices=list(BUILTIN_STRATEGIES), default=None,
+                       help="congestion strategy (default: single)")
     route.add_argument("--mode", choices=["full", "aggressive"], default="full")
     route.add_argument("--inverted-corner", action="store_true",
                        help="enable the Figure 2 epsilon")
     route.add_argument("--refine", action="store_true",
                        help="rip-up-and-reconnect refinement per net")
     route.add_argument("--two-pass", action="store_true",
-                       help="congestion-penalized second pass")
+                       help="alias for --strategy two-pass")
     route.add_argument("--passes", type=int, default=2,
-                       help="repasses for --two-pass (default 2)")
+                       help="repasses for the two-pass strategy (default 2)")
     route.add_argument("--negotiate", type=int, default=0, metavar="N",
-                       help="negotiated rip-up-and-reroute with at most N "
+                       help="alias for --strategy negotiated with at most N "
                             "iterations (0 disables; excludes --two-pass)")
     route.add_argument("--workers", type=int, default=1, metavar="K",
                        help="parallel net fan-out over K worker processes "
                             "(default 1 = serial)")
     route.add_argument("--detail", action="store_true",
                        help="also run the detailed router")
+    route.add_argument("--no-verify", action="store_true",
+                       help="skip the independent route verification")
     route.add_argument("--report", action="store_true",
                        help="print the full engineering report")
     route.add_argument("--ascii", action="store_true", help="print ASCII art")
@@ -131,43 +146,136 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_layout(path: str) -> Layout:
+def _read_text(path: str) -> str:
     if path == "-":
-        return layout_from_json(sys.stdin.read())
+        return sys.stdin.read()
     with open(path, "r", encoding="utf-8") as handle:
-        return layout_from_json(handle.read())
+        return handle.read()
 
 
-def _cmd_route(args: argparse.Namespace) -> int:
+def _load_layout(path: str) -> Layout:
+    return layout_from_json(_read_text(path))
+
+
+def _strategy_from_flags(args: argparse.Namespace) -> tuple[str, dict]:
+    """Map the strategy flags (new and legacy) to (name, params).
+
+    A request carries exactly one strategy name, so conflicting legacy
+    flags must be rejected here — past this point the conflict cannot
+    even be expressed.
+    """
     if args.two_pass and args.negotiate:
         raise ReproError("--two-pass and --negotiate are mutually exclusive")
-    if args.workers < 1:
-        raise ReproError(f"--workers must be >= 1, got {args.workers}")
-    layout = _load_layout(args.layout)
-    validate_layout(layout)
+    legacy = None
+    if args.two_pass:
+        legacy = "two-pass"
+    elif args.negotiate:
+        legacy = "negotiated"
+    if args.strategy is not None and legacy is not None and args.strategy != legacy:
+        raise ReproError(
+            f"--strategy {args.strategy} conflicts with the legacy "
+            f"--{'two-pass' if legacy == 'two-pass' else 'negotiate'} flag"
+        )
+    name = args.strategy or legacy or "single"
+    params: dict = {}
+    if name == "two-pass":
+        params["passes"] = args.passes
+    elif name == "negotiated" and args.negotiate:
+        params["max_iterations"] = args.negotiate
+    return name, params
+
+
+def _request_from_flags(args: argparse.Namespace) -> RouteRequest:
+    """Build a :class:`RouteRequest` from the route subcommand's flags."""
+    strategy, params = _strategy_from_flags(args)
     config = RouterConfig(
         mode=EscapeMode.FULL if args.mode == "full" else EscapeMode.AGGRESSIVE,
         inverted_corner=args.inverted_corner,
         refine=args.refine,
         workers=args.workers,
     )
-    router = GlobalRouter(layout, config)
-    on_unroutable = "skip" if args.skip_unroutable else "raise"
+    return RouteRequest(
+        layout=_load_layout(args.layout),
+        config=config,
+        strategy=strategy,
+        strategy_params=params,
+        on_unroutable="skip" if args.skip_unroutable else "raise",
+        verify=not args.no_verify,
+        detail=args.detail,
+        report=args.report,
+    )
 
-    if args.two_pass:
-        result = router.route_two_pass(passes=args.passes, on_unroutable=on_unroutable)
-        route = result.final
+
+#: Route flags that configure the request itself; with --request they
+#: are set in the request file, so passing them too is a conflict (the
+#: output-only flags --ascii/--svg/--json-out still apply).
+_REQUEST_CONFLICT_FLAGS = (
+    ("strategy", None), ("mode", "full"), ("inverted_corner", False),
+    ("refine", False), ("two_pass", False), ("passes", 2), ("negotiate", 0),
+    ("workers", 1), ("skip_unroutable", False), ("no_verify", False),
+    ("detail", False), ("report", False),
+)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    if args.request is not None:
+        if args.layout is not None:
+            raise ReproError("give either a layout argument or --request, not both")
+        overridden = [
+            name for name, default in _REQUEST_CONFLICT_FLAGS
+            if getattr(args, name) != default
+        ]
+        if overridden:
+            flags = ", ".join("--" + name.replace("_", "-") for name in overridden)
+            raise ReproError(
+                f"{flags}: set these in the request file, not alongside --request"
+            )
+        request = RouteRequest.from_json(_read_text(args.request))
+    else:
+        if args.layout is None:
+            raise ReproError("a layout argument (or --request) is required")
+        request = _request_from_flags(args)
+
+    layout = request.resolve_layout()
+    result = RoutingPipeline().run(request, layout=layout)
+    # With --json-out - the machine-readable document owns stdout; the
+    # human-facing rendering would corrupt it, so it is skipped.
+    if args.json_out != "-":
+        _render_result(args, request, layout, result)
+
+    if args.json_out:
+        text = result.to_json()
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.json_out}", file=sys.stderr)
+
+    if result.violations:
+        print(
+            f"verification violations in {len(result.violations)} nets!",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _render_result(
+    args: argparse.Namespace,
+    request: RouteRequest,
+    layout: Layout,
+    result: RouteResult,
+) -> None:
+    """Print the human-facing views of one result."""
+    route = result.route
+    if result.strategy == "two-pass":
         print(
             f"two-pass: overflow {result.congestion_before.total_overflow} -> "
             f"{result.congestion_after.total_overflow}, "
             f"{len(result.rerouted_nets)} nets rerouted"
         )
-    elif args.negotiate:
-        result = router.route_negotiated(
-            NegotiationConfig(max_iterations=args.negotiate),
-            on_unroutable=on_unroutable,
-        )
-        route = result.final
+    elif result.strategy == "negotiated":
         rows = [
             [
                 it.iteration,
@@ -193,44 +301,34 @@ def _cmd_route(args: argparse.Namespace) -> int:
             f"{result.congestion_after.total_overflow}, "
             f"{len(result.rerouted_nets)} nets rerouted"
         )
-    else:
-        route = router.route_all(on_unroutable=on_unroutable)
 
-    violations = verify_global_route(route, layout)
-    detailed = None
-    if args.detail:
-        detailed = DetailedRouter(layout).run(route)
-
-    if args.report:
+    if request.report:
         from repro.analysis.report import routing_report
 
-        print(routing_report(layout, route, detailed=detailed))
+        print(routing_report(layout, route, detailed=result.detailed))
     else:
-        summary = summarize_route(route, layout)
-        print(format_table(list(summary.as_row().keys()), [summary.as_row()],
-                           title="global routing"))
+        print(format_table(
+            list(result.summary.as_row().keys()), [result.summary.as_row()],
+            title="global routing",
+        ))
         if route.failed_nets:
             print("failed nets:", ", ".join(route.failed_nets))
-        if detailed is not None:
+        if result.detail_summary is not None:
+            d = result.detail_summary
             print()
             print(format_table(
                 ["channels", "tracks", "vias", "wirelength", "conflicts", "overcap"],
-                [[detailed.channel_count, detailed.track_total, detailed.via_count,
-                  detailed.total_wirelength, detailed.conflict_count,
-                  detailed.over_capacity_channels]],
+                [[d.channels, d.tracks, d.vias, d.wirelength, d.conflicts,
+                  d.over_capacity_channels]],
                 title="detailed routing",
             ))
-    if violations:
-        print(f"verification violations in {len(violations)} nets!", file=sys.stderr)
-        return 2
 
     if args.ascii:
         print()
         print(render_layout(layout, route))
     if args.svg:
-        save_svg(args.svg, layout_to_svg(layout, route, detailed=detailed))
+        save_svg(args.svg, layout_to_svg(layout, route, detailed=result.detailed))
         print(f"wrote {args.svg}", file=sys.stderr)
-    return 0
 
 
 def _cmd_render(args: argparse.Namespace) -> int:

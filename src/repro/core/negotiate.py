@@ -29,6 +29,7 @@ identical to a serial run.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -83,6 +84,22 @@ class NegotiationConfig:
             if value < 0:
                 raise RoutingError(f"negotiation {knob} must be >= 0, got {value}")
 
+    @classmethod
+    def from_params(cls, params: dict) -> "NegotiationConfig":
+        """Build a config from a plain keyword dict (pipeline strategy params).
+
+        Unknown keys raise :class:`RoutingError` naming the offender,
+        so a typo in a JSON ``strategy_params`` block fails loudly
+        instead of silently routing with defaults.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise RoutingError(
+                f"unknown negotiation parameter(s) {unknown}; known: {sorted(known)}"
+            )
+        return cls(**params)
+
 
 @dataclass(frozen=True)
 class IterationStats:
@@ -100,6 +117,33 @@ class IterationStats:
     wirelength_delta: int
     rerouted: int
     elapsed_seconds: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by :mod:`repro.api.result`)."""
+        return {
+            "iteration": self.iteration,
+            "overflowed_passages": self.overflowed_passages,
+            "total_overflow": self.total_overflow,
+            "max_overflow": self.max_overflow,
+            "wirelength": self.wirelength,
+            "wirelength_delta": self.wirelength_delta,
+            "rerouted": self.rerouted,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IterationStats":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            iteration=int(data["iteration"]),
+            overflowed_passages=int(data["overflowed_passages"]),
+            total_overflow=int(data["total_overflow"]),
+            max_overflow=int(data["max_overflow"]),
+            wirelength=int(data["wirelength"]),
+            wirelength_delta=int(data["wirelength_delta"]),
+            rerouted=int(data["rerouted"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+        )
 
 
 @dataclass

@@ -49,6 +49,38 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 EXECUTORS = ("process", "thread")
 
+
+def validate_fanout(workers: int, executor: str) -> None:
+    """Reject invalid fan-out knobs before any pool (or pickling) work."""
+    if executor not in EXECUTORS:
+        raise RoutingError(f"executor must be one of {EXECUTORS}, not {executor!r}")
+    if workers < 2:
+        raise RoutingError(f"parallel fan-out needs workers >= 2, got {workers}")
+
+
+def make_executor(
+    workers: int,
+    executor: str,
+    *,
+    initializer=None,
+    initargs: tuple = (),
+):
+    """Build a :mod:`concurrent.futures` executor of the configured flavour.
+
+    The one place pool flavour strings turn into pool objects; both the
+    net-level fan-out (:class:`NetRoutingPool`) and the request-level
+    batch facade (:mod:`repro.api.batch`) go through it, so they share
+    validation and semantics.  ``initializer``/``initargs`` only apply
+    to process pools (thread pools share the parent's state already).
+    """
+    validate_fanout(workers, executor)
+    if executor == "thread":
+        return ThreadPoolExecutor(max_workers=workers)
+    return ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    )
+
+
 #: Per-process worker state (populated by the pool initializer).
 _WORKER: dict = {}
 
@@ -147,20 +179,21 @@ class NetRoutingPool:
         self.router = router
         self.workers = workers if workers is not None else router.config.workers
         self.executor = executor if executor is not None else router.config.executor
-        if self.executor not in EXECUTORS:
-            raise RoutingError(f"executor must be one of {EXECUTORS}, not {self.executor!r}")
-        if self.workers < 2:
-            raise RoutingError(f"parallel fan-out needs workers >= 2, got {self.workers}")
+        # Fail before the (potentially large) layout pickle below.
+        validate_fanout(self.workers, self.executor)
         if self.executor == "thread":
-            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            self._pool = make_executor(self.workers, self.executor)
         else:
             serial_config = dataclasses.replace(router.config, workers=1)
             payload = pickle.dumps(
                 (router.layout, serial_config, router.cost_model),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, initializer=_init_worker, initargs=(payload,)
+            self._pool = make_executor(
+                self.workers,
+                self.executor,
+                initializer=_init_worker,
+                initargs=(payload,),
             )
 
     def route_each(

@@ -21,6 +21,7 @@ iteration a net is ripped up in) matters.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -89,6 +90,30 @@ class RouterConfig:
     trace: bool = False
     workers: int = 1
     executor: str = "process"
+
+    def __post_init__(self) -> None:
+        """Reject malformed configs at construction time.
+
+        Programmatic callers get the same errors the CLI used to
+        hand-check, and a bad config can never reach a routing pass
+        (or a worker pool) half-built.
+        """
+        from repro.core.parallel import EXECUTORS
+
+        if self.workers < 1:
+            raise RoutingError(f"workers must be >= 1, got {self.workers}")
+        if self.executor not in EXECUTORS:
+            raise RoutingError(
+                f"executor must be one of {EXECUTORS}, not {self.executor!r}"
+            )
+        if self.bend_penalty < 0:
+            raise RoutingError(f"bend_penalty must be >= 0, got {self.bend_penalty}")
+        if self.corner_epsilon < 0:
+            raise RoutingError(
+                f"corner_epsilon must be >= 0, got {self.corner_epsilon}"
+            )
+        if self.node_limit is not None and self.node_limit < 1:
+            raise RoutingError(f"node_limit must be >= 1, got {self.node_limit}")
 
 
 @dataclass
@@ -380,7 +405,7 @@ class GlobalRouter:
     # ------------------------------------------------------------------
     # Two-pass congestion routing (Conclusions)
     # ------------------------------------------------------------------
-    def route_two_pass(
+    def _two_pass(
         self,
         *,
         penalty_weight: float = 2.0,
@@ -443,19 +468,58 @@ class GlobalRouter:
                 pool.close()
         return TwoPassResult(first, best, before, best_map, rerouted_nets=sorted(rerouted))
 
+    def route_two_pass(
+        self,
+        *,
+        penalty_weight: float = 2.0,
+        max_gap: Optional[int] = None,
+        on_unroutable: str = "raise",
+        passes: int = 2,
+    ) -> TwoPassResult:
+        """Deprecated alias for the ``"two-pass"`` pipeline strategy.
+
+        .. deprecated::
+            Build a :class:`repro.api.RouteRequest` with
+            ``strategy="two-pass"`` and run it through
+            :class:`repro.api.RoutingPipeline` instead.  This delegate
+            keeps the historical :class:`TwoPassResult` shape.
+        """
+        warnings.warn(
+            "GlobalRouter.route_two_pass is deprecated; use "
+            "repro.api.RoutingPipeline with RouteRequest(strategy='two-pass')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._two_pass(
+            penalty_weight=penalty_weight,
+            max_gap=max_gap,
+            on_unroutable=on_unroutable,
+            passes=passes,
+        )
+
     # ------------------------------------------------------------------
     # Negotiated congestion (PathFinder-style generalization)
     # ------------------------------------------------------------------
     def route_negotiated(
         self, negotiation=None, *, on_unroutable: str = "raise"
     ) -> "NegotiationResult":  # noqa: F821
-        """Iterated negotiated rip-up-and-reroute.
+        """Deprecated alias for the ``"negotiated"`` pipeline strategy.
 
-        Convenience delegate to
-        :class:`repro.core.negotiate.NegotiatedRouter`; *negotiation*
-        is an optional
-        :class:`~repro.core.negotiate.NegotiationConfig`.
+        .. deprecated::
+            Build a :class:`repro.api.RouteRequest` with
+            ``strategy="negotiated"`` and run it through
+            :class:`repro.api.RoutingPipeline` instead (or use
+            :class:`repro.core.negotiate.NegotiatedRouter` directly).
+            *negotiation* is an optional
+            :class:`~repro.core.negotiate.NegotiationConfig`.
         """
+        warnings.warn(
+            "GlobalRouter.route_negotiated is deprecated; use "
+            "repro.api.RoutingPipeline with RouteRequest(strategy='negotiated') "
+            "or repro.core.negotiate.NegotiatedRouter",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.core.negotiate import NegotiatedRouter
 
         return NegotiatedRouter.from_router(self, negotiation=negotiation).run(

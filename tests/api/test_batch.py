@@ -1,0 +1,96 @@
+"""Batch facade: serial equivalence, executor flavours, validation."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.api import Batch, RouteRequest, RoutingPipeline, route_many
+from repro.core.router import RouterConfig
+from repro.layout.generators import LayoutSpec, random_layout
+from repro.layout.io import layout_to_json
+
+
+def make_requests(n=4, **kwargs):
+    layouts = [
+        random_layout(LayoutSpec(n_cells=6, n_nets=4), seed=seed)
+        for seed in range(1, n + 1)
+    ]
+    return [RouteRequest(layout=layout, **kwargs) for layout in layouts]
+
+
+def fingerprint(result):
+    return (
+        result.strategy,
+        result.total_length,
+        {n: [p.points for p in t.paths] for n, t in result.route.trees.items()},
+    )
+
+
+class TestEquivalence:
+    def test_thread_batch_matches_serial(self):
+        requests = make_requests()
+        serial = [RoutingPipeline().run(r) for r in requests]
+        batched = route_many(requests, workers=2, executor="thread")
+        assert [fingerprint(r) for r in batched] == [fingerprint(r) for r in serial]
+
+    def test_process_batch_matches_serial(self):
+        requests = make_requests()
+        serial = [RoutingPipeline().run(r) for r in requests]
+        batched = route_many(requests, workers=2, executor="process")
+        assert [fingerprint(r) for r in batched] == [fingerprint(r) for r in serial]
+
+    def test_strategies_travel_through_batch(self):
+        requests = make_requests(n=2, strategy="negotiated",
+                                 strategy_params={"max_iterations": 3})
+        serial = [RoutingPipeline().run(r) for r in requests]
+        batched = route_many(requests, workers=2, executor="thread")
+        assert [fingerprint(r) for r in batched] == [fingerprint(r) for r in serial]
+        assert all(r.strategy == "negotiated" for r in batched)
+
+    def test_layout_references_resolved_for_process_workers(self, tmp_path, small_layout):
+        path = tmp_path / "chip.json"
+        path.write_text(layout_to_json(small_layout), encoding="utf-8")
+        requests = [RouteRequest(layout_path=str(path)) for _ in range(2)]
+        serial = [RoutingPipeline().run(r) for r in requests]
+        batched = route_many(requests, workers=2, executor="process")
+        assert [fingerprint(r) for r in batched] == [fingerprint(r) for r in serial]
+
+
+class TestShapes:
+    def test_empty_batch(self):
+        assert route_many([], workers=4) == []
+
+    def test_serial_workers_build_no_pool(self):
+        requests = make_requests(n=2)
+        results = Batch(workers=1).route_many(requests)
+        assert len(results) == 2
+
+    def test_single_request_short_circuits(self):
+        requests = make_requests(n=1)
+        results = route_many(requests, workers=8)
+        assert len(results) == 1
+
+    def test_results_in_input_order(self):
+        requests = make_requests()
+        batched = route_many(requests, workers=2, executor="thread")
+        serial = [RoutingPipeline().run(r) for r in requests]
+        assert [r.total_length for r in batched] == [r.total_length for r in serial]
+
+
+class TestValidation:
+    def test_bad_workers_rejected(self):
+        with pytest.raises(RoutingError):
+            Batch(workers=0)
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(RoutingError):
+            Batch(workers=2, executor="fiber")
+
+    def test_nested_process_fanout_rejected(self):
+        requests = make_requests(n=2, config=RouterConfig(workers=2))
+        with pytest.raises(RoutingError, match="nested"):
+            Batch(workers=2, executor="process").route_many(requests)
+
+    def test_nested_fanout_fine_on_threads(self):
+        requests = make_requests(n=2, config=RouterConfig(workers=2))
+        results = Batch(workers=2, executor="thread").route_many(requests)
+        assert len(results) == 2

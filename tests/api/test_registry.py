@@ -1,0 +1,115 @@
+"""Unit tests for the strategy registry."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.api import (
+    DEFAULT_REGISTRY,
+    RouteRequest,
+    RoutingPipeline,
+    StrategyOutcome,
+    StrategyRegistry,
+)
+from repro.api.strategies import BUILTIN_STRATEGIES
+
+
+class TestRegistry:
+    def test_builtins_installed_on_default_registry(self):
+        for name in BUILTIN_STRATEGIES:
+            assert name in DEFAULT_REGISTRY
+        assert set(BUILTIN_STRATEGIES) <= set(DEFAULT_REGISTRY.names())
+
+    def test_register_direct_and_create(self):
+        registry = StrategyRegistry()
+
+        class Dummy:
+            def __init__(self, **params):
+                self.params = params
+
+            def run(self, router, request):  # pragma: no cover - not called
+                raise NotImplementedError
+
+        registry.register("dummy", Dummy)
+        strategy = registry.create("dummy", {"alpha": 1})
+        assert isinstance(strategy, Dummy)
+        assert strategy.params == {"alpha": 1}
+
+    def test_register_as_decorator(self):
+        registry = StrategyRegistry()
+
+        @registry.register("decorated")
+        class Decorated:
+            def run(self, router, request):  # pragma: no cover - not called
+                raise NotImplementedError
+
+        assert "decorated" in registry
+        assert isinstance(registry.create("decorated"), Decorated)
+
+    def test_duplicate_rejected_unless_replace(self):
+        registry = StrategyRegistry()
+        registry.register("x", lambda **kw: object())
+        with pytest.raises(RoutingError):
+            registry.register("x", lambda **kw: object())
+        registry.register("x", lambda **kw: object(), replace=True)  # fine
+
+    def test_unknown_lookup_names_known_strategies(self):
+        registry = StrategyRegistry()
+        registry.register("only", lambda **kw: object())
+        with pytest.raises(RoutingError, match="only"):
+            registry.create("missing")
+
+    def test_bad_factory_params_become_routing_error(self):
+        registry = StrategyRegistry()
+
+        class Strict:
+            def __init__(self):
+                pass
+
+        registry.register("strict", Strict)
+        with pytest.raises(RoutingError, match="strict"):
+            registry.create("strict", {"unexpected": 1})
+
+    def test_bad_names_rejected(self):
+        registry = StrategyRegistry()
+        with pytest.raises(RoutingError):
+            registry.register("", lambda **kw: object())
+        with pytest.raises(RoutingError):
+            registry.register("notcallable", "not a factory")
+
+    def test_unregister(self):
+        registry = StrategyRegistry()
+        registry.register("gone", lambda **kw: object())
+        registry.unregister("gone")
+        assert "gone" not in registry
+        with pytest.raises(RoutingError):
+            registry.unregister("gone")
+
+
+class TestThirdPartyStrategy:
+    def test_custom_strategy_runs_through_pipeline(self, small_layout):
+        registry = StrategyRegistry()
+
+        class ReverseSingle:
+            """Routes all nets, proving custom strategies get the router."""
+
+            def __init__(self, *, tag="custom"):
+                self.tag = tag
+
+            def run(self, router, request):
+                return StrategyOutcome(
+                    route=router.route_all(on_unroutable=request.on_unroutable)
+                )
+
+        registry.register("reverse-single", ReverseSingle)
+        result = RoutingPipeline(registry).run(
+            RouteRequest(layout=small_layout, strategy="reverse-single")
+        )
+        assert result.strategy == "reverse-single"
+        assert result.route.routed_count == len(small_layout.nets)
+        assert result.congestion_before is None  # custom strategy measured nothing
+
+    def test_unknown_strategy_fails_before_routing(self, small_layout):
+        with pytest.raises(RoutingError, match="unknown strategy"):
+            RoutingPipeline().run(
+                RouteRequest(layout=small_layout, strategy="warp-drive")
+            )

@@ -1,0 +1,144 @@
+"""Unit tests for RouteRequest construction, validation, and JSON I/O."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.api import RouteRequest, config_from_dict, config_to_dict
+from repro.core.escape import EscapeMode
+from repro.core.router import RouterConfig
+from repro.layout.io import layout_to_json
+from repro.search.engine import Order
+
+
+class TestValidation:
+    def test_needs_exactly_one_layout_source(self, small_layout):
+        with pytest.raises(RoutingError):
+            RouteRequest()
+        with pytest.raises(RoutingError):
+            RouteRequest(layout=small_layout, layout_path="chip.json")
+
+    def test_rejects_bad_on_unroutable(self, small_layout):
+        with pytest.raises(RoutingError):
+            RouteRequest(layout=small_layout, on_unroutable="explode")
+
+    def test_rejects_empty_strategy(self, small_layout):
+        with pytest.raises(RoutingError):
+            RouteRequest(layout=small_layout, strategy="")
+
+    def test_params_are_copied(self, small_layout):
+        params = {"passes": 3}
+        request = RouteRequest(
+            layout=small_layout, strategy="two-pass", strategy_params=params
+        )
+        params["passes"] = 99
+        assert request.strategy_params["passes"] == 3
+
+
+class TestConfigValidation:
+    """RouterConfig rejects bad values at construction (satellite task)."""
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(RoutingError):
+            RouterConfig(workers=0)
+        with pytest.raises(RoutingError):
+            RouterConfig(workers=-2)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(RoutingError):
+            RouterConfig(executor="fiber")
+
+    def test_rejects_negative_bend_penalty(self):
+        with pytest.raises(RoutingError):
+            RouterConfig(bend_penalty=-0.5)
+
+    def test_rejects_negative_corner_epsilon(self):
+        with pytest.raises(RoutingError):
+            RouterConfig(corner_epsilon=-0.01)
+
+    def test_rejects_nonpositive_node_limit(self):
+        with pytest.raises(RoutingError):
+            RouterConfig(node_limit=0)
+
+    def test_defaults_still_fine(self):
+        RouterConfig()  # must not raise
+
+
+class TestConfigSerialization:
+    def test_round_trip_defaults(self):
+        config = RouterConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_round_trip_non_defaults(self):
+        config = RouterConfig(
+            mode=EscapeMode.AGGRESSIVE,
+            order=Order.BEST_FIRST,
+            inverted_corner=True,
+            bend_penalty=0.5,
+            refine=True,
+            node_limit=5000,
+            workers=4,
+            executor="thread",
+        )
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_missing_keys_fall_back_to_defaults(self):
+        assert config_from_dict({}) == RouterConfig()
+        assert config_from_dict({"workers": 3}) == RouterConfig(workers=3)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(RoutingError):
+            config_from_dict({"wrokers": 3})
+
+    def test_bad_enum_value_rejected(self):
+        with pytest.raises(RoutingError):
+            config_from_dict({"mode": "reckless"})
+
+
+class TestRequestSerialization:
+    def test_inline_layout_round_trip(self, small_layout):
+        request = RouteRequest(
+            layout=small_layout,
+            config=RouterConfig(inverted_corner=True, workers=2),
+            strategy="negotiated",
+            strategy_params={"max_iterations": 7},
+            on_unroutable="skip",
+            verify=False,
+            detail=True,
+            report=True,
+        )
+        rebuilt = RouteRequest.from_json(request.to_json())
+        assert rebuilt.to_dict() == request.to_dict()
+        assert rebuilt.config == request.config
+        assert rebuilt.strategy == "negotiated"
+        assert dict(rebuilt.strategy_params) == {"max_iterations": 7}
+        assert rebuilt.on_unroutable == "skip"
+        assert (rebuilt.verify, rebuilt.detail, rebuilt.report) == (False, True, True)
+        # the embedded layout is a real, routable layout again
+        assert len(rebuilt.resolve_layout().nets) == len(small_layout.nets)
+
+    def test_path_reference_round_trip(self, tmp_path, small_layout):
+        path = tmp_path / "chip.json"
+        path.write_text(layout_to_json(small_layout), encoding="utf-8")
+        request = RouteRequest(layout_path=str(path))
+        rebuilt = RouteRequest.from_json(request.to_json())
+        assert rebuilt.layout_path == str(path)
+        assert rebuilt.layout is None
+        assert len(rebuilt.resolve_layout().nets) == len(small_layout.nets)
+
+    def test_with_layout_inlines_reference(self, tmp_path, small_layout):
+        path = tmp_path / "chip.json"
+        path.write_text(layout_to_json(small_layout), encoding="utf-8")
+        request = RouteRequest(layout_path=str(path))
+        inlined = request.with_layout(request.resolve_layout())
+        assert inlined.layout is not None
+        assert inlined.layout_path is None
+
+    def test_bad_version_rejected(self, small_layout):
+        data = RouteRequest(layout=small_layout).to_dict()
+        data["version"] = 99
+        with pytest.raises(RoutingError):
+            RouteRequest.from_dict(data)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(RoutingError):
+            RouteRequest.from_json("not json{")

@@ -257,9 +257,10 @@ class TestParallelParity:
         assert "walled" in result.final.failed_nets
 
     def test_bad_executor_rejected(self, small_layout):
-        router = GlobalRouter(small_layout, RouterConfig(workers=2, executor="fiber"))
+        # validation moved into RouterConfig.__post_init__, so a bad
+        # executor can no longer reach (or half-build) a worker pool
         with pytest.raises(RoutingError):
-            router.route_all()
+            RouterConfig(workers=2, executor="fiber")
 
     def test_too_few_workers_rejected(self, small_layout):
         router = GlobalRouter(small_layout)

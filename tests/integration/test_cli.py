@@ -108,6 +108,111 @@ class TestRoute:
         assert "error:" in capsys.readouterr().err
 
 
+class TestPipelineCli:
+    """The route subcommand is a thin shim over repro.api."""
+
+    def test_strategy_flag_two_pass(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--strategy", "two-pass"]) == 0
+        assert "two-pass" in capsys.readouterr().out
+
+    def test_strategy_flag_negotiated(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--strategy", "negotiated"]) == 0
+        assert "negotiated congestion" in capsys.readouterr().out
+
+    def test_strategy_conflicts_with_legacy_flag(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--strategy", "single",
+                     "--two-pass"]) == 1
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_json_out_round_trips(self, layout_file, tmp_path, capsys):
+        from repro.api import RouteResult
+
+        out = tmp_path / "result.json"
+        assert main(["route", str(layout_file), "--json-out", str(out)]) == 0
+        result = RouteResult.from_json(out.read_text())
+        assert result.strategy == "single"
+        assert result.route.routed_count > 0
+        assert result.verified
+
+    def test_request_file_drives_route(self, layout_file, tmp_path, capsys):
+        from repro.api import RouteRequest, RouteResult
+
+        request = RouteRequest(
+            layout_path=str(layout_file),
+            strategy="negotiated",
+            strategy_params={"max_iterations": 3},
+        )
+        request_path = tmp_path / "request.json"
+        request_path.write_text(request.to_json(), encoding="utf-8")
+        out = tmp_path / "result.json"
+        assert main(["route", "--request", str(request_path),
+                     "--json-out", str(out)]) == 0
+        assert "negotiated congestion" in capsys.readouterr().out
+        result = RouteResult.from_json(out.read_text())
+        assert result.strategy == "negotiated"
+
+    def test_request_excludes_layout_argument(self, layout_file, tmp_path, capsys):
+        from repro.api import RouteRequest
+
+        request_path = tmp_path / "request.json"
+        request_path.write_text(
+            RouteRequest(layout_path=str(layout_file)).to_json(), encoding="utf-8"
+        )
+        assert main(["route", str(layout_file),
+                     "--request", str(request_path)]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_layout_or_request_required(self, capsys):
+        assert main(["route"]) == 1
+        assert "required" in capsys.readouterr().err
+
+    def test_cli_routes_match_library_pipeline(self, layout_file, tmp_path, capsys):
+        """Integration check: the CLI and the library produce one route."""
+        from repro.api import RouteRequest, RouteResult, RoutingPipeline
+        from repro.layout.io import layout_from_json
+
+        out = tmp_path / "result.json"
+        assert main(["route", str(layout_file), "--json-out", str(out)]) == 0
+        cli_result = RouteResult.from_json(out.read_text())
+        layout = layout_from_json(layout_file.read_text())
+        lib_result = RoutingPipeline().run(RouteRequest(layout=layout))
+        assert {
+            name: [p.points for p in tree.paths]
+            for name, tree in cli_result.route.trees.items()
+        } == {
+            name: [p.points for p in tree.paths]
+            for name, tree in lib_result.route.trees.items()
+        }
+
+    def test_no_verify_flag(self, layout_file, tmp_path, capsys):
+        from repro.api import RouteResult
+
+        out = tmp_path / "result.json"
+        assert main(["route", str(layout_file), "--no-verify",
+                     "--json-out", str(out)]) == 0
+        assert not RouteResult.from_json(out.read_text()).verified
+
+    def test_json_out_stdout_is_pure_json(self, layout_file, capsys):
+        from repro.api import RouteResult
+
+        assert main(["route", str(layout_file), "--json-out", "-"]) == 0
+        # stdout must be a parseable result document, no tables mixed in
+        result = RouteResult.from_json(capsys.readouterr().out)
+        assert result.strategy == "single"
+
+    def test_request_rejects_routing_flags(self, layout_file, tmp_path, capsys):
+        from repro.api import RouteRequest
+
+        request_path = tmp_path / "request.json"
+        request_path.write_text(
+            RouteRequest(layout_path=str(layout_file)).to_json(), encoding="utf-8"
+        )
+        assert main(["route", "--request", str(request_path), "--no-verify",
+                     "--report"]) == 1
+        err = capsys.readouterr().err
+        assert "--no-verify" in err and "--report" in err and "request file" in err
+
+
 class TestRender:
     def test_render(self, layout_file, capsys):
         assert main(["render", str(layout_file)]) == 0
