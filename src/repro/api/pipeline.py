@@ -62,6 +62,18 @@ class RoutingPipeline:
         route_started = time.perf_counter()
         outcome = strategy.run(router, request)
         timings["route"] = time.perf_counter() - route_started
+        # Ray-cache statistics ride along in the timings block so every
+        # RouteResult carries the perf telemetry the bench harness (and
+        # BENCH_hotpath.json) tracks.  Counts are floats for JSON
+        # uniformity with the phase timings.  Iterating strategies
+        # provide run-wide totals via `search_stats` (the returned
+        # route's own stats stop accumulating at the best iteration).
+        route_stats = (
+            outcome.search_stats if outcome.search_stats is not None else outcome.route.stats
+        )
+        timings["ray_cache_hits"] = float(route_stats.cache_hits)
+        timings["ray_cache_misses"] = float(route_stats.cache_misses)
+        timings["ray_cache_hit_rate"] = route_stats.cache_hit_rate
 
         violations: dict[str, list[str]] = {}
         if request.verify:

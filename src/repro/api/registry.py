@@ -33,6 +33,7 @@ from repro.errors import RoutingError
 from repro.core.congestion import CongestionMap
 from repro.core.negotiate import IterationStats
 from repro.core.route import GlobalRoute
+from repro.search.stats import SearchStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.request import RouteRequest
@@ -49,6 +50,10 @@ class StrategyOutcome:
     strategy runs repasses (strategy-level callers compare it against
     the final route without re-routing; it stays runtime-only and is
     not serialized into :class:`~repro.api.result.RouteResult`).
+    ``search_stats``, when set, totals the search effort of the whole
+    strategy run; iterating strategies fill it in because their
+    returned route's stats stop accumulating at the best iteration,
+    and the pipeline's perf telemetry must count all of the work.
     """
 
     route: GlobalRoute
@@ -58,6 +63,7 @@ class StrategyOutcome:
     iterations: tuple[IterationStats, ...] = ()
     rerouted_nets: tuple[str, ...] = ()
     converged: Optional[bool] = None
+    search_stats: Optional[SearchStats] = None
 
 
 @runtime_checkable

@@ -45,6 +45,8 @@ def config_to_dict(config: RouterConfig) -> dict[str, Any]:
         "refine": config.refine,
         "node_limit": config.node_limit,
         "trace": config.trace,
+        "ray_cache": config.ray_cache,
+        "prune_clean_nets": config.prune_clean_nets,
         "workers": config.workers,
         "executor": config.executor,
     }
@@ -75,6 +77,10 @@ def config_from_dict(data: Mapping[str, Any]) -> RouterConfig:
             refine=bool(data.get("refine", defaults.refine)),
             node_limit=None if node_limit is None else int(node_limit),
             trace=bool(data.get("trace", defaults.trace)),
+            ray_cache=bool(data.get("ray_cache", defaults.ray_cache)),
+            prune_clean_nets=bool(
+                data.get("prune_clean_nets", defaults.prune_clean_nets)
+            ),
             workers=int(data.get("workers", defaults.workers)),
             executor=str(data.get("executor", defaults.executor)),
         )

@@ -145,7 +145,11 @@ class RouteResult:
         strategy has no convergence notion).
     timings:
         Wall-clock seconds per pipeline phase (``route``, ``verify``,
-        ``detail``, ``total``).
+        ``detail``, ``total``) plus ray-cache telemetry from the route
+        phase (``ray_cache_hits``, ``ray_cache_misses``,
+        ``ray_cache_hit_rate`` — see
+        :class:`~repro.geometry.raytrace.ObstacleSet` and
+        ``docs/performance.md``).
     violations:
         Independent verification report per net name (empty when clean
         or when ``verify`` was off).

@@ -99,6 +99,7 @@ class TwoPassStrategy:
             congestion_after=result.congestion_after,
             rerouted_nets=tuple(result.rerouted_nets),
             converged=result.congestion_after.total_overflow == 0,
+            search_stats=result.search_stats,
         )
 
 
@@ -127,6 +128,7 @@ class NegotiatedStrategy:
             iterations=tuple(result.iterations),
             rerouted_nets=tuple(result.rerouted_nets),
             converged=result.converged,
+            search_stats=result.search_stats,
         )
 
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.errors import RoutingError
 from repro.geometry.point import Direction, Point
 from repro.geometry.raytrace import ObstacleSet
@@ -109,9 +111,7 @@ class InvertedCornerCost(CostModel):
         self.direction_sensitive = True
 
     def _on_any_boundary(self, p: Point) -> bool:
-        if any(rect.on_boundary(p) for rect in self.obstacles.rects):
-            return True
-        return self.obstacles.bound.on_boundary(p)
+        return self.obstacles.on_any_boundary(p)
 
     def segment_cost(self, seg: Segment) -> float:
         return self.base.segment_cost(seg)
@@ -132,7 +132,21 @@ class CongestionPenaltyCost(CostModel):
     of the affected nets could penalize those paths which chose the
     congested area."  Each region carries its own weight (cost added
     per unit of wire inside it); overlapping regions stack.
+
+    This is the negotiated loop's hottest cost model — every generated
+    successor prices one segment against every region — so the region
+    bounds are flattened once at construction (the model is frozen for
+    a whole routing pass) into plain int tuples for a tight scalar
+    loop, or numpy columns once the region count is large enough for
+    vectorization to win.  Per-region contributions are bit-identical
+    between the two forms and to the original object-per-query code
+    (same product, accumulated in the same region order, zero terms
+    skipped), so routed results do not depend on which implementation
+    priced them.
     """
+
+    #: Region count at which the numpy path overtakes the scalar loop.
+    VECTOR_THRESHOLD = 48
 
     def __init__(
         self,
@@ -145,11 +159,49 @@ class CongestionPenaltyCost(CostModel):
         self.regions = list(regions)
         self.base = base or CostModel()
         self.direction_sensitive = self.base.direction_sensitive
+        self._bounds = [(r.x0, r.y0, r.x1, r.y1, w) for r, w in self.regions]
+        self._vectorized = len(self.regions) >= self.VECTOR_THRESHOLD
+        if self._vectorized:
+            self._rx0 = np.array([r.x0 for r, _ in self.regions], dtype=np.int64)
+            self._ry0 = np.array([r.y0 for r, _ in self.regions], dtype=np.int64)
+            self._rx1 = np.array([r.x1 for r, _ in self.regions], dtype=np.int64)
+            self._ry1 = np.array([r.y1 for r, _ in self.regions], dtype=np.int64)
+            self._weights = np.array([w for _, w in self.regions], dtype=np.float64)
 
     def segment_cost(self, seg: Segment) -> float:
         cost = self.base.segment_cost(seg)
-        for region, weight in self.regions:
-            cost += weight * _overlap_length(seg, region)
+        if not self._bounds:
+            return cost
+        a, b = seg.a, seg.b  # normalized: a <= b
+        ax, ay = a.x, a.y
+        bx, by = b.x, b.y
+        if ax == bx and ay == by:  # degenerate: no wire, no surcharge
+            return cost
+        if self._vectorized:
+            if ay == by:
+                inside = (self._ry0 <= ay) & (ay <= self._ry1)
+                overlap = np.minimum(self._rx1, bx) - np.maximum(self._rx0, ax)
+            else:
+                inside = (self._rx0 <= ax) & (ax <= self._rx1)
+                overlap = np.minimum(self._ry1, by) - np.maximum(self._ry0, ay)
+            contrib = self._weights * np.where(inside & (overlap > 0), overlap, 0)
+            for index in np.flatnonzero(contrib):
+                cost += float(contrib[index])
+            return cost
+        if ay == by:  # horizontal
+            for x0, y0, x1, y1, weight in self._bounds:
+                if y0 <= ay <= y1:
+                    lo = x0 if x0 > ax else ax
+                    hi = x1 if x1 < bx else bx
+                    if lo < hi:
+                        cost += weight * (hi - lo)
+        else:
+            for x0, y0, x1, y1, weight in self._bounds:
+                if x0 <= ax <= x1:
+                    lo = y0 if y0 > ay else ay
+                    hi = y1 if y1 < by else by
+                    if lo < hi:
+                        cost += weight * (hi - lo)
         return cost
 
     def bend_cost(self, at: Point, incoming: Direction, outgoing: Direction) -> float:

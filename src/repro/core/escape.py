@@ -76,20 +76,21 @@ def escape_moves(
     in deterministic order.
     """
     moves: list[tuple[Point, Direction]] = []
-    seen: set[Point] = set()
     for direction in ALL_DIRECTIONS:
         hit = obstacles.first_hit(origin, direction)
         if hit.reach == origin:
             continue
         stops = _stops_for_ray(origin, direction, hit.reach, hit.obstacle, obstacles, mode,
                                extra_xs, extra_ys)
+        # No cross-direction dedup is needed: east/west stops keep the
+        # origin's y and differ from it in x, north/south keep x and
+        # differ in y, and the origin itself is never a stop — so the
+        # four rays cannot produce the same successor twice.
+        origin_coord = origin.x if direction.is_horizontal else origin.y
+        make = origin.with_x if direction.is_horizontal else origin.with_y
         for coord in stops:
-            succ = (
-                origin.with_x(coord) if direction.is_horizontal else origin.with_y(coord)
-            )
-            if succ != origin and succ not in seen:
-                seen.add(succ)
-                moves.append((succ, direction))
+            if coord != origin_coord:
+                moves.append((make(coord), direction))
     return moves
 
 

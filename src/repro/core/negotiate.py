@@ -45,6 +45,7 @@ from repro.core.costs import CostModel, NegotiatedCongestionCost
 from repro.core.route import GlobalRoute
 from repro.core.router import GlobalRouter, RouterConfig
 from repro.layout.layout import Layout
+from repro.search.stats import SearchStats
 
 
 @dataclass(frozen=True)
@@ -148,7 +149,14 @@ class IterationStats:
 
 @dataclass
 class NegotiationResult:
-    """Outcome of negotiated rip-up-and-reroute."""
+    """Outcome of negotiated rip-up-and-reroute.
+
+    ``search_stats`` totals the search effort of the *whole* run —
+    every pass of every iteration — unlike ``final.stats``, which only
+    accumulates up to the best iteration (the returned route).  Perf
+    telemetry (expansions/sec, ray-cache hit rate) must read the
+    run-wide numbers or it silently drops the waves after the best.
+    """
 
     first: GlobalRoute
     final: GlobalRoute
@@ -157,6 +165,7 @@ class NegotiationResult:
     iterations: list[IterationStats] = field(default_factory=list)
     rerouted_nets: list[str] = field(default_factory=list)
     converged: bool = False
+    search_stats: SearchStats = field(default_factory=SearchStats)
 
     @property
     def iteration_count(self) -> int:
@@ -260,6 +269,14 @@ class NegotiatedRouter:
         current, current_map = first, before
         best, best_map = first, before
         rerouted: set[str] = set()
+        # Standard PathFinder pruning: at the start of each iteration,
+        # skip nets whose current path has zero present-congestion
+        # overlap — affected_nets() is exactly the nets flowing through
+        # a presently-overflowed passage, so everything else keeps its
+        # tree untouched.  RouterConfig.prune_clean_nets opts out,
+        # ripping up the whole netlist every wave (the original
+        # PathFinder formulation; useful as a quality baseline).
+        prune = self.router.config.prune_clean_nets
         for iteration in range(1, knobs.max_iterations + 1):
             if current_map.total_overflow == 0:
                 break
@@ -271,7 +288,10 @@ class NegotiatedRouter:
                 history_weight=knobs.history_weight,
                 base=self.router.cost_model,
             )
-            affected = sorted(current_map.affected_nets())
+            if prune:
+                affected = sorted(current_map.affected_nets())
+            else:
+                affected = sorted(current.trees)
             candidate, candidate_map, moved = self.router.reroute_pass(
                 current,
                 affected,
@@ -308,4 +328,7 @@ class NegotiatedRouter:
             iterations=iterations,
             rerouted_nets=sorted(rerouted),
             converged=best_map.total_overflow == 0,
+            # `current` is the last candidate, whose stats accumulated
+            # through every wave — the run-wide totals.
+            search_stats=current.stats,
         )

@@ -161,12 +161,20 @@ def find_path(request: PathRequest) -> PathSearchResult:
     else:
         problem = _PointProblem(request, extra_xs, extra_ys)
 
+    # Ray-cache traffic attributable to this search: delta of the
+    # obstacle set's counters around the search (the set is shared
+    # across connections, so absolute values span many searches).
+    obstacles = request.obstacles
+    hits_before = obstacles.ray_cache_hits
+    misses_before = obstacles.ray_cache_misses
     result: SearchResult = search(
         problem,
         request.order,
         node_limit=request.node_limit,
         trace=request.trace,
     )
+    result.stats.cache_hits = obstacles.ray_cache_hits - hits_before
+    result.stats.cache_misses = obstacles.ray_cache_misses - misses_before
     if not result.found:
         raise UnroutableError(
             f"no route from {[str(p) for p, _ in request.sources]} to "

@@ -97,6 +97,8 @@ def _stats_to_dict(stats: SearchStats) -> dict[str, Any]:
         "max_open_size": stats.max_open_size,
         "elapsed_seconds": stats.elapsed_seconds,
         "termination": stats.termination,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
     }
 
 
@@ -108,4 +110,6 @@ def _stats_from_dict(data: dict[str, Any]) -> SearchStats:
         max_open_size=int(data.get("max_open_size", 0)),
         elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
         termination=str(data.get("termination", "none")),
+        cache_hits=int(data.get("cache_hits", 0)),
+        cache_misses=int(data.get("cache_misses", 0)),
     )

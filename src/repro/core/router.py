@@ -40,6 +40,7 @@ from repro.core.steiner import route_net
 from repro.layout.layout import Layout
 from repro.layout.net import Net
 from repro.search.engine import Order
+from repro.search.stats import SearchStats
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,19 @@ class RouterConfig:
         Per-connection expansion budget (``None`` = unlimited).
     trace:
         Record expansion traces on every connection.
+    ray_cache:
+        Memoize ray queries on the router's obstacle set per mutation
+        epoch (see :class:`~repro.geometry.raytrace.ObstacleSet`).
+        On by default; routed results are byte-identical either way,
+        so the flag exists for A/B measurement
+        (``benchmarks/bench_x5_hotpath.py``) and debugging.
+    prune_clean_nets:
+        Negotiation-loop pruning (standard PathFinder practice): each
+        iteration reroutes only nets whose current path overlaps a
+        presently-congested passage.  Opting out
+        (``prune_clean_nets=False``) rips up and reroutes *every*
+        routed net per iteration — the original PathFinder formulation,
+        far slower and occasionally shorter.
     workers:
         Net-level fan-out for the independent passes (see
         :mod:`repro.core.parallel`).  1 (the default) routes serially;
@@ -88,6 +102,8 @@ class RouterConfig:
     refine: bool = False
     node_limit: Optional[int] = None
     trace: bool = False
+    ray_cache: bool = True
+    prune_clean_nets: bool = True
     workers: int = 1
     executor: str = "process"
 
@@ -118,13 +134,19 @@ class RouterConfig:
 
 @dataclass
 class TwoPassResult:
-    """Outcome of congestion-driven two-pass routing."""
+    """Outcome of congestion-driven two-pass routing.
+
+    ``search_stats`` totals the whole run's search effort (every
+    pass), whereas ``final.stats`` stops accumulating at the best pass
+    — perf telemetry reads the run-wide numbers.
+    """
 
     first: GlobalRoute
     final: GlobalRoute
     congestion_before: CongestionMap
     congestion_after: CongestionMap
     rerouted_nets: list[str] = field(default_factory=list)
+    search_stats: "SearchStats" = field(default_factory=lambda: SearchStats())
 
 
 class GlobalRouter:
@@ -150,6 +172,7 @@ class GlobalRouter:
         self.layout = layout
         self.config = config
         self.obstacles = layout.obstacles()
+        self.obstacles.ray_cache_enabled = config.ray_cache
         self._cost_model = cost_model if cost_model is not None else self._build_cost_model()
 
     def _build_cost_model(self) -> CostModel:
@@ -466,7 +489,14 @@ class GlobalRouter:
         finally:
             if pool is not None:
                 pool.close()
-        return TwoPassResult(first, best, before, best_map, rerouted_nets=sorted(rerouted))
+        return TwoPassResult(
+            first,
+            best,
+            before,
+            best_map,
+            rerouted_nets=sorted(rerouted),
+            search_stats=current.stats,
+        )
 
     def route_two_pass(
         self,

@@ -14,9 +14,19 @@ Semantics
 * The routing boundary ("bound") is a hard closed limit: rays stop at
   its edge.
 * Queries are vectorized over numpy arrays of the rect coordinates so
-  that layouts with hundreds of cells stay fast; the arrays are rebuilt
-  lazily when the set mutates (the sequential-routing baseline adds
-  wire obstacles on the fly).
+  that layouts with hundreds of cells stay fast; the arrays are
+  maintained **incrementally**: ``add``/``add_many`` append new
+  coordinate columns in place (amortized growth) and ``remove`` masks
+  the victim's column with an out-of-bound sentinel instead of
+  rebuilding everything, so wire-obstacle churn in the sequential
+  baseline stays cheap.  Dead columns are compacted away once they
+  outnumber the live ones.
+* Every mutation bumps an **epoch counter**.  Ray queries are memoized
+  per epoch — the memo is dropped whenever the epoch advances — so
+  repeated queries against a static set (the negotiation engine
+  re-searches the same layout every iteration) are answered from the
+  cache.  Hit/miss counters are exposed for the perf harness
+  (``benchmarks/bench_x5_hotpath.py``).
 """
 
 from __future__ import annotations
@@ -31,6 +41,16 @@ from repro.geometry.point import Direction, Point
 from repro.geometry.rect import Rect
 from repro.geometry.segment import Segment
 from repro.geometry.topology import CoordIndex
+
+#: Memo entries kept before the ray cache is wholesale cleared.  The
+#: distinct (origin, direction) pairs a search touches are bounded by
+#: the escape-point graph, so this is a runaway guard, not a tuning knob.
+RAY_CACHE_LIMIT = 1 << 20
+
+#: Dead columns tolerated before :meth:`ObstacleSet._compact` runs.
+_COMPACT_SLACK = 64
+
+_INITIAL_CAPACITY = 16
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,66 +96,150 @@ class ObstacleSet:
         Degenerate rects are legal; having an empty interior they never
         block, but their edge coordinates still register as escape
         coordinates.
+    ray_cache:
+        Memoize :meth:`first_hit` per epoch (default on).  Turning the
+        cache off yields byte-identical query results — it exists for
+        A/B perf measurement and debugging.
     """
 
-    def __init__(self, bound: Rect, rects: Iterable[Rect] = ()):
+    def __init__(self, bound: Rect, rects: Iterable[Rect] = (), *, ray_cache: bool = True):
         self.bound = bound
-        self._rects: list[Rect] = list(rects)
-        self._dirty = True
-        self._x0 = self._y0 = self._x1 = self._y1 = np.empty(0)
-        self._edge_xs: Optional[CoordIndex] = None
-        self._edge_ys: Optional[CoordIndex] = None
+        # Slot-addressed storage: _slots[i] is the rect occupying numpy
+        # column i, or None once removed.  _ids maps each rect value to
+        # its live slot ids so removal is O(1) instead of a list scan.
+        self._slots: list[Optional[Rect]] = []
+        self._ids: dict[Rect, list[int]] = {}
+        self._count = 0  # used columns, dead ones included
+        self._live = 0
+        capacity = _INITIAL_CAPACITY
+        self._x0 = np.empty(capacity, dtype=np.int64)
+        self._y0 = np.empty(capacity, dtype=np.int64)
+        self._x1 = np.empty(capacity, dtype=np.int64)
+        self._y1 = np.empty(capacity, dtype=np.int64)
+        # Dead-column sentinel: a degenerate point strictly outside the
+        # bound fails every open-interval, closed-touch, and ray-stop
+        # test, so masked columns are inert without a separate mask pass.
+        self._dead_x = bound.x1 + 1
+        self._dead_y = bound.y1 + 1
+        self._edge_xs = CoordIndex((bound.x0, bound.x1))
+        self._edge_ys = CoordIndex((bound.y0, bound.y1))
+        self._epoch = 0
+        self.ray_cache_enabled = ray_cache
+        self._ray_cache: dict[tuple[int, int, Direction], Hit] = {}
+        self.ray_cache_hits = 0
+        self.ray_cache_misses = 0
+        self._sync_views()
+        for rect in rects:
+            self._append(rect)
+        self._sync_views()
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     @property
     def rects(self) -> tuple[Rect, ...]:
-        """The current blocking rects (read-only view)."""
-        return tuple(self._rects)
+        """The current blocking rects (read-only view, insertion order)."""
+        return tuple(r for r in self._slots if r is not None)
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; bumps on every ``add``/``add_many``/``remove``.
+
+        Cached ray answers are only ever served within the epoch they
+        were computed in.
+        """
+        return self._epoch
 
     def add(self, rect: Rect) -> None:
         """Add a blocking rect (used by nets-as-obstacles baselines)."""
-        self._rects.append(rect)
-        self._dirty = True
+        self._append(rect)
+        self._sync_views()
+        self._mutated()
 
     def add_many(self, rects: Iterable[Rect]) -> None:
-        """Add several blocking rects at once."""
-        self._rects.extend(rects)
-        self._dirty = True
+        """Add several blocking rects at once (one epoch bump)."""
+        for rect in rects:
+            self._append(rect)
+        self._sync_views()
+        self._mutated()
 
     def remove(self, rect: Rect) -> None:
         """Remove one occurrence of *rect*.
 
-        Raises :class:`GeometryError` if absent.
+        Raises :class:`GeometryError` if absent.  O(1) via the id-map
+        (plus an occasional compaction sweep), not a list scan.
         """
-        try:
-            self._rects.remove(rect)
-        except ValueError:
-            raise GeometryError(f"rect {rect} not in obstacle set") from None
-        self._dirty = True
+        ids = self._ids.get(rect)
+        if not ids:
+            raise GeometryError(f"rect {rect} not in obstacle set")
+        slot = ids.pop()
+        if not ids:
+            del self._ids[rect]
+        self._slots[slot] = None
+        self._x0[slot] = self._x1[slot] = self._dead_x
+        self._y0[slot] = self._y1[slot] = self._dead_y
+        self._live -= 1
+        for index, coords in ((self._edge_xs, (rect.x0, rect.x1)),
+                              (self._edge_ys, (rect.y0, rect.y1))):
+            for coord in coords:
+                index.remove(coord)
+        dead = self._count - self._live
+        if dead > _COMPACT_SLACK and dead > self._live:
+            self._compact()
+        self._mutated()
 
-    def _refresh(self) -> None:
-        if not self._dirty:
-            return
-        self._x0 = np.array([r.x0 for r in self._rects], dtype=np.int64)
-        self._y0 = np.array([r.y0 for r in self._rects], dtype=np.int64)
-        self._x1 = np.array([r.x1 for r in self._rects], dtype=np.int64)
-        self._y1 = np.array([r.y1 for r in self._rects], dtype=np.int64)
-        xs = CoordIndex()
-        ys = CoordIndex()
-        for rect in self._rects:
-            xs.add(rect.x0)
-            xs.add(rect.x1)
-            ys.add(rect.y0)
-            ys.add(rect.y1)
-        xs.add(self.bound.x0)
-        xs.add(self.bound.x1)
-        ys.add(self.bound.y0)
-        ys.add(self.bound.y1)
-        self._edge_xs = xs
-        self._edge_ys = ys
-        self._dirty = False
+    def _append(self, rect: Rect, *, register_edges: bool = True) -> None:
+        """Install *rect* in the next free column (no epoch bump)."""
+        slot = self._count
+        if slot == len(self._x0):
+            grown = max(_INITIAL_CAPACITY, 2 * len(self._x0))
+            for name in ("_x0", "_y0", "_x1", "_y1"):
+                old = getattr(self, name)
+                new = np.empty(grown, dtype=np.int64)
+                new[:slot] = old[:slot]
+                setattr(self, name, new)
+        self._x0[slot] = rect.x0
+        self._y0[slot] = rect.y0
+        self._x1[slot] = rect.x1
+        self._y1[slot] = rect.y1
+        self._slots.append(rect)
+        self._ids.setdefault(rect, []).append(slot)
+        self._count += 1
+        self._live += 1
+        if register_edges:
+            self._edge_xs.add(rect.x0)
+            self._edge_xs.add(rect.x1)
+            self._edge_ys.add(rect.y0)
+            self._edge_ys.add(rect.y1)
+
+    def _compact(self) -> None:
+        """Drop dead columns, preserving live insertion order.
+
+        Geometry is unchanged, so the epoch (and any cached answers)
+        survive compaction.
+        """
+        live = [r for r in self._slots if r is not None]
+        self._slots = []
+        self._ids = {}
+        self._count = 0
+        self._live = 0
+        for rect in live:
+            self._append(rect, register_edges=False)
+        self._sync_views()
+
+    def _sync_views(self) -> None:
+        """Refresh the used-column array views after a mutation."""
+        count = self._count
+        self._vx0 = self._x0[:count]
+        self._vy0 = self._y0[:count]
+        self._vx1 = self._x1[:count]
+        self._vy1 = self._y1[:count]
+
+    def _mutated(self) -> None:
+        """Advance the epoch and invalidate memoized ray answers."""
+        self._epoch += 1
+        if self._ray_cache:
+            self._ray_cache.clear()
 
     # ------------------------------------------------------------------
     # Escape coordinates
@@ -143,15 +247,11 @@ class ObstacleSet:
     @property
     def edge_xs(self) -> CoordIndex:
         """Sorted index of all rect + boundary x edge coordinates."""
-        self._refresh()
-        assert self._edge_xs is not None
         return self._edge_xs
 
     @property
     def edge_ys(self) -> CoordIndex:
         """Sorted index of all rect + boundary y edge coordinates."""
-        self._refresh()
-        assert self._edge_ys is not None
         return self._edge_ys
 
     # ------------------------------------------------------------------
@@ -161,11 +261,10 @@ class ObstacleSet:
         """Whether *p* is routable: inside the bound, outside all interiors."""
         if not self.bound.contains_point(p):
             return False
-        self._refresh()
-        if not self._rects:
+        if not self._count:
             return True
         inside = (
-            (self._x0 < p.x) & (p.x < self._x1) & (self._y0 < p.y) & (p.y < self._y1)
+            (self._vx0 < p.x) & (p.x < self._vx1) & (self._vy0 < p.y) & (p.y < self._vy1)
         )
         return not bool(inside.any())
 
@@ -177,24 +276,23 @@ class ObstacleSet:
         """
         if not (self.bound.contains_point(seg.a) and self.bound.contains_point(seg.b)):
             return False
-        self._refresh()
-        if not self._rects:
+        if not self._count:
             return True
         if seg.is_degenerate:
             return self.point_free(seg.a)
         if seg.is_horizontal:
             y = seg.a.y
             crossing = (
-                (self._y0 < y)
-                & (y < self._y1)
-                & (np.maximum(self._x0, seg.a.x) < np.minimum(self._x1, seg.b.x))
+                (self._vy0 < y)
+                & (y < self._vy1)
+                & (np.maximum(self._vx0, seg.a.x) < np.minimum(self._vx1, seg.b.x))
             )
         else:
             x = seg.a.x
             crossing = (
-                (self._x0 < x)
-                & (x < self._x1)
-                & (np.maximum(self._y0, seg.a.y) < np.minimum(self._y1, seg.b.y))
+                (self._vx0 < x)
+                & (x < self._vx1)
+                & (np.maximum(self._vy0, seg.a.y) < np.minimum(self._vy1, seg.b.y))
             )
         return not bool(crossing.any())
 
@@ -204,13 +302,40 @@ class ObstacleSet:
         Used by the aggressive successor generator: the cell currently
         being hugged contributes its corner coordinates as escape stops.
         """
-        self._refresh()
-        if not self._rects:
+        if not self._count:
             return []
         closed = (
-            (self._x0 <= p.x) & (p.x <= self._x1) & (self._y0 <= p.y) & (p.y <= self._y1)
+            (self._vx0 <= p.x) & (p.x <= self._vx1) & (self._vy0 <= p.y) & (p.y <= self._vy1)
         )
-        return [self._rects[i] for i in np.flatnonzero(closed)]
+        touching = (self._slots[i] for i in np.flatnonzero(closed))
+        return [rect for rect in touching if rect is not None]
+
+    def on_any_boundary(self, p: Point) -> bool:
+        """Whether *p* lies on any rect's boundary or the routing bound's.
+
+        The vectorized form of ``any(r.on_boundary(p) for r in rects)``
+        used by the inverted-corner cost model, which queries it once
+        per candidate bend.
+        """
+        if self._count:
+            px, py = p.x, p.y
+            closed = (
+                (self._vx0 <= px) & (px <= self._vx1)
+                & (self._vy0 <= py) & (py <= self._vy1)
+            )
+            edge = (
+                (self._vx0 == px) | (self._vx1 == px)
+                | (self._vy0 == py) | (self._vy1 == py)
+            )
+            matches = closed & edge
+            if matches.any():
+                # Dead columns hold an out-of-bound sentinel point; it
+                # can only match a query at that exact point, but rule
+                # it out anyway rather than rely on callers staying
+                # inside the bound.
+                if any(self._slots[i] is not None for i in np.flatnonzero(matches)):
+                    return True
+        return self.bound.on_boundary(p)
 
     # ------------------------------------------------------------------
     # Ray tracing
@@ -218,30 +343,50 @@ class ObstacleSet:
     def first_hit(self, origin: Point, direction: Direction) -> Hit:
         """Trace a ray and report how far it can extend.
 
+        Answers are memoized per epoch when ``ray_cache_enabled``; a
+        cached answer is byte-identical to a fresh trace because the
+        set cannot have mutated since it was stored.
+
         Raises
         ------
         GeometryError
             If *origin* lies outside the routing boundary or strictly
             inside an obstacle (rays cannot start from illegal points).
         """
+        if self.ray_cache_enabled:
+            key = (origin.x, origin.y, direction)
+            hit = self._ray_cache.get(key)
+            if hit is not None:
+                self.ray_cache_hits += 1
+                return hit
+            hit = self._trace(origin, direction)
+            self.ray_cache_misses += 1
+            cache = self._ray_cache
+            if len(cache) >= RAY_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = hit
+            return hit
+        return self._trace(origin, direction)
+
+    def _trace(self, origin: Point, direction: Direction) -> Hit:
+        """The uncached ray trace behind :meth:`first_hit`."""
         if not self.bound.contains_point(origin):
             raise GeometryError(f"ray origin {origin} outside routing bound {self.bound}")
         if not self.point_free(origin):
             raise GeometryError(f"ray origin {origin} inside an obstacle")
-        self._refresh()
         px, py = origin.x, origin.y
         if direction is Direction.EAST:
             limit = self.bound.x1
-            stops = self._ray_stops(self._y0, self._y1, py, self._x1 > px, self._x0, px, +1)
+            stops = self._ray_stops(self._vy0, self._vy1, py, self._vx1 > px, self._vx0, px, +1)
         elif direction is Direction.WEST:
             limit = self.bound.x0
-            stops = self._ray_stops(self._y0, self._y1, py, self._x0 < px, self._x1, px, -1)
+            stops = self._ray_stops(self._vy0, self._vy1, py, self._vx0 < px, self._vx1, px, -1)
         elif direction is Direction.NORTH:
             limit = self.bound.y1
-            stops = self._ray_stops(self._x0, self._x1, px, self._y1 > py, self._y0, py, +1)
+            stops = self._ray_stops(self._vx0, self._vx1, px, self._vy1 > py, self._vy0, py, +1)
         else:  # SOUTH
             limit = self.bound.y0
-            stops = self._ray_stops(self._x0, self._x1, px, self._y0 < py, self._y1, py, -1)
+            stops = self._ray_stops(self._vx0, self._vx1, px, self._vy0 < py, self._vy1, py, -1)
 
         obstacle: Optional[Rect] = None
         reach_coord = limit
@@ -252,7 +397,7 @@ class ObstacleSet:
             closer = candidate < reach_coord if direction.sign > 0 else candidate > reach_coord
             if closer or candidate == reach_coord:
                 reach_coord = candidate
-                obstacle = self._rects[int(indices[best])]
+                obstacle = self._slots[int(indices[best])]
         reach = (
             origin.with_x(reach_coord) if direction.is_horizontal else origin.with_y(reach_coord)
         )
@@ -265,8 +410,10 @@ class ObstacleSet:
         the rect's perpendicular span and some part of the rect lies
         ahead.  The stop is the rect's near edge, clamped back to the
         origin when the origin already touches the rect's far column.
+        Dead (removed) columns hold the out-of-bound sentinel and can
+        never satisfy the perpendicular-span test.
         """
-        if not self._rects:
+        if not self._count:
             return None
         mask = (perp_lo < perp_coord) & (perp_coord < perp_hi) & ahead_mask
         if not mask.any():

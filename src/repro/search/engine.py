@@ -6,13 +6,21 @@ on, and removed from, the OPEN list."  The :class:`Order` enum selects
 that order; everything else — goal testing at expansion, the single
 active copy per state, reopening CLOSED nodes when a shorter path is
 found, the admissible termination condition — is shared.
+
+The cost-ordered loop is the router's innermost hot path (everything
+else in a routing run happens per net or per iteration; this happens
+per node).  It is deliberately written lean: flat tuple heap entries
+(no nested sort keys), integer OPEN/CLOSED codes, bound-method and
+counter hoisting, and per-expansion allocations pulled out of the
+loop.  The node accounting, expansion order, and results are
+byte-identical to the straightforward form — the engine tests pin
+golden expansion traces to keep it that way.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-import itertools
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -24,6 +32,12 @@ from repro.search.problem import SearchProblem
 from repro.search.stats import ExpansionTrace, SearchStats
 
 S = TypeVar("S", bound=Hashable)
+
+# OPEN/CLOSED codes for the status dict: comparing small ints is
+# measurably cheaper than comparing strings in the stale-entry check
+# that runs once per heap pop.
+_OPEN = 1
+_CLOSED = 2
 
 
 class Order(enum.Enum):
@@ -153,89 +167,126 @@ def _cost_ordered_search(
 ) -> SearchResult[S]:
     stats = SearchStats()
     expansion = ExpansionTrace() if trace else None
+    record = expansion.record if expansion is not None else None
     started = time.perf_counter()
-    counter = itertools.count()
 
     use_heuristic = order is Order.A_STAR
+    heuristic = problem.heuristic
+    successors = problem.successors
+    is_goal = problem.is_goal
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
     nodes: dict[S, SearchNode[S]] = {}
-    status: dict[S, str] = {}
-    heap: list[tuple[tuple[float, float], int, float, SearchNode[S]]] = []
+    status: dict[S, int] = {}
+    # Flat heap entries: (f, -g, counter, pushed_g, node) for A*,
+    # (g, 0.0, counter, pushed_g, node) for best-first.  The unique
+    # counter breaks all remaining ties, so nodes never compare.  On
+    # equal f the deeper (higher-g) node is preferred: it is closer to
+    # the goal, which measurably trims expansions without touching
+    # admissibility.
+    heap: list[tuple[float, float, int, float, SearchNode[S]]] = []
+    counter = 0
     open_size = 0
+    max_open = 0
+    expanded = 0
+    generated = 0
+    reopened = 0
     best_goal: Optional[SearchNode[S]] = None
 
-    def sort_key(node: SearchNode[S]) -> tuple[float, float]:
-        # On equal f prefer the deeper (higher-g) node: it is closer to
-        # the goal, which measurably trims expansions without touching
-        # admissibility.
-        if use_heuristic:
-            return (node.f, -node.g)
-        return (node.g, 0.0)
-
-    def push(node: SearchNode[S]) -> None:
-        nonlocal open_size
-        heapq.heappush(heap, (sort_key(node), next(counter), node.g, node))
-        status[node.state] = "open"
-        open_size += 1
-        stats.observe_open_size(open_size)
+    def finish(termination: str) -> None:
+        stats.nodes_expanded = expanded
+        stats.nodes_generated = generated
+        stats.nodes_reopened = reopened
+        stats.max_open_size = max_open
+        stats.termination = termination
+        stats.elapsed_seconds = time.perf_counter() - started
 
     for state, g0 in problem.start_states():
         if g0 < 0:
             raise SearchError(f"negative start cost {g0} for state {state}")
-        h0 = problem.heuristic(state) if use_heuristic else 0.0
-        node = SearchNode(state, g=g0, h=h0)
         existing = nodes.get(state)
         if existing is None or g0 < existing.g:
+            h0 = heuristic(state) if use_heuristic else 0.0
+            node = SearchNode(state, g0, h0)
             nodes[state] = node
-            push(node)
+            if use_heuristic:
+                heappush(heap, (g0 + h0, -g0, counter, g0, node))
+            else:
+                heappush(heap, (g0, 0.0, counter, g0, node))
+            counter += 1
+            status[state] = _OPEN
+            open_size += 1
+            if open_size > max_open:
+                max_open = open_size
 
     while heap:
-        _, _, pushed_g, node = heapq.heappop(heap)
+        entry = heappop(heap)
+        pushed_g = entry[3]
+        node = entry[4]
         open_size -= 1
-        if status.get(node.state) != "open" or pushed_g != node.g:
+        state = node.state
+        if status.get(state) != _OPEN or pushed_g != node.g:
             continue  # stale heap entry: the node was re-pushed cheaper
-        status[node.state] = "closed"
+        status[state] = _CLOSED
 
-        if problem.is_goal(node.state):
+        if is_goal(state):
             if not exhaustive:
-                stats.termination = "goal"
-                stats.elapsed_seconds = time.perf_counter() - started
+                finish("goal")
                 return SearchResult(node, stats, expansion)
             if best_goal is None or node.g < best_goal.g:
                 best_goal = node
 
-        stats.nodes_expanded += 1
-        if expansion is not None:
-            parent_state = node.parent.state if node.parent else None
-            expansion.record(node.state, parent_state)
-        if node_limit is not None and stats.nodes_expanded >= node_limit:
-            stats.termination = "limit"
-            stats.elapsed_seconds = time.perf_counter() - started
+        expanded += 1
+        if record is not None:
+            parent = node.parent
+            record(state, parent.state if parent is not None else None)
+        if node_limit is not None and expanded >= node_limit:
+            finish("limit")
             return SearchResult(best_goal, stats, expansion)
 
-        for succ_state, edge_cost in problem.successors(node.state):
+        node_g = node.g
+        child_depth = node.depth + 1
+        for succ_state, edge_cost in successors(state):
             if edge_cost < 0:
                 raise SearchError(
-                    f"negative edge cost {edge_cost} from {node.state} to {succ_state}"
+                    f"negative edge cost {edge_cost} from {state} to {succ_state}"
                 )
-            stats.nodes_generated += 1
-            new_g = node.g + edge_cost
+            generated += 1
+            new_g = node_g + edge_cost
             existing = nodes.get(succ_state)
             if existing is None:
-                h = problem.heuristic(succ_state) if use_heuristic else 0.0
-                child = SearchNode(succ_state, g=new_g, h=h, parent=node, depth=node.depth + 1)
+                h = heuristic(succ_state) if use_heuristic else 0.0
+                child = SearchNode(succ_state, new_g, h, node, child_depth)
                 nodes[succ_state] = child
-                push(child)
+                if use_heuristic:
+                    heappush(heap, (new_g + h, -new_g, counter, new_g, child))
+                else:
+                    heappush(heap, (new_g, 0.0, counter, new_g, child))
+                counter += 1
+                status[succ_state] = _OPEN
+                open_size += 1
+                if open_size > max_open:
+                    max_open = open_size
             elif new_g < existing.g:
                 # "If its new f is less than the old it must be placed
                 # back on OPEN ... its pointers must be redirected."
-                was_closed = status.get(succ_state) == "closed"
-                existing.redirect(node, new_g)
-                if was_closed:
-                    stats.nodes_reopened += 1
-                push(existing)
+                if status.get(succ_state) == _CLOSED:
+                    reopened += 1
+                existing.parent = node
+                existing.g = new_g
+                existing.depth = child_depth
+                if use_heuristic:
+                    heappush(heap, (new_g + existing.h, -new_g, counter, new_g, existing))
+                else:
+                    heappush(heap, (new_g, 0.0, counter, new_g, existing))
+                counter += 1
+                status[succ_state] = _OPEN
+                open_size += 1
+                if open_size > max_open:
+                    max_open = open_size
 
-    stats.termination = "goal" if best_goal is not None else "exhausted"
-    stats.elapsed_seconds = time.perf_counter() - started
+    finish("goal" if best_goal is not None else "exhausted")
     return SearchResult(best_goal, stats, expansion)
 
 

@@ -33,6 +33,13 @@ class SearchStats:
         How the search ended: ``"goal"``, ``"exhausted"`` (OPEN ran
         empty), ``"limit"`` (node limit hit), or ``"none"`` (no search
         has been recorded yet — the neutral element for merging).
+    cache_hits / cache_misses:
+        Ray-query memo cache traffic attributable to this search (the
+        :class:`~repro.geometry.raytrace.ObstacleSet` epoch cache).
+        Zero when the cache is disabled.  Telemetry only: two runs that
+        route identically may warm the cache differently (e.g. under a
+        different worker partitioning), so these are excluded from any
+        byte-identity comparison.
     """
 
     nodes_expanded: int = 0
@@ -41,6 +48,14 @@ class SearchStats:
     max_open_size: int = 0
     elapsed_seconds: float = 0.0
     termination: str = "none"
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over total ray-cache lookups (0.0 when none were made)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def observe_open_size(self, size: int) -> None:
         """Track the OPEN list high-water mark."""
@@ -63,6 +78,8 @@ class SearchStats:
             max_open_size=max(self.max_open_size, other.max_open_size),
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
             termination=worst,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
         )
 
 

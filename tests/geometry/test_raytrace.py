@@ -150,6 +150,82 @@ class TestMutation:
         assert len(obs.rects) == 2
 
 
+class TestEpochAndRayCache:
+    def test_epoch_bumps_on_every_mutation(self):
+        obs = make_set()
+        e0 = obs.epoch
+        obs.add(Rect(10, 10, 20, 20))
+        assert obs.epoch == e0 + 1
+        obs.add_many([Rect(30, 30, 40, 40), Rect(50, 50, 55, 55)])
+        assert obs.epoch == e0 + 2  # batch add is one epoch
+        obs.remove(Rect(30, 30, 40, 40))
+        assert obs.epoch == e0 + 3
+
+    def test_repeat_query_is_a_cache_hit(self):
+        obs = make_set(Rect(40, 40, 60, 60))
+        origin = Point(10, 50)
+        first = obs.first_hit(origin, Direction.EAST)
+        assert obs.ray_cache_misses == 1 and obs.ray_cache_hits == 0
+        second = obs.first_hit(origin, Direction.EAST)
+        assert obs.ray_cache_hits == 1
+        assert first == second
+
+    def test_epoch_bump_invalidates_stale_hits(self):
+        # Regression: a cached reach must not survive a mutation that
+        # changes the answer.
+        obs = make_set()
+        origin = Point(10, 50)
+        assert obs.first_hit(origin, Direction.EAST).reach == Point(100, 50)
+        blocker = Rect(40, 40, 60, 60)
+        obs.add(blocker)
+        hit = obs.first_hit(origin, Direction.EAST)
+        assert hit.reach == Point(40, 50)
+        assert hit.obstacle == blocker
+        obs.remove(blocker)
+        assert obs.first_hit(origin, Direction.EAST).reach == Point(100, 50)
+
+    def test_cache_disabled_never_counts(self):
+        obs = ObstacleSet(BOUND, [Rect(40, 40, 60, 60)], ray_cache=False)
+        for _ in range(3):
+            obs.first_hit(Point(10, 50), Direction.EAST)
+        assert obs.ray_cache_hits == 0 and obs.ray_cache_misses == 0
+
+    def test_illegal_origin_still_raises_with_cache(self):
+        obs = make_set(Rect(40, 40, 60, 60))
+        with pytest.raises(GeometryError):
+            obs.first_hit(Point(50, 50), Direction.EAST)
+        with pytest.raises(GeometryError):  # and again (errors are not cached)
+            obs.first_hit(Point(50, 50), Direction.EAST)
+
+    def test_remove_duplicate_keeps_one(self):
+        rect = Rect(40, 40, 60, 60)
+        obs = make_set(rect, rect)
+        obs.remove(rect)
+        assert obs.rects == (rect,)
+        assert not obs.segment_free(Segment.horizontal(50, 0, 100))
+        obs.remove(rect)
+        assert obs.rects == ()
+        assert obs.segment_free(Segment.horizontal(50, 0, 100))
+
+    def test_heavy_churn_compacts_without_drift(self):
+        # Push enough removals through to trigger compaction and check
+        # queries still match a pristine set.
+        obs = make_set()
+        rects = [Rect(i % 9 * 10 + 1, i // 9 * 10 + 1, i % 9 * 10 + 5, i // 9 * 10 + 5)
+                 for i in range(81)]
+        obs.add_many(rects)
+        for rect in rects[:70]:
+            obs.remove(rect)
+        pristine = ObstacleSet(BOUND, rects[70:])
+        assert obs.rects == pristine.rects
+        assert list(obs.edge_xs) == list(pristine.edge_xs)
+        for x in range(0, 101, 7):
+            p = Point(x, 50)
+            assert obs.point_free(p) == pristine.point_free(p)
+            if obs.point_free(p):
+                assert obs.first_hit(p, Direction.NORTH) == pristine.first_hit(p, Direction.NORTH)
+
+
 class TestEdgeIndexes:
     def test_edge_coordinates_include_bound(self):
         obs = make_set(Rect(10, 10, 20, 20))

@@ -1,0 +1,154 @@
+"""Property tests for the epoch-cached, incrementally-indexed obstacle set.
+
+The ``ObstacleSet`` rewrite (epoch counter + incremental numpy column
+maintenance + ray-query memo cache) must be observationally identical
+to a freshly-built, cache-disabled set after *any* interleaving of
+``add``/``add_many``/``remove`` mutations.  These tests drive randomized
+mutation sequences and compare every query surface between:
+
+* the mutated set with the ray cache ON (the shipping configuration),
+* the mutated set with the ray cache OFF, and
+* a pristine set rebuilt from scratch with the surviving rects
+  (no incremental state at all).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.point import ALL_DIRECTIONS, Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+BOUND = Rect(0, 0, 60, 60)
+
+coords = st.integers(min_value=0, max_value=60)
+
+
+@st.composite
+def small_rects(draw):
+    x0 = draw(st.integers(min_value=1, max_value=55))
+    y0 = draw(st.integers(min_value=1, max_value=55))
+    return Rect(x0, y0, x0 + draw(st.integers(0, 8)), y0 + draw(st.integers(0, 8)))
+
+
+@st.composite
+def mutation_scripts(draw):
+    """A list of ('add'|'add_many'|'remove', payload) operations.
+
+    Removals pick from the rects added so far, so every script is
+    replayable; a fraction of scripts also remove everything they
+    added to exercise the empty-again state.
+    """
+    script = []
+    pool = []
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        op = draw(st.sampled_from(["add", "add", "add_many", "remove"]))
+        if op == "add":
+            rect = draw(small_rects())
+            pool.append(rect)
+            script.append(("add", rect))
+        elif op == "add_many":
+            batch = draw(st.lists(small_rects(), min_size=1, max_size=4))
+            pool.extend(batch)
+            script.append(("add_many", tuple(batch)))
+        elif pool:
+            victim = pool.pop(draw(st.integers(0, len(pool) - 1)))
+            script.append(("remove", victim))
+    return script
+
+
+def apply_script(obs: ObstacleSet, script, survivors=None) -> list[Rect]:
+    """Replay *script* onto *obs*; returns the surviving rects in order.
+
+    Stepwise callers pass their own *survivors* list so the shadow
+    state persists across calls.
+    """
+    if survivors is None:
+        survivors = []
+    for op, payload in script:
+        if op == "add":
+            obs.add(payload)
+            survivors.append(payload)
+        elif op == "add_many":
+            obs.add_many(payload)
+            survivors.extend(payload)
+        else:
+            obs.remove(payload)
+            # Mirror ObstacleSet.remove, which drops the most recently
+            # added occurrence among equal rects — keeping the shadow
+            # list's relative order identical to the set's slot order.
+            index = len(survivors) - 1 - survivors[::-1].index(payload)
+            survivors.pop(index)
+    return survivors
+
+
+def probe_points(rng: random.Random, count: int = 12) -> list[Point]:
+    return [Point(rng.randint(0, 60), rng.randint(0, 60)) for _ in range(count)]
+
+
+def ray_answers(obs: ObstacleSet, probes) -> list:
+    """All ray answers over the probe points (errors recorded as markers)."""
+    out = []
+    for p in probes:
+        for direction in ALL_DIRECTIONS:
+            try:
+                hit = obs.first_hit(p, direction)
+                out.append((p, direction, hit.reach, hit.obstacle))
+            except Exception:
+                out.append((p, direction, "illegal-origin"))
+    return out
+
+
+class TestCachedVsUncached:
+    @settings(max_examples=60, deadline=None)
+    @given(mutation_scripts(), st.integers(0, 2**31))
+    def test_ray_queries_agree_under_mutation(self, script, seed):
+        cached = ObstacleSet(BOUND, ray_cache=True)
+        uncached = ObstacleSet(BOUND, ray_cache=False)
+        rng = random.Random(seed)
+        shadow_cached: list[Rect] = []
+        shadow_uncached: list[Rect] = []
+        for step in range(len(script)):
+            apply_script(cached, script[step : step + 1], shadow_cached)
+            apply_script(uncached, script[step : step + 1], shadow_uncached)
+            probes = probe_points(rng, count=6)
+            assert ray_answers(cached, probes) == ray_answers(uncached, probes)
+            # Query twice: the second pass is served from the memo and
+            # must not drift from the first.
+            assert ray_answers(cached, probes) == ray_answers(uncached, probes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(mutation_scripts(), st.integers(0, 2**31))
+    def test_mutated_set_matches_pristine_rebuild(self, script, seed):
+        mutated = ObstacleSet(BOUND)
+        survivors = apply_script(mutated, script)
+        pristine = ObstacleSet(BOUND, survivors, ray_cache=False)
+        rng = random.Random(seed)
+        probes = probe_points(rng)
+
+        assert sorted(mutated.rects) == sorted(pristine.rects)
+        assert list(mutated.edge_xs) == list(pristine.edge_xs)
+        assert list(mutated.edge_ys) == list(pristine.edge_ys)
+        assert ray_answers(mutated, probes) == ray_answers(pristine, probes)
+        for p in probes:
+            assert mutated.point_free(p) == pristine.point_free(p)
+            assert mutated.on_any_boundary(p) == pristine.on_any_boundary(p)
+            assert sorted(mutated.rects_touching(p)) == sorted(pristine.rects_touching(p))
+        for a in probes[:6]:
+            for b in probes[6:]:
+                if a.x == b.x or a.y == b.y:
+                    seg = Segment(a, b)
+                    assert mutated.segment_free(seg) == pristine.segment_free(seg)
+
+    @settings(max_examples=40, deadline=None)
+    @given(mutation_scripts())
+    def test_epoch_strictly_increases_per_mutation(self, script):
+        obs = ObstacleSet(BOUND)
+        shadow: list[Rect] = []
+        last = obs.epoch
+        for step in script:
+            apply_script(obs, [step], shadow)
+            assert obs.epoch > last
+            last = obs.epoch

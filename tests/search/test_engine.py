@@ -140,6 +140,67 @@ class TestAStar:
         assert parents["a"] == "s"
 
 
+class TestLeanLoopInvariants:
+    """Pin the exact expansion order the flat-heap loop must preserve.
+
+    The engine's inner loop was rewritten for speed (flat tuple heap
+    entries, integer status codes, hoisted locals); these goldens keep
+    its observable ordering byte-identical to the straightforward form.
+    """
+
+    def test_equal_f_prefers_deeper_node(self):
+        # Both b (g=2,h=2) and c (g=3,h=1) sit at f=4; the deeper
+        # (higher-g) node must pop first, reach the goal (also at f=4,
+        # deeper still), and b is never expanded at all.
+        problem = GraphProblem(
+            {"s": [("b", 2), ("c", 3)], "b": [("g", 9)], "c": [("g", 1)]},
+            "s",
+            "g",
+            heuristic={"s": 4, "b": 2, "c": 1, "g": 0},
+        )
+        result = search(problem, Order.A_STAR, trace=True)
+        assert result.trace.states == ["s", "c"]
+        assert result.cost == 4
+
+    def test_fifo_tie_break_on_identical_keys(self):
+        # Identical (f, g): insertion order decides, first pushed first
+        # popped — exhaustive so the search keeps going past the goals.
+        problem = GraphProblem(
+            {"s": [("a", 1), ("b", 1), ("c", 1)]},
+            "s",
+            "none-of-them",
+        )
+        result = search(problem, Order.A_STAR, trace=True, exhaustive=True)
+        assert result.trace.states == ["s", "a", "b", "c"]
+
+    def test_stale_entries_skipped_after_reopen(self):
+        # d is reached at g=5 then improved to g=3 via the b chain; the
+        # stale g=5 heap entry must be skipped, and d expanded once.
+        problem = GraphProblem(
+            {
+                "s": [("d", 5), ("b", 1)],
+                "b": [("d", 1)],
+                "d": [("goal", 10)],
+            },
+            "s",
+            "goal",
+            heuristic={"s": 0, "b": 0, "d": 0, "goal": 0},
+        )
+        result = search(problem, Order.A_STAR, trace=True)
+        assert result.cost == 12
+        assert result.trace.states.count("d") == 1
+        assert result.stats.nodes_expanded == len(result.trace.states)
+
+    def test_open_size_high_water_mark(self):
+        problem = GraphProblem(
+            {"s": [("a", 1), ("b", 2), ("c", 3)], "a": [("g", 10)]},
+            "s",
+            "g",
+        )
+        result = search(problem, Order.A_STAR)
+        assert result.stats.max_open_size == 3
+
+
 class TestBestFirst:
     def test_ignores_heuristic(self):
         # A misleading (inadmissible) heuristic must not affect best-first.
