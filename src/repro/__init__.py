@@ -18,6 +18,9 @@ The top-level namespace re-exports the public API; subpackages:
 * :mod:`repro.api` — the canonical public surface: ``RouteRequest`` →
   :class:`~repro.api.pipeline.RoutingPipeline` → ``RouteResult``, the
   pluggable strategy registry, and the ``route_many`` batch facade.
+* :mod:`repro.scenarios` — named seeded scenario families, the
+  checked-in ``scenarios/`` corpus, and the differential conformance
+  runner over every strategy × config-toggle combination.
 """
 
 from repro.errors import (
@@ -80,6 +83,7 @@ from repro.analysis import (
 )
 from repro.api import (
     Batch,
+    BatchError,
     CongestionSummary,
     DetailSummary,
     RouteRequest,
@@ -90,11 +94,18 @@ from repro.api import (
     register_strategy,
     route_many,
 )
+from repro.scenarios import (
+    Scenario,
+    build_scenario,
+    load_corpus,
+    run_conformance,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Batch",
+    "BatchError",
     "Cell",
     "CongestionHistory",
     "CongestionMap",
@@ -134,6 +145,7 @@ __all__ = [
     "RouterConfig",
     "RoutingError",
     "RoutingPipeline",
+    "Scenario",
     "SearchError",
     "SearchProblem",
     "SearchStats",
@@ -146,11 +158,13 @@ __all__ = [
     "UnroutableError",
     "ValidationError",
     "WirelengthCost",
+    "build_scenario",
     "find_path",
     "grid_astar_route",
     "grid_layout",
     "hightower_route",
     "lee_moore_route",
+    "load_corpus",
     "random_layout",
     "register_strategy",
     "render_expansion",
@@ -158,6 +172,7 @@ __all__ = [
     "route_many",
     "route_net",
     "route_with_fallback",
+    "run_conformance",
     "search",
     "summarize_route",
     "validate_layout",

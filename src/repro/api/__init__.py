@@ -48,11 +48,12 @@ from repro.api.strategies import (
     TwoPassStrategy,
 )
 from repro.api.pipeline import RoutingPipeline, route
-from repro.api.batch import Batch, route_many
+from repro.api.batch import Batch, BatchError, route_many
 
 __all__ = [
     "BUILTIN_STRATEGIES",
     "Batch",
+    "BatchError",
     "CongestionSummary",
     "DEFAULT_REGISTRY",
     "DetailSummary",

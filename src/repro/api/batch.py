@@ -23,7 +23,8 @@ third-party strategies registered at runtime in the parent need the
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.errors import RoutingError
 from repro.core.parallel import EXECUTORS, make_executor
@@ -32,10 +33,60 @@ from repro.api.request import RouteRequest
 from repro.api.result import RouteResult
 from repro.api.registry import StrategyRegistry
 
+#: The error-handling policies a batch may run under.
+ON_ERROR_POLICIES = ("raise", "return")
+
+
+@dataclass
+class BatchError:
+    """A failed request's slot in ``on_error="return"`` results.
+
+    Carries the original exception so callers can discriminate failure
+    modes (`isinstance(slot, BatchError)` separates failures from
+    results; ``slot.error`` is the exception the pipeline raised).
+    """
+
+    error: Exception
+
+    @property
+    def ok(self) -> bool:
+        """Always False — mirrors :attr:`RouteResult.ok` for uniform filtering."""
+        return False
+
+    @property
+    def message(self) -> str:
+        """The failure rendered as text."""
+        return str(self.error)
+
+
+#: One slot of a batch result under ``on_error="return"``.
+BatchOutcome = Union[RouteResult, BatchError]
+
 
 def _run_request(request: RouteRequest) -> RouteResult:
     """Route one request in a worker process (module-level for pickling)."""
     return RoutingPipeline().run(request)
+
+
+def _run_request_guarded(request: RouteRequest) -> BatchOutcome:
+    """Like :func:`_run_request`, but a failure fills the slot instead
+    of poisoning the pool map (module-level for pickling)."""
+    try:
+        return RoutingPipeline().run(request)
+    except Exception as exc:  # noqa: BLE001 - every failure must stay in its slot
+        return BatchError(exc)
+
+
+def _guarded(run: Callable[[RouteRequest], RouteResult]) -> Callable[[RouteRequest], BatchOutcome]:
+    """Wrap a pipeline runner so one request's failure fills its slot."""
+
+    def _run(request: RouteRequest) -> BatchOutcome:
+        try:
+            return run(request)
+        except Exception as exc:  # noqa: BLE001 - every failure must stay in its slot
+            return BatchError(exc)
+
+    return _run
 
 
 class Batch:
@@ -50,6 +101,13 @@ class Batch:
     registry:
         Registry for the serial and thread paths; process workers use
         the default registry (see module docstring).
+    on_error:
+        ``"raise"`` (default) propagates a failing request's error
+        after in-flight work completes, discarding sibling results.
+        ``"return"`` isolates failures: each failed request's slot
+        holds a :class:`BatchError` wrapping the exception while every
+        sibling still gets its :class:`RouteResult` — the service
+        shape, where one malformed request must not poison a farm run.
     """
 
     def __init__(
@@ -58,28 +116,54 @@ class Batch:
         workers: int = 1,
         executor: str = "process",
         registry: Optional[StrategyRegistry] = None,
+        on_error: str = "raise",
     ):
         if workers < 1:
             raise RoutingError(f"batch workers must be >= 1, got {workers}")
         if executor not in EXECUTORS:
             raise RoutingError(f"executor must be one of {EXECUTORS}, not {executor!r}")
+        if on_error not in ON_ERROR_POLICIES:
+            raise RoutingError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, not {on_error!r}"
+            )
         self.workers = workers
         self.executor = executor
+        self.on_error = on_error
         self._pipeline = RoutingPipeline(registry)
 
-    def route_many(self, requests: Iterable[RouteRequest]) -> list[RouteResult]:
+    def route_many(self, requests: Iterable[RouteRequest]) -> list[BatchOutcome]:
         """Route every request; results come back in input order.
 
         Results are identical to routing each request through a
         :class:`~repro.api.pipeline.RoutingPipeline` serially — the
-        batch is purely a wall-time facade.  A failing request
-        propagates its error after in-flight work completes.
+        batch is purely a wall-time facade.  Failure handling follows
+        ``on_error``: the default re-raises the first failing request's
+        error (in input order) after in-flight work completes, while
+        ``"return"`` keeps sibling results and returns
+        :class:`BatchError` slots for the failures.
         """
         reqs: Sequence[RouteRequest] = list(requests)
         if not reqs:
             return []
-        if self.workers == 1 or len(reqs) == 1:
+        serial = self.workers == 1 or len(reqs) == 1
+        if serial and self.on_error == "raise":
+            # Nothing is ever in flight on the serial path, so fail
+            # fast instead of routing the whole batch before raising.
             return [self._pipeline.run(r) for r in reqs]
+        outcomes = self._route_guarded(reqs, serial)
+        if self.on_error == "raise":
+            for outcome in outcomes:
+                if isinstance(outcome, BatchError):
+                    raise outcome.error
+        return outcomes
+
+    def _route_guarded(
+        self, reqs: Sequence[RouteRequest], serial: bool
+    ) -> list[BatchOutcome]:
+        """Route with every failure captured into its slot."""
+        run = _guarded(self._pipeline.run)
+        if serial:
+            return [run(r) for r in reqs]
         if self.executor == "process":
             oversubscribed = [r for r in reqs if r.config.workers > 1]
             if oversubscribed:
@@ -91,14 +175,28 @@ class Batch:
             # Layout references would be opened in worker processes with
             # whatever cwd they inherit; resolve them here so the batch
             # behaves like the serial path regardless of worker state.
-            reqs = [
-                r if r.layout is not None else r.with_layout(r.resolve_layout())
-                for r in reqs
+            # Resolving the layout may itself fail (missing file); that
+            # failure belongs in the request's slot, not in the parent.
+            resolved: list[BatchOutcome | RouteRequest] = []
+            for r in reqs:
+                try:
+                    resolved.append(
+                        r if r.layout is not None else r.with_layout(r.resolve_layout())
+                    )
+                except Exception as exc:  # noqa: BLE001 - slot-isolated, see on_error
+                    resolved.append(BatchError(exc))
+            pending = [r for r in resolved if isinstance(r, RouteRequest)]
+            routed: list[BatchOutcome] = []
+            if pending:
+                with make_executor(min(self.workers, len(pending)), "process") as pool:
+                    routed = list(pool.map(_run_request_guarded, pending))
+            routed_iter = iter(routed)
+            return [
+                slot if isinstance(slot, BatchError) else next(routed_iter)
+                for slot in resolved
             ]
-            with make_executor(min(self.workers, len(reqs)), "process") as pool:
-                return list(pool.map(_run_request, reqs))
         with make_executor(min(self.workers, len(reqs)), "thread") as pool:
-            return list(pool.map(self._pipeline.run, reqs))
+            return list(pool.map(run, reqs))
 
 
 def route_many(
@@ -107,8 +205,9 @@ def route_many(
     workers: int = 1,
     executor: str = "process",
     registry: Optional[StrategyRegistry] = None,
-) -> list[RouteResult]:
+    on_error: str = "raise",
+) -> list[BatchOutcome]:
     """One-shot convenience over :class:`Batch`."""
-    return Batch(workers=workers, executor=executor, registry=registry).route_many(
-        requests
-    )
+    return Batch(
+        workers=workers, executor=executor, registry=registry, on_error=on_error
+    ).route_many(requests)

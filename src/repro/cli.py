@@ -1,6 +1,6 @@
 """Command-line interface — a thin shim over :mod:`repro.api`.
 
-Three subcommands cover the library's everyday use without writing
+Four subcommands cover the library's everyday use without writing
 Python:
 
 ``generate``
@@ -11,6 +11,11 @@ Python:
     :class:`~repro.api.pipeline.RoutingPipeline`, and render the
     :class:`~repro.api.result.RouteResult` (tables, ASCII art, SVG,
     and/or ``--json-out`` result JSON).
+``conformance``
+    Run the differential conformance harness: every scenario of the
+    checked-in corpus through every strategy × config-toggle
+    combination, with oracle verification, byte-identity checks, and
+    cross-strategy tolerance bands (see ``docs/scenarios.md``).
 ``render``
     ASCII-render a layout JSON (with no routing).
 
@@ -20,6 +25,7 @@ Example::
     python -m repro route chip.json --strategy two-pass --detail --svg chip.svg
     python -m repro route chip.json --strategy negotiated --workers 4
     python -m repro route --request request.json --json-out result.json
+    python -m repro conformance --quick --json-out conformance_report.json
 
 The historical ``--two-pass`` / ``--negotiate N`` flags still work as
 aliases for ``--strategy two-pass`` / ``--strategy negotiated``; since
@@ -103,6 +109,26 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--skip-unroutable", action="store_true",
                        help="record failures instead of aborting")
 
+    conf = sub.add_parser(
+        "conformance",
+        help="run the scenario corpus through the strategy x toggle matrix",
+    )
+    conf.add_argument("--corpus", metavar="DIR", default=None,
+                      help="scenario corpus directory (default: the checked-in "
+                           "scenarios/ corpus)")
+    conf.add_argument("--quick", action="store_true",
+                      help="baseline + one flip per toggle instead of the full "
+                           "2x2x2 matrix")
+    conf.add_argument("--only", action="append", metavar="PATTERN", default=None,
+                      help="restrict to scenario names matching the glob "
+                           "(repeatable)")
+    conf.add_argument("--strategies", nargs="+", metavar="NAME", default=None,
+                      help="strategy subset (default: single two-pass negotiated)")
+    conf.add_argument("--json-out", metavar="PATH",
+                      help="write the conformance report JSON ('-' for stdout)")
+    conf.add_argument("--write-corpus", action="store_true",
+                      help="regenerate the corpus files from the recipes and exit")
+
     render = sub.add_parser("render", help="ASCII-render a layout JSON")
     render.add_argument("layout")
     render.add_argument("--width", type=int, default=78)
@@ -117,6 +143,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_generate(args)
         if args.command == "route":
             return _cmd_route(args)
+        if args.command == "conformance":
+            return _cmd_conformance(args)
         return _cmd_render(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -329,6 +357,85 @@ def _render_result(
     if args.svg:
         save_svg(args.svg, layout_to_svg(layout, route, detailed=result.detailed))
         print(f"wrote {args.svg}", file=sys.stderr)
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    """Run the differential conformance harness over the corpus."""
+    import fnmatch
+
+    from repro.scenarios import (
+        DEFAULT_CORPUS_DIR,
+        FULL_MATRIX,
+        QUICK_MATRIX,
+        load_corpus,
+        run_conformance,
+        write_corpus,
+    )
+
+    corpus_dir = args.corpus if args.corpus is not None else DEFAULT_CORPUS_DIR
+    if args.write_corpus:
+        # The run-shaping flags have no meaning when only regenerating
+        # files; dropping them silently would look like they worked.
+        ignored = [
+            flag for flag, value in (
+                ("--quick", args.quick), ("--only", args.only),
+                ("--strategies", args.strategies), ("--json-out", args.json_out),
+            ) if value
+        ]
+        if ignored:
+            raise ReproError(
+                f"{', '.join(ignored)}: incompatible with --write-corpus "
+                f"(it always rewrites the full default corpus)"
+            )
+        paths = write_corpus(corpus_dir)
+        print(f"wrote {len(paths)} scenario files under {corpus_dir}", file=sys.stderr)
+        return 0
+
+    scenarios = load_corpus(corpus_dir)
+    if args.only:
+        scenarios = [
+            s for s in scenarios
+            if any(fnmatch.fnmatch(s.name, pattern) for pattern in args.only)
+        ]
+        if not scenarios:
+            raise ReproError(f"no corpus scenarios match {args.only}")
+    matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
+    report = run_conformance(scenarios, strategies=args.strategies, matrix=matrix)
+
+    if args.json_out != "-":
+        rows = []
+        for scenario in scenarios:
+            checks = [c for c in report.checks if c.scenario == scenario.name]
+            cases = [c for c in report.cases if c.scenario == scenario.name]
+            rows.append([
+                scenario.name,
+                scenario.family,
+                len(cases),
+                sum(1 for c in checks if c.ok),
+                sum(1 for c in checks if not c.ok),
+                f"{sum(c.elapsed_seconds for c in cases):.2f}",
+            ])
+        print(format_table(
+            ["scenario", "family", "cases", "checks ok", "failed", "route s"],
+            rows,
+            title=f"conformance ({'quick' if args.quick else 'full'} matrix)",
+        ))
+        for failure in report.failures():
+            print(
+                f"FAIL [{failure.kind}] {failure.scenario}/{failure.strategy}: "
+                f"{failure.detail}"
+            )
+        print(report.summary())
+
+    if args.json_out:
+        text = report.to_json()
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.json_out}", file=sys.stderr)
+    return 0 if report.ok else 2
 
 
 def _cmd_render(args: argparse.Namespace) -> int:

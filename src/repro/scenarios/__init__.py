@@ -1,0 +1,61 @@
+"""Scenario corpus and differential conformance harness.
+
+Three layers (see ``docs/scenarios.md``):
+
+- :mod:`repro.scenarios.families` — named, seeded, JSON-round-trippable
+  scenario generators, each targeting a distinct congestion regime.
+- :mod:`repro.scenarios.corpus` — the checked-in ``scenarios/*.json``
+  corpus: loader, writer, and staleness detection.
+- :mod:`repro.scenarios.conformance` — the differential runner that
+  routes every corpus entry through every strategy × config-toggle
+  combination, oracle-verifies each result, and asserts byte identity
+  and cross-strategy tolerance bands.
+"""
+
+from repro.scenarios.families import (
+    FAMILIES,
+    Scenario,
+    ScenarioFamily,
+    build_scenario,
+)
+from repro.scenarios.corpus import (
+    DEFAULT_CORPUS_DIR,
+    corpus_stale_entries,
+    default_corpus_specs,
+    load_corpus,
+    load_scenario,
+    save_scenario,
+    write_corpus,
+)
+from repro.scenarios.conformance import (
+    DEFAULT_STRATEGIES,
+    FULL_MATRIX,
+    QUICK_MATRIX,
+    WIRELENGTH_BAND,
+    ConformanceReport,
+    MatrixPoint,
+    route_fingerprint,
+    run_conformance,
+)
+
+__all__ = [
+    "FAMILIES",
+    "Scenario",
+    "ScenarioFamily",
+    "build_scenario",
+    "DEFAULT_CORPUS_DIR",
+    "corpus_stale_entries",
+    "default_corpus_specs",
+    "load_corpus",
+    "load_scenario",
+    "save_scenario",
+    "write_corpus",
+    "DEFAULT_STRATEGIES",
+    "FULL_MATRIX",
+    "QUICK_MATRIX",
+    "WIRELENGTH_BAND",
+    "ConformanceReport",
+    "MatrixPoint",
+    "route_fingerprint",
+    "run_conformance",
+]

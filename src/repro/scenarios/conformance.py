@@ -1,0 +1,405 @@
+"""Differential conformance: every scenario × strategy × toggle combo.
+
+The runner routes each corpus scenario through every registered
+strategy under the full PR-3 config-toggle matrix (``ray_cache``
+on/off, serial vs parallel net fan-out, ``prune_clean_nets`` on/off)
+and checks three kinds of promises:
+
+1. **Oracle validity** — every routed result must come back clean from
+   the independent checker (:func:`repro.analysis.verify.verify_global_route`)
+   with no failed nets.
+2. **Byte identity where guaranteed** — ``ray_cache`` and ``workers``
+   are documented as result-preserving, so every config that differs
+   only in those knobs must produce the identical route fingerprint.
+   ``prune_clean_nets`` changes which nets the negotiation loop rips
+   up, so for the ``negotiated`` strategy identity is asserted per
+   pruning flag; for the others the flag is inert and all configs must
+   agree.
+3. **Cross-strategy tolerance** — the congestion strategies may trade
+   wirelength for overflow, but only within recorded bands: final
+   wirelength must stay within :data:`WIRELENGTH_BAND` of the
+   single-pass baseline, and a congestion strategy must never end with
+   more overflow than it started with.
+
+The report (:class:`ConformanceReport`) records every case and check
+and serializes to JSON — CI uploads it as the ``conformance-smoke``
+artifact, and ``python -m repro conformance`` renders it for humans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.api.pipeline import RoutingPipeline
+from repro.api.request import RouteRequest
+from repro.core.route import GlobalRoute
+from repro.core.router import RouterConfig
+from repro.scenarios.families import Scenario
+
+#: Strategies the conformance matrix covers by default, with bounded
+#: parameters so the corpus stays fast enough for tier-1.
+DEFAULT_STRATEGIES: dict[str, dict[str, Any]] = {
+    "single": {},
+    "two-pass": {"passes": 2},
+    "negotiated": {"max_iterations": 8},
+}
+
+#: Final wirelength of any strategy, relative to the single-pass
+#: baseline on the same scenario.  Congestion strategies buy overflow
+#: relief with detours, so the band is asymmetric: they may not beat
+#: the unpenalized shortest-path pass by much (floor guards against a
+#: strategy silently dropping work), but may pay a bounded premium.
+WIRELENGTH_BAND: tuple[float, float] = (0.90, 1.60)
+
+
+@dataclass(frozen=True)
+class MatrixPoint:
+    """One config-toggle combination of the conformance matrix."""
+
+    name: str
+    ray_cache: bool = True
+    workers: int = 1
+    prune_clean_nets: bool = True
+
+    def to_config(self) -> RouterConfig:
+        """The :class:`RouterConfig` this point routes under.
+
+        Parallel points use the thread executor: the serial-vs-parallel
+        identity promise is executor-independent, and threads avoid
+        paying process-pool spawn costs once per matrix cell.
+        """
+        return RouterConfig(
+            ray_cache=self.ray_cache,
+            workers=self.workers,
+            executor="thread",
+            prune_clean_nets=self.prune_clean_nets,
+        )
+
+
+#: All eight toggle combinations.
+FULL_MATRIX: tuple[MatrixPoint, ...] = tuple(
+    MatrixPoint(
+        name=(
+            f"cache={'on' if cache else 'off'}"
+            f"|workers={workers}"
+            f"|prune={'on' if prune else 'off'}"
+        ),
+        ray_cache=cache,
+        workers=workers,
+        prune_clean_nets=prune,
+    )
+    for cache in (True, False)
+    for workers in (1, 2)
+    for prune in (True, False)
+)
+
+#: Baseline plus one flip per toggle — every identity promise is still
+#: exercised against the baseline, at half the matrix cost.
+QUICK_MATRIX: tuple[MatrixPoint, ...] = (
+    MatrixPoint(name="baseline"),
+    MatrixPoint(name="cache=off", ray_cache=False),
+    MatrixPoint(name="workers=2", workers=2),
+    MatrixPoint(name="prune=off", prune_clean_nets=False),
+)
+
+
+def route_fingerprint(route: GlobalRoute) -> str:
+    """A deterministic digest of a route's exact geometry.
+
+    Two routes fingerprint equal iff they hold the same trees with the
+    same per-path point sequences and the same failed-net list.
+    """
+    doc = {
+        "trees": {
+            name: [[(p.x, p.y) for p in path.points] for path in tree.paths]
+            for name, tree in sorted(route.trees.items())
+        },
+        "failed": sorted(route.failed_nets),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class CaseRecord:
+    """One routed (scenario, strategy, matrix-point) cell."""
+
+    scenario: str
+    strategy: str
+    config: str
+    fingerprint: str
+    wirelength: int
+    routed_nets: int
+    failed_nets: int
+    violations: int
+    overflow_before: Optional[int]
+    overflow_after: Optional[int]
+    elapsed_seconds: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class CheckRecord:
+    """One conformance assertion's outcome (identity or tolerance)."""
+
+    kind: str  # "validity" | "identity" | "wirelength-band" | "overflow"
+    scenario: str
+    strategy: str
+    ok: bool
+    detail: str
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class ConformanceReport:
+    """Everything one conformance run measured and asserted."""
+
+    cases: list[CaseRecord] = field(default_factory=list)
+    checks: list[CheckRecord] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return all(check.ok for check in self.checks)
+
+    def failures(self) -> list[CheckRecord]:
+        """The checks that failed."""
+        return [check for check in self.checks if not check.ok]
+
+    def summary(self) -> str:
+        """One human line: totals plus the first failure, if any."""
+        failed = self.failures()
+        head = (
+            f"{len(self.cases)} routed cases, {len(self.checks)} checks, "
+            f"{len(failed)} failed, {self.elapsed_seconds:.1f}s"
+        )
+        if failed:
+            first = failed[0]
+            head += f"; first failure [{first.kind}] {first.scenario}/{first.strategy}: {first.detail}"
+        return head
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "ok": self.ok,
+            "elapsed_seconds": self.elapsed_seconds,
+            "wirelength_band": list(WIRELENGTH_BAND),
+            "cases": [case.as_dict() for case in self.cases],
+            "checks": [check.as_dict() for check in self.checks],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _identity_key(strategy: str, point: MatrixPoint) -> tuple:
+    """Configs mapping to the same key must route byte-identically.
+
+    Only the negotiation loop reads ``prune_clean_nets``, so it splits
+    identity groups for ``negotiated`` alone; ``ray_cache`` and
+    ``workers`` are documented result-preserving everywhere.
+    """
+    if strategy == "negotiated":
+        return (strategy, point.prune_clean_nets)
+    return (strategy,)
+
+
+def run_conformance(
+    scenarios: Iterable[Scenario],
+    *,
+    strategies: Mapping[str, Mapping[str, Any]] | Sequence[str] | None = None,
+    matrix: Sequence[MatrixPoint] = FULL_MATRIX,
+) -> ConformanceReport:
+    """Route every scenario through every strategy × matrix point.
+
+    ``strategies`` maps strategy name to its params; a bare sequence of
+    names uses :data:`DEFAULT_STRATEGIES` params.  Results land in a
+    :class:`ConformanceReport`; nothing raises on a failed check (the
+    report carries the verdicts), though a crash inside the pipeline
+    itself is recorded as a failed ``validity`` check rather than
+    propagated, so one broken combination cannot hide the rest of the
+    matrix.
+    """
+    if strategies is None:
+        strategy_params = dict(DEFAULT_STRATEGIES)
+    elif isinstance(strategies, Mapping):
+        strategy_params = {name: dict(params) for name, params in strategies.items()}
+    else:
+        unknown = [name for name in strategies if name not in DEFAULT_STRATEGIES]
+        if unknown:
+            raise ReproError(
+                f"no default params for strategies {unknown}; pass a mapping instead"
+            )
+        strategy_params = {name: dict(DEFAULT_STRATEGIES[name]) for name in strategies}
+
+    report = ConformanceReport()
+    started = time.perf_counter()
+    pipeline = RoutingPipeline()
+    for scenario in scenarios:
+        baselines: dict[str, CaseRecord] = {}  # strategy -> first-point record
+        for strategy, params in strategy_params.items():
+            groups: dict[tuple, dict[str, str]] = {}  # identity key -> config -> digest
+            for point in matrix:
+                case = _route_case(pipeline, scenario, strategy, params, point)
+                if isinstance(case, CheckRecord):
+                    report.checks.append(case)
+                    continue
+                report.cases.append(case)
+                report.checks.append(_validity_check(case))
+                groups.setdefault(_identity_key(strategy, point), {})[point.name] = (
+                    case.fingerprint
+                )
+                baselines.setdefault(strategy, case)
+            for key, digests in groups.items():
+                report.checks.append(_identity_check(scenario.name, strategy, key, digests))
+        _cross_strategy_checks(report, scenario.name, baselines)
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def _route_case(
+    pipeline: RoutingPipeline,
+    scenario: Scenario,
+    strategy: str,
+    params: Mapping[str, Any],
+    point: MatrixPoint,
+) -> CaseRecord | CheckRecord:
+    """Route one matrix cell; a pipeline crash becomes a failed check."""
+    request = RouteRequest(
+        layout=scenario.layout,
+        config=point.to_config(),
+        strategy=strategy,
+        strategy_params=dict(params),
+        on_unroutable="skip",
+        verify=True,
+    )
+    started = time.perf_counter()
+    try:
+        result = pipeline.run(request)
+    except Exception as exc:  # noqa: BLE001 - any crash must stay in its cell
+        # A crash becomes a failing validity check so the rest of the
+        # matrix still runs and the report names the broken cell.  This
+        # deliberately catches beyond ReproError: a router bug raising
+        # IndexError under one toggle is exactly the regression class
+        # this differential harness exists to surface.
+        return CheckRecord(
+            kind="validity",
+            scenario=scenario.name,
+            strategy=strategy,
+            ok=False,
+            detail=f"config {point.name}: pipeline raised {type(exc).__name__}: {exc}",
+        )
+    elapsed = time.perf_counter() - started
+    return CaseRecord(
+        scenario=scenario.name,
+        strategy=strategy,
+        config=point.name,
+        fingerprint=route_fingerprint(result.route),
+        wirelength=result.total_length,
+        routed_nets=result.route.routed_count,
+        failed_nets=len(result.route.failed_nets),
+        violations=sum(len(v) for v in result.violations.values()),
+        overflow_before=(
+            None
+            if result.congestion_before is None
+            else result.congestion_before.total_overflow
+        ),
+        overflow_after=(
+            None
+            if result.congestion_after is None
+            else result.congestion_after.total_overflow
+        ),
+        elapsed_seconds=elapsed,
+    )
+
+
+def _validity_check(case: CaseRecord) -> CheckRecord:
+    """Oracle validity: clean verification, nothing unrouted."""
+    problems = []
+    if case.violations:
+        problems.append(f"{case.violations} verification violations")
+    if case.failed_nets:
+        problems.append(f"{case.failed_nets} unrouted nets")
+    return CheckRecord(
+        kind="validity",
+        scenario=case.scenario,
+        strategy=case.strategy,
+        ok=not problems,
+        detail=(
+            f"config {case.config}: " + ("; ".join(problems) if problems else "clean")
+        ),
+    )
+
+
+def _identity_check(
+    scenario: str, strategy: str, key: tuple, digests: Mapping[str, str]
+) -> CheckRecord:
+    """Byte identity across every config sharing an identity key."""
+    unique = sorted(set(digests.values()))
+    ok = len(unique) <= 1
+    if ok:
+        detail = f"{len(digests)} configs agree on {unique[0] if unique else '-'}"
+    else:
+        by_digest: dict[str, list[str]] = {}
+        for config, digest in sorted(digests.items()):
+            by_digest.setdefault(digest, []).append(config)
+        detail = "configs diverge: " + "; ".join(
+            f"{digest} <- {', '.join(configs)}" for digest, configs in by_digest.items()
+        )
+    if strategy == "negotiated":
+        detail = f"prune={'on' if key[-1] else 'off'}: {detail}"
+    return CheckRecord(
+        kind="identity", scenario=scenario, strategy=strategy, ok=ok, detail=detail
+    )
+
+
+def _cross_strategy_checks(
+    report: ConformanceReport, scenario: str, baselines: Mapping[str, CaseRecord]
+) -> None:
+    """Wirelength band vs the single-pass baseline; overflow never worsens."""
+    single = baselines.get("single")
+    for strategy, case in baselines.items():
+        if strategy != "single" and single is not None and single.wirelength > 0:
+            ratio = case.wirelength / single.wirelength
+            lo, hi = WIRELENGTH_BAND
+            report.checks.append(
+                CheckRecord(
+                    kind="wirelength-band",
+                    scenario=scenario,
+                    strategy=strategy,
+                    ok=lo <= ratio <= hi,
+                    detail=(
+                        f"wirelength {case.wirelength} is {ratio:.3f}x single "
+                        f"({single.wirelength}); band [{lo}, {hi}]"
+                    ),
+                )
+            )
+        if (
+            case.overflow_before is not None
+            and case.overflow_after is not None
+            and strategy != "single"
+        ):
+            report.checks.append(
+                CheckRecord(
+                    kind="overflow",
+                    scenario=scenario,
+                    strategy=strategy,
+                    ok=case.overflow_after <= case.overflow_before,
+                    detail=(
+                        f"total overflow {case.overflow_before} -> {case.overflow_after}"
+                    ),
+                )
+            )

@@ -1,0 +1,110 @@
+"""The checked-in scenario corpus: save, load, regenerate.
+
+The corpus lives as one JSON file per scenario under ``scenarios/`` at
+the repository root (:data:`DEFAULT_CORPUS_DIR`).  Each file is a
+:class:`~repro.scenarios.families.Scenario` document: the regeneration
+recipe ``(family, seed, params)`` *and* the generated layout inline.
+Storing both makes the corpus stable under generator refactors — the
+loader hands out the stored layout, while the corpus tests assert that
+regenerating from the recipe still reproduces it byte-for-byte, so a
+silent generator change fails loudly instead of quietly shifting every
+downstream number.
+
+``python -m repro conformance --write-corpus`` rewrites the default
+corpus from :func:`default_corpus_specs` (do this deliberately, with
+the diff reviewed, when a generator change is intentional).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import LayoutError
+from repro.scenarios.families import Scenario, build_scenario
+
+#: scenarios/ at the repository root (…/src/repro/scenarios/corpus.py -> repo).
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "scenarios"
+
+#: The recipes behind the checked-in corpus: (family, seed, params).
+#: Seeds are arbitrary but frozen; two entries per congestion-critical
+#: family give the cross-strategy comparisons more than one data point.
+DEFAULT_CORPUS_SPECS: tuple[tuple[str, int, dict[str, Any]], ...] = (
+    ("channel-corridors", 11, {}),
+    ("macro-maze", 23, {}),
+    ("pad-ring", 37, {}),
+    ("steiner-stress", 41, {}),
+    ("congestion-hotspot", 53, {}),
+    ("congestion-hotspot", 59, {"rows": 3, "cols": 2, "n_nets": 10, "gap": 2}),
+    ("zero-nets", 61, {}),
+    ("single-cell", 67, {}),
+    ("min-separation", 71, {}),
+    ("skewed-surface", 73, {}),
+)
+
+
+def default_corpus_specs() -> list[Scenario]:
+    """Freshly generate every default corpus scenario (no disk access)."""
+    return [
+        build_scenario(family, seed=seed, params=params, name=_entry_name(family, seed))
+        for family, seed, params in DEFAULT_CORPUS_SPECS
+    ]
+
+
+def _entry_name(family: str, seed: int) -> str:
+    return f"{family}-s{seed}"
+
+
+def save_scenario(scenario: Scenario, directory: Path | str) -> Path:
+    """Write *scenario* as ``<name>.json`` under *directory*; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{scenario.name}.json"
+    path.write_text(scenario.to_json() + "\n", encoding="utf-8")
+    return path
+
+
+def load_scenario(path: Path | str) -> Scenario:
+    """Load one scenario JSON file."""
+    return Scenario.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def load_corpus(directory: Path | str = DEFAULT_CORPUS_DIR) -> list[Scenario]:
+    """Load every ``*.json`` scenario under *directory*, sorted by filename.
+
+    Raises :class:`LayoutError` when the directory is missing or empty —
+    an empty conformance run would vacuously pass, which is worse than
+    failing.
+    """
+    directory = Path(directory)
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        raise LayoutError(
+            f"no scenario corpus found under {directory} "
+            f"(expected scenarios/*.json; see docs/scenarios.md)"
+        )
+    return [load_scenario(path) for path in paths]
+
+
+def write_corpus(
+    directory: Path | str = DEFAULT_CORPUS_DIR,
+    scenarios: Iterable[Scenario] | None = None,
+) -> list[Path]:
+    """(Re)write the corpus files; returns the written paths."""
+    entries = list(scenarios) if scenarios is not None else default_corpus_specs()
+    return [save_scenario(scenario, directory) for scenario in entries]
+
+
+def corpus_stale_entries(directory: Path | str = DEFAULT_CORPUS_DIR) -> list[str]:
+    """Names of corpus entries whose stored layout no longer matches its recipe.
+
+    Empty means every checked-in scene is exactly what its generator
+    produces today (the corpus regression test asserts this).
+    """
+    from repro.layout.io import layout_to_json
+
+    stale: list[str] = []
+    for scenario in load_corpus(directory):
+        if layout_to_json(scenario.regenerate()) != layout_to_json(scenario.layout):
+            stale.append(scenario.name)
+    return stale

@@ -1,0 +1,460 @@
+"""Named, seeded scenario families for the conformance corpus.
+
+The paper validated on proprietary Caltech layouts that no longer
+exist, so this reproduction's evidence rests on synthetic scenes.  One
+generic :class:`~repro.layout.generators.LayoutSpec` family cannot
+cover the congestion regimes routers actually disagree on, so each
+family here targets a distinct regime:
+
+``channel-corridors``
+    Rows of wide, flat macros forming parallel routing channels — the
+    classic channeled-chip regime where most wirelength lives in a few
+    shared corridors.
+``macro-maze``
+    Serpentine walls with alternating openings; routes must snake the
+    full surface, maximizing detour length and corner hugging.
+``pad-ring``
+    Almost every terminal is a boundary pad; routing pressure
+    concentrates along the surface edge rather than between macros.
+``steiner-stress``
+    Multi-terminal (3-6) nets with equivalent-pin terminals, exercising
+    the Steiner tree machinery far beyond two-point connections.
+``congestion-hotspot``
+    A tight grid of macros with deliberately narrow passages, so
+    passage capacity overflows and the congestion strategies must
+    actually negotiate.
+``zero-nets``
+    Degenerate: a placed layout with an empty netlist.
+``single-cell``
+    Degenerate: one macro, one net hugging its boundary.
+``min-separation``
+    Degenerate: two macros exactly one unit apart — the paper's
+    "finite and non-zero distance" lower bound — with a net forced
+    through the unit slot.
+``skewed-surface``
+    Degenerate: a pathologically tall, narrow surface where every net
+    spans the long axis.
+
+Every builder draws all randomness from one seeded
+:class:`random.Random`, so a :class:`Scenario` regenerates
+byte-identically from its ``(family, seed, params)`` triple — that
+triple plus the generated layout is what the corpus files on disk
+carry (see :mod:`repro.scenarios.corpus`).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import LayoutError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.generators import LayoutSpec, grid_layout, random_layout, random_netlist
+from repro.layout.io import layout_from_dict, layout_to_dict
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.layout.pin import Pin
+from repro.layout.terminal import Terminal
+
+FORMAT_VERSION = 1
+
+#: A family builder: (rng, **params) -> Layout.
+FamilyBuilder = Callable[..., Layout]
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One named generator with its documentation and defaults."""
+
+    name: str
+    description: str
+    builder: FamilyBuilder
+    default_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self, seed: int = 0, **overrides: Any) -> Layout:
+        """Generate this family's layout for *seed* (+ param overrides)."""
+        params = {**self.default_params, **overrides}
+        return self.builder(random.Random(seed), **params)
+
+
+#: Registry of every scenario family, keyed by name.
+FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def _family(name: str, description: str, **default_params: Any):
+    """Register the decorated builder as a scenario family."""
+
+    def _install(builder: FamilyBuilder) -> FamilyBuilder:
+        FAMILIES[name] = ScenarioFamily(name, description, builder, default_params)
+        return builder
+
+    return _install
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One corpus entry: a generated layout plus its provenance.
+
+    ``(family, seed, params)`` is the regeneration recipe; ``layout``
+    is the generated design it must reproduce byte-for-byte (the
+    corpus tests pin that, so a generator refactor that silently
+    changes the scenes is caught).
+    """
+
+    name: str
+    family: str
+    seed: int
+    params: Mapping[str, Any]
+    description: str
+    layout: Layout
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+
+    def regenerate(self) -> Layout:
+        """Rebuild the layout from the recipe (ignoring the stored one).
+
+        Raises :class:`LayoutError` when the family is not registered —
+        loading a scenario file with an unknown family succeeds (the
+        stored layout is still usable), but its recipe cannot run.
+        """
+        return _family_or_raise(self.family).build(self.seed, **self.params)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Convert to a JSON-ready dict (layout embedded)."""
+        return {
+            "version": FORMAT_VERSION,
+            "name": self.name,
+            "family": self.family,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "description": self.description,
+            "layout": layout_to_dict(self.layout),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        try:
+            version = data["version"]
+            if version != FORMAT_VERSION:
+                raise LayoutError(f"unsupported scenario format version {version!r}")
+            return cls(
+                name=data["name"],
+                family=data["family"],
+                seed=int(data["seed"]),
+                params=dict(data.get("params", {})),
+                description=data.get("description", ""),
+                layout=layout_from_dict(data["layout"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LayoutError(f"malformed scenario data: {exc}") from exc
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Parse a scenario from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise LayoutError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _family_or_raise(family: str) -> ScenarioFamily:
+    """Look up *family*, raising :class:`LayoutError` when unregistered."""
+    try:
+        return FAMILIES[family]
+    except KeyError:
+        raise LayoutError(
+            f"unknown scenario family {family!r}; known: {sorted(FAMILIES)}"
+        ) from None
+
+
+def build_scenario(
+    family: str,
+    *,
+    seed: int = 0,
+    params: Mapping[str, Any] | None = None,
+    name: str | None = None,
+) -> Scenario:
+    """Generate a :class:`Scenario` from a registered family."""
+    fam = _family_or_raise(family)
+    params = dict(params or {})
+    layout = fam.build(seed, **params)
+    return Scenario(
+        name=name or f"{family}-s{seed}",
+        family=family,
+        seed=seed,
+        params=params,
+        description=fam.description,
+        layout=layout,
+    )
+
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+@_family(
+    "channel-corridors",
+    "Rows of wide flat macros forming parallel routing channels",
+    rows=3,
+    cols=2,
+    cell_width=30,
+    cell_height=8,
+    gap=5,
+    margin=6,
+    n_nets=6,
+)
+def _channel_corridors(
+    rng: random.Random,
+    *,
+    rows: int,
+    cols: int,
+    cell_width: int,
+    cell_height: int,
+    gap: int,
+    margin: int,
+    n_nets: int,
+) -> Layout:
+    layout = grid_layout(
+        rows, cols, cell_width=cell_width, cell_height=cell_height, gap=gap, margin=margin
+    )
+    spec = LayoutSpec(terminals_per_net=(2, 2), pad_fraction=0.15)
+    for net in random_netlist(layout, n_nets, rng=rng, spec=spec):
+        layout.add_net(net)
+    return layout
+
+
+@_family(
+    "macro-maze",
+    "Serpentine walls with alternating openings force full-surface detours",
+    width=110,
+    height=90,
+    bars=3,
+    bar_thickness=10,
+    opening=14,
+    n_nets=3,
+)
+def _macro_maze(
+    rng: random.Random,
+    *,
+    width: int,
+    height: int,
+    bars: int,
+    bar_thickness: int,
+    opening: int,
+    n_nets: int,
+) -> Layout:
+    layout = Layout(Rect(0, 0, width, height))
+    corridor = (height - 2 * bar_thickness - bars * bar_thickness) // (bars + 1)
+    corridor = max(corridor, 4)
+    for index in range(bars):
+        y0 = bar_thickness + corridor + index * (bar_thickness + corridor)
+        if index % 2 == 0:
+            x0, x1 = 1, width - opening
+        else:
+            x0, x1 = opening, width - 1
+        layout.add_cell(Cell.rect(f"bar{index}", x0, y0, x1 - x0, bar_thickness))
+    for net_index in range(n_nets):
+        bottom = Point(rng.randint(2, width - 2), 0)
+        top = Point(rng.randint(2, width - 2), height)
+        layout.add_net(
+            Net(
+                f"m{net_index}",
+                [
+                    Terminal(f"m{net_index}.s", [Pin(f"m{net_index}.s.p0", bottom, None)]),
+                    Terminal(f"m{net_index}.d", [Pin(f"m{net_index}.d.p0", top, None)]),
+                ],
+            )
+        )
+    return layout
+
+
+@_family(
+    "pad-ring",
+    "Boundary-pad-dominated netlist concentrates pressure along the surface edge",
+    n_cells=5,
+    n_nets=7,
+)
+def _pad_ring(rng: random.Random, *, n_cells: int, n_nets: int) -> Layout:
+    spec = LayoutSpec(
+        n_cells=n_cells,
+        n_nets=n_nets,
+        pad_fraction=0.85,
+        terminals_per_net=(2, 3),
+    )
+    layout = random_layout(spec, seed=rng.randrange(2**31))
+    return layout
+
+
+@_family(
+    "steiner-stress",
+    "Multi-terminal nets with equivalent pins stress the Steiner machinery",
+    n_cells=8,
+    n_nets=4,
+)
+def _steiner_stress(rng: random.Random, *, n_cells: int, n_nets: int) -> Layout:
+    spec = LayoutSpec(
+        n_cells=n_cells,
+        n_nets=n_nets,
+        terminals_per_net=(3, 6),
+        pins_per_terminal=(1, 3),
+        pad_fraction=0.1,
+    )
+    return random_layout(spec, seed=rng.randrange(2**31))
+
+
+@_family(
+    "congestion-hotspot",
+    "Tight macro grid with narrow passages provokes real passage overflow",
+    rows=2,
+    cols=2,
+    cell_side=14,
+    gap=3,
+    margin=5,
+    n_nets=8,
+)
+def _congestion_hotspot(
+    rng: random.Random,
+    *,
+    rows: int,
+    cols: int,
+    cell_side: int,
+    gap: int,
+    margin: int,
+    n_nets: int,
+) -> Layout:
+    layout = grid_layout(
+        rows, cols, cell_width=cell_side, cell_height=cell_side, gap=gap, margin=margin
+    )
+    spec = LayoutSpec(terminals_per_net=(2, 2), pad_fraction=0.0)
+    for net in random_netlist(layout, n_nets, rng=rng, spec=spec):
+        layout.add_net(net)
+    return layout
+
+
+@_family(
+    "zero-nets",
+    "Degenerate: placed macros with an empty netlist",
+    n_cells=4,
+)
+def _zero_nets(rng: random.Random, *, n_cells: int) -> Layout:
+    spec = LayoutSpec(n_cells=n_cells, n_nets=0)
+    return random_layout(spec, seed=rng.randrange(2**31))
+
+
+@_family(
+    "single-cell",
+    "Degenerate: one macro, one net hugging its boundary",
+    surface=48,
+)
+def _single_cell(rng: random.Random, *, surface: int) -> Layout:
+    layout = Layout(Rect(0, 0, surface, surface))
+    lo, hi = surface // 4, 3 * surface // 4
+    cell = Cell.rect("c0", lo, lo, hi - lo, hi - lo)
+    layout.add_cell(cell)
+    left = Point(lo, rng.randint(lo, hi))
+    right = Point(hi, rng.randint(lo, hi))
+    layout.add_net(
+        Net(
+            "n0",
+            [
+                Terminal("n0.a", [Pin("n0.a.p0", left, "c0")]),
+                Terminal("n0.b", [Pin("n0.b.p0", right, "c0")]),
+            ],
+        )
+    )
+    return layout
+
+
+@_family(
+    "min-separation",
+    "Degenerate: two macros exactly one unit apart with a net through the slot",
+    cell_side=20,
+)
+def _min_separation(rng: random.Random, *, cell_side: int) -> Layout:
+    margin = 6
+    slot_x = margin + cell_side  # left cell's right edge; slot is [slot_x, slot_x + 1]
+    width = 2 * margin + 2 * cell_side + 1
+    height = 2 * margin + cell_side
+    layout = Layout(Rect(0, 0, width, height))
+    layout.add_cell(Cell.rect("left", margin, margin, cell_side, cell_side))
+    layout.add_cell(Cell.rect("right", slot_x + 1, margin, cell_side, cell_side))
+    y_a = rng.randint(margin, margin + cell_side)
+    y_b = rng.randint(margin, margin + cell_side)
+    layout.add_net(
+        Net(
+            "slot",
+            [
+                Terminal("slot.a", [Pin("slot.a.p0", Point(slot_x, y_a), "left")]),
+                Terminal("slot.b", [Pin("slot.b.p0", Point(slot_x + 1, y_b), "right")]),
+            ],
+        )
+    )
+    layout.add_net(
+        Net(
+            "around",
+            [
+                Terminal("around.a", [Pin("around.a.p0", Point(margin, y_a), "left")]),
+                Terminal(
+                    "around.b",
+                    [Pin("around.b.p0", Point(slot_x + 1 + cell_side, y_b), "right")],
+                ),
+            ],
+        )
+    )
+    return layout
+
+
+@_family(
+    "skewed-surface",
+    "Degenerate: pathologically tall, narrow surface with long-axis nets",
+    width=16,
+    height=220,
+    n_cells=4,
+    cell_width=8,
+    cell_height=12,
+    n_nets=3,
+)
+def _skewed_surface(
+    rng: random.Random,
+    *,
+    width: int,
+    height: int,
+    n_cells: int,
+    cell_width: int,
+    cell_height: int,
+    n_nets: int,
+) -> Layout:
+    layout = Layout(Rect(0, 0, width, height))
+    pitch = height // (n_cells + 1)
+    for index in range(n_cells):
+        # Alternate which side wall the macro hugs so the free channel
+        # zigzags up the strip.
+        x = 1 if index % 2 == 0 else width - cell_width - 1
+        y = pitch * (index + 1) - cell_height // 2
+        layout.add_cell(Cell.rect(f"s{index}", x, y, cell_width, cell_height))
+    for net_index in range(n_nets):
+        bottom = Point(rng.randint(1, width - 1), 0)
+        top = Point(rng.randint(1, width - 1), height)
+        layout.add_net(
+            Net(
+                f"v{net_index}",
+                [
+                    Terminal(f"v{net_index}.s", [Pin(f"v{net_index}.s.p0", bottom, None)]),
+                    Terminal(f"v{net_index}.d", [Pin(f"v{net_index}.d.p0", top, None)]),
+                ],
+            )
+        )
+    return layout

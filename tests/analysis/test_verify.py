@@ -106,3 +106,71 @@ class TestOptimalAssert:
     def test_mismatch_raises(self):
         with pytest.raises(RoutingError, match="oracle"):
             assert_optimal_length(RoutePath((Point(0, 0), Point(5, 0))), 4)
+
+
+class TestCorruptedRealRoutes:
+    """Deliberate corruption of genuinely routed results.
+
+    The synthetic cases above hand-build bad trees; these start from a
+    clean router output and break it, proving each checker catches the
+    corruption in situ and that ``strict=True`` raises.
+    """
+
+    def corrupt_through_cell(self, layout):
+        """A clean route with one net's path dragged through a cell."""
+        route = GlobalRouter(layout).route_all()
+        assert verify_global_route(route, layout) == {}
+        cell = layout.cells[0]
+        box = cell.bounding_box
+        mid_y = (box.y0 + box.y1) // 2
+        name, tree = next(iter(route.trees.items()))
+        tree.paths[0] = RoutePath(
+            (Point(box.x0 - 1, mid_y), Point(box.x1 + 1, mid_y))
+        )
+        return route, name, cell
+
+    def test_segment_through_cell_flagged(self, small_layout):
+        route, name, cell = self.corrupt_through_cell(small_layout)
+        report = verify_global_route(route, small_layout)
+        assert name in report
+        assert any(f"crosses cell {cell.name!r}" in v for v in report[name])
+
+    def test_only_the_corrupted_net_is_reported(self, small_layout):
+        route, name, _ = self.corrupt_through_cell(small_layout)
+        report = verify_global_route(route, small_layout)
+        assert set(report) <= {name}
+
+    def test_disconnected_terminal_flagged(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        name, tree = next(iter(route.trees.items()))
+        net = small_layout.net(name)
+        # Collapse the geometry onto the first terminal's first pin:
+        # the claimed terminal list stays intact, but the other
+        # terminals no longer touch any wire.
+        anchor = net.terminals[0].pins[0].location
+        tree.paths[:] = [RoutePath((anchor, anchor))]
+        report = verify_global_route(route, small_layout)
+        assert any("not electrically connected" in v for v in report[name])
+
+    def test_dropped_terminal_claim_flagged(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        name, tree = next(iter(route.trees.items()))
+        dropped = tree.connected_terminals.pop()
+        report = verify_global_route(route, small_layout)
+        assert any(
+            "never connected" in v and dropped in v for v in report[name]
+        )
+
+    def test_point_outside_surface_flagged(self, small_layout):
+        route = GlobalRouter(small_layout).route_all()
+        outline = small_layout.outline
+        name, tree = next(iter(route.trees.items()))
+        escape = Point(outline.x1 + 10, outline.y0)
+        tree.paths.append(RoutePath((Point(outline.x1, outline.y0), escape)))
+        report = verify_global_route(route, small_layout)
+        assert any("outside routing surface" in v for v in report[name])
+
+    def test_strict_raises_on_corrupted_real_route(self, small_layout):
+        route, name, _ = self.corrupt_through_cell(small_layout)
+        with pytest.raises(RoutingError, match=name):
+            verify_global_route(route, small_layout, strict=True)

@@ -94,3 +94,79 @@ class TestValidation:
         requests = make_requests(n=2, config=RouterConfig(workers=2))
         results = Batch(workers=2, executor="thread").route_many(requests)
         assert len(results) == 2
+
+
+class TestFailurePaths:
+    """One request raising must not poison sibling results."""
+
+    def failing_request(self):
+        # Unknown strategy: resolution fails inside the pipeline, after
+        # the batch machinery has committed to routing the request.
+        layout = random_layout(LayoutSpec(n_cells=6, n_nets=4), seed=9)
+        return RouteRequest(layout=layout, strategy="no-such-strategy")
+
+    def mixed_requests(self):
+        good = make_requests(n=2)
+        return [good[0], self.failing_request(), good[1]]
+
+    def test_default_raise_policy_propagates(self):
+        from repro.api import BatchError  # noqa: F401 - imported for parity
+
+        with pytest.raises(RoutingError, match="unknown strategy"):
+            route_many(self.mixed_requests(), workers=2, executor="thread")
+
+    def test_serial_raise_policy_propagates(self):
+        with pytest.raises(RoutingError, match="unknown strategy"):
+            route_many(self.mixed_requests(), workers=1)
+
+    def test_return_policy_keeps_siblings_serial(self):
+        from repro.api import BatchError
+
+        outcomes = route_many(self.mixed_requests(), workers=1, on_error="return")
+        assert [isinstance(o, BatchError) for o in outcomes] == [False, True, False]
+        assert outcomes[0].ok and outcomes[2].ok
+        assert "unknown strategy" in outcomes[1].message
+        assert isinstance(outcomes[1].error, RoutingError)
+
+    def test_return_policy_keeps_siblings_threads(self):
+        from repro.api import BatchError
+
+        outcomes = route_many(
+            self.mixed_requests(), workers=2, executor="thread", on_error="return"
+        )
+        assert [isinstance(o, BatchError) for o in outcomes] == [False, True, False]
+        assert not outcomes[1].ok
+
+    def test_return_policy_keeps_siblings_processes(self):
+        from repro.api import BatchError
+
+        outcomes = route_many(
+            self.mixed_requests(), workers=2, executor="process", on_error="return"
+        )
+        assert [isinstance(o, BatchError) for o in outcomes] == [False, True, False]
+        assert "unknown strategy" in outcomes[1].message
+
+    def test_failed_slots_match_serial_results(self):
+        requests = self.mixed_requests()
+        serial = [RoutingPipeline().run(r) for r in (requests[0], requests[2])]
+        outcomes = route_many(requests, workers=2, executor="thread",
+                              on_error="return")
+        assert [fingerprint(outcomes[0]), fingerprint(outcomes[2])] == [
+            fingerprint(r) for r in serial
+        ]
+
+    def test_unresolvable_layout_reference_fills_slot(self, tmp_path):
+        from repro.api import BatchError
+
+        good = make_requests(n=2)
+        missing = RouteRequest(layout_path=str(tmp_path / "missing.json"))
+        outcomes = route_many(
+            [good[0], missing, good[1]], workers=2, executor="process",
+            on_error="return",
+        )
+        assert [isinstance(o, BatchError) for o in outcomes] == [False, True, False]
+        assert outcomes[0].ok and outcomes[2].ok
+
+    def test_bad_on_error_policy_rejected(self):
+        with pytest.raises(RoutingError, match="on_error"):
+            Batch(on_error="ignore")

@@ -1,5 +1,7 @@
 """Unit tests for RouteRequest construction, validation, and JSON I/O."""
 
+import json
+
 import pytest
 
 from repro.errors import RoutingError
@@ -142,3 +144,51 @@ class TestRequestSerialization:
     def test_invalid_json_rejected(self):
         with pytest.raises(RoutingError):
             RouteRequest.from_json("not json{")
+
+
+class TestToggleFieldsFromDisk:
+    """The PR-3 ray_cache/prune_clean_nets knobs survive a disk round-trip."""
+
+    def test_non_default_toggles_round_trip_via_file(self, tmp_path, small_layout):
+        request = RouteRequest(
+            layout=small_layout,
+            config=RouterConfig(ray_cache=False, prune_clean_nets=False),
+            strategy="negotiated",
+            strategy_params={"max_iterations": 4},
+        )
+        path = tmp_path / "request.json"
+        path.write_text(request.to_json(), encoding="utf-8")
+        reloaded = RouteRequest.from_json(path.read_text(encoding="utf-8"))
+        assert reloaded.config.ray_cache is False
+        assert reloaded.config.prune_clean_nets is False
+        assert reloaded.config == request.config
+        assert reloaded.strategy == "negotiated"
+
+    def test_toggle_defaults_survive_sparse_file(self, tmp_path, small_layout):
+        # A request file written before PR 3 carries no toggle keys;
+        # loading it must fall back to the defaults (cache and pruning
+        # both on), not crash.
+        request = RouteRequest(layout=small_layout)
+        data = request.to_dict()
+        del data["config"]["ray_cache"]
+        del data["config"]["prune_clean_nets"]
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        reloaded = RouteRequest.from_json(path.read_text(encoding="utf-8"))
+        assert reloaded.config.ray_cache is True
+        assert reloaded.config.prune_clean_nets is True
+
+    def test_toggles_reach_the_routed_result(self, tmp_path, small_layout):
+        from repro.api import RoutingPipeline
+
+        request = RouteRequest(
+            layout=small_layout, config=RouterConfig(ray_cache=False)
+        )
+        path = tmp_path / "request.json"
+        path.write_text(request.to_json(), encoding="utf-8")
+        reloaded = RouteRequest.from_json(path.read_text(encoding="utf-8"))
+        result = RoutingPipeline().run(reloaded)
+        # With the cache disabled the pipeline telemetry must report
+        # zero cache traffic.
+        assert result.timings["ray_cache_hits"] == 0.0
+        assert result.timings["ray_cache_misses"] == 0.0

@@ -224,3 +224,59 @@ class TestRender:
         assert main(["render", str(layout_file), "--width", "40"]) == 0
         out = capsys.readouterr().out
         assert max(len(line) for line in out.splitlines()) == 42
+
+
+class TestConformanceCli:
+    """The conformance subcommand drives the scenario harness."""
+
+    def test_quick_run_on_corpus_subset(self, capsys):
+        assert main(["conformance", "--quick", "--only", "single-cell-*",
+                     "--strategies", "single"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance (quick matrix)" in out
+        assert "single-cell-s67" in out
+        assert "0 failed" in out
+
+    def test_json_report_artifact(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "conformance_report.json"
+        assert main(["conformance", "--quick", "--only", "min-separation-*",
+                     "--json-out", str(report_path)]) == 0
+        document = json.loads(report_path.read_text())
+        assert document["ok"] is True
+        assert document["cases"]
+        assert {c["strategy"] for c in document["cases"]} == {
+            "single", "two-pass", "negotiated"
+        }
+
+    def test_json_stdout_is_pure_json(self, capsys):
+        import json
+
+        assert main(["conformance", "--quick", "--only", "zero-nets-*",
+                     "--json-out", "-"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+
+    def test_no_matching_scenarios_fails_cleanly(self, capsys):
+        assert main(["conformance", "--only", "no-such-scene-*"]) == 1
+        assert "no corpus scenarios match" in capsys.readouterr().err
+
+    def test_custom_corpus_directory(self, tmp_path, capsys):
+        from repro.scenarios import build_scenario, save_scenario
+
+        save_scenario(build_scenario("single-cell", seed=4), tmp_path)
+        assert main(["conformance", "--quick", "--corpus", str(tmp_path),
+                     "--strategies", "single"]) == 0
+        assert "single-cell-s4" in capsys.readouterr().out
+
+    def test_write_corpus_regenerates(self, tmp_path, capsys):
+        assert main(["conformance", "--write-corpus",
+                     "--corpus", str(tmp_path)]) == 0
+        assert "wrote" in capsys.readouterr().err
+        assert sorted(tmp_path.glob("*.json"))
+
+    def test_write_corpus_rejects_run_flags(self, tmp_path, capsys):
+        assert main(["conformance", "--write-corpus", "--quick",
+                     "--corpus", str(tmp_path)]) == 1
+        assert "incompatible with --write-corpus" in capsys.readouterr().err

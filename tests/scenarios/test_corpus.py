@@ -1,0 +1,71 @@
+"""The checked-in corpus: loadable, fresh, and round-trippable."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.io import layout_to_json
+from repro.scenarios import (
+    DEFAULT_CORPUS_DIR,
+    corpus_stale_entries,
+    default_corpus_specs,
+    load_corpus,
+    load_scenario,
+    save_scenario,
+    write_corpus,
+)
+
+
+class TestCheckedInCorpus:
+    def test_corpus_directory_exists(self):
+        assert DEFAULT_CORPUS_DIR.is_dir(), (
+            f"checked-in corpus missing at {DEFAULT_CORPUS_DIR}"
+        )
+
+    def test_loads_and_names_are_unique(self):
+        corpus = load_corpus()
+        names = [scenario.name for scenario in corpus]
+        assert len(names) == len(set(names))
+        assert len(corpus) >= 6
+
+    def test_matches_default_specs(self):
+        on_disk = {scenario.name for scenario in load_corpus()}
+        generated = {scenario.name for scenario in default_corpus_specs()}
+        assert on_disk == generated
+
+    def test_no_stale_entries(self):
+        # Every stored layout must be exactly what its (family, seed,
+        # params) recipe generates today.  A generator change that
+        # shifts the scenes must regenerate the corpus deliberately
+        # (python -m repro conformance --write-corpus) so the diff is
+        # reviewed, not silent.
+        assert corpus_stale_entries() == []
+
+    def test_files_byte_stable(self, tmp_path):
+        # Rewriting the corpus from the recipes reproduces the
+        # checked-in bytes exactly.
+        written = write_corpus(tmp_path)
+        for path in written:
+            committed = DEFAULT_CORPUS_DIR / path.name
+            assert committed.exists(), f"{path.name} not checked in"
+            assert path.read_text(encoding="utf-8") == committed.read_text(
+                encoding="utf-8"
+            )
+
+
+class TestCorpusIO:
+    def test_save_load_round_trip(self, tmp_path):
+        scenario = default_corpus_specs()[0]
+        path = save_scenario(scenario, tmp_path)
+        reloaded = load_scenario(path)
+        assert reloaded.name == scenario.name
+        assert layout_to_json(reloaded.layout) == layout_to_json(scenario.layout)
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(LayoutError, match="no scenario corpus"):
+            load_corpus(tmp_path)
+
+    def test_load_corpus_sorted_by_filename(self, tmp_path):
+        specs = default_corpus_specs()[:3]
+        write_corpus(tmp_path, specs)
+        names = [scenario.name for scenario in load_corpus(tmp_path)]
+        assert names == sorted(names)

@@ -1,0 +1,85 @@
+"""Scenario family generators: determinism, validity, round-trips."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.io import layout_to_json
+from repro.layout.validate import validate_layout
+from repro.scenarios import FAMILIES, Scenario, build_scenario
+
+ALL_FAMILIES = sorted(FAMILIES)
+
+
+class TestRegistry:
+    def test_covers_required_regimes(self):
+        # The conformance harness promises >= 6 distinct families.
+        assert len(ALL_FAMILIES) >= 6
+        for required in (
+            "channel-corridors",
+            "macro-maze",
+            "pad-ring",
+            "steiner-stress",
+            "congestion-hotspot",
+            "zero-nets",
+            "single-cell",
+            "min-separation",
+            "skewed-surface",
+        ):
+            assert required in FAMILIES
+
+    def test_every_family_documented(self):
+        for family in FAMILIES.values():
+            assert family.description
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(LayoutError, match="unknown scenario family"):
+            build_scenario("no-such-family")
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+class TestEveryFamily:
+    def test_generates_valid_layout(self, family):
+        scenario = build_scenario(family, seed=5)
+        validate_layout(scenario.layout)
+
+    def test_byte_deterministic(self, family):
+        first = build_scenario(family, seed=5)
+        second = build_scenario(family, seed=5)
+        assert layout_to_json(first.layout) == layout_to_json(second.layout)
+
+    def test_seed_changes_layout(self, family):
+        first = build_scenario(family, seed=1)
+        second = build_scenario(family, seed=2)
+        assert layout_to_json(first.layout) != layout_to_json(second.layout)
+
+    def test_regenerate_matches_build(self, family):
+        scenario = build_scenario(family, seed=9)
+        assert layout_to_json(scenario.regenerate()) == layout_to_json(scenario.layout)
+
+    def test_json_round_trip(self, family):
+        scenario = build_scenario(family, seed=7)
+        reloaded = Scenario.from_json(scenario.to_json())
+        assert reloaded.name == scenario.name
+        assert reloaded.family == scenario.family
+        assert reloaded.seed == scenario.seed
+        assert reloaded.params == dict(scenario.params)
+        assert layout_to_json(reloaded.layout) == layout_to_json(scenario.layout)
+
+
+class TestScenarioSerialization:
+    def test_bad_version_rejected(self):
+        scenario = build_scenario("single-cell")
+        data = scenario.to_dict()
+        data["version"] = 99
+        with pytest.raises(LayoutError, match="version"):
+            Scenario.from_dict(data)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(LayoutError, match="invalid scenario JSON"):
+            Scenario.from_json("{nope")
+
+    def test_params_influence_generation(self):
+        small = build_scenario("congestion-hotspot", seed=3, params={"n_nets": 2})
+        big = build_scenario("congestion-hotspot", seed=3, params={"n_nets": 6})
+        assert len(small.layout.nets) == 2
+        assert len(big.layout.nets) == 6
