@@ -1,0 +1,69 @@
+"""Routing as a service, end to end in one process.
+
+Boots the real HTTP service on an ephemeral port, routes a generated
+layout through the real client, then demonstrates the three serving
+behaviours the one-shot CLI cannot offer:
+
+* async jobs — submit returns immediately; poll `GET /jobs/<id>`;
+* content-addressed reuse — the repeated request is a cache hit;
+* coalescing — concurrent identical submissions share one routing run.
+
+Run as ``PYTHONPATH=src python examples/service_roundtrip.py``.
+In production the server side is simply ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.api import RouteRequest, RouteResult
+from repro.layout.generators import LayoutSpec, random_layout
+from repro.service import Client, RoutingService, make_server
+
+
+def main() -> None:
+    service = RoutingService(workers=2, queue_limit=16, cache_size=64)
+    server = make_server(service, port=0)  # ephemeral port
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = Client(f"http://127.0.0.1:{server.server_address[1]}")
+    print("service:", client.healthz())
+
+    layout = random_layout(LayoutSpec(n_cells=10, n_nets=8), seed=7)
+    request = RouteRequest(layout=layout, strategy="negotiated",
+                           strategy_params={"max_iterations": 10})
+
+    # --- async submit + poll -----------------------------------------
+    job = client.submit(request)
+    print(f"submitted {job['id']} (state={job['state']})")
+    done = client.wait(job["id"])
+    result = RouteResult.from_dict(done["result"])
+    print(f"routed: length={result.total_length} ok={result.ok} "
+          f"route={done['timings']['route'] * 1e3:.1f} ms")
+
+    # --- the identical request is served from the cache --------------
+    repeat = client.submit(request, wait=True)
+    print(f"repeat {repeat['id']}: cache_hit={repeat['cache_hit']}")
+
+    # --- a batch with duplicates: three requests, two routing runs ---
+    other = RouteRequest(
+        layout=random_layout(LayoutSpec(n_cells=8, n_nets=6), seed=9)
+    )
+    jobs = client.submit_batch([other, other, request])
+    for stub in jobs:
+        finished = client.wait(stub["id"])
+        print(f"batch {finished['id']}: state={finished['state']} "
+              f"cache_hit={finished['cache_hit']} "
+              f"coalesced={finished['coalesced']}")
+
+    metrics = client.metrics()
+    print("metrics:", {key: metrics[key] for key in (
+        "requests", "cache_hits", "coalesced", "completed",
+        "route_seconds_p50")})
+
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+if __name__ == "__main__":
+    main()

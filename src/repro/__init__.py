@@ -21,14 +21,19 @@ The top-level namespace re-exports the public API; subpackages:
 * :mod:`repro.scenarios` — named seeded scenario families, the
   checked-in ``scenarios/`` corpus, and the differential conformance
   runner over every strategy × config-toggle combination.
+* :mod:`repro.service` — routing as a service: async job queue with
+  admission control, content-addressed result cache, stdlib HTTP
+  server (``python -m repro serve``), and the matching client.
 """
 
 from repro.errors import (
     GeometryError,
     LayoutError,
+    QueueFullError,
     ReproError,
     RoutingError,
     SearchError,
+    ServiceError,
     UnroutableError,
     ValidationError,
 )
@@ -91,7 +96,9 @@ from repro.api import (
     RoutingPipeline,
     StrategyOutcome,
     StrategyRegistry,
+    layout_fingerprint,
     register_strategy,
+    request_cache_key,
     route_many,
 )
 from repro.scenarios import (
@@ -100,6 +107,12 @@ from repro.scenarios import (
     load_corpus,
     run_conformance,
 )
+from repro.service import (
+    Client,
+    ResultCache,
+    RoutingService,
+    make_server,
+)
 
 __version__ = "1.0.0"
 
@@ -107,6 +120,7 @@ __all__ = [
     "Batch",
     "BatchError",
     "Cell",
+    "Client",
     "CongestionHistory",
     "CongestionMap",
     "CongestionSummary",
@@ -136,8 +150,10 @@ __all__ = [
     "PathRequest",
     "Pin",
     "Point",
+    "QueueFullError",
     "Rect",
     "ReproError",
+    "ResultCache",
     "RoutePath",
     "RouteRequest",
     "RouteResult",
@@ -145,12 +161,14 @@ __all__ = [
     "RouterConfig",
     "RoutingError",
     "RoutingPipeline",
+    "RoutingService",
     "Scenario",
     "SearchError",
     "SearchProblem",
     "SearchStats",
     "Segment",
     "SequentialRouter",
+    "ServiceError",
     "StrategyOutcome",
     "StrategyRegistry",
     "TargetSet",
@@ -163,12 +181,15 @@ __all__ = [
     "grid_astar_route",
     "grid_layout",
     "hightower_route",
+    "layout_fingerprint",
     "lee_moore_route",
     "load_corpus",
+    "make_server",
     "random_layout",
     "register_strategy",
     "render_expansion",
     "render_layout",
+    "request_cache_key",
     "route_many",
     "route_net",
     "route_with_fallback",

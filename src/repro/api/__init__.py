@@ -16,7 +16,12 @@ One declarative contract for every frontend::
   verification violations, optional detailed-routing summary; JSON
   round-trippable like the request.
 * :class:`~repro.api.batch.Batch` / :func:`~repro.api.batch.route_many`
-  — many layouts over one shared executor.
+  — many layouts over one shared executor; duplicate requests collapse
+  to one routing run.
+* :func:`~repro.api.canonical.request_cache_key` /
+  :func:`~repro.api.canonical.layout_fingerprint` — the content-
+  addressed request identity behind the batch duplicate-collapse and
+  the :mod:`repro.service` result cache.
 
 The CLI (``python -m repro route``) is a thin shim over this package,
 and the legacy ``GlobalRouter.route_two_pass`` /
@@ -24,6 +29,11 @@ and the legacy ``GlobalRouter.route_two_pass`` /
 :class:`DeprecationWarning`.
 """
 
+from repro.api.canonical import (
+    canonical_json,
+    layout_fingerprint,
+    request_cache_key,
+)
 from repro.api.request import (
     RouteRequest,
     config_from_dict,
@@ -66,9 +76,12 @@ __all__ = [
     "StrategyOutcome",
     "StrategyRegistry",
     "TwoPassStrategy",
+    "canonical_json",
     "config_from_dict",
     "config_to_dict",
+    "layout_fingerprint",
     "register_strategy",
+    "request_cache_key",
     "route",
     "route_many",
 ]

@@ -8,6 +8,12 @@ once.  Both share the executor machinery
 are identical: ``"process"`` scales with cores, ``"thread"`` is the
 GIL-bound fallback for unpicklable inputs.
 
+Duplicate requests — equal canonical keys per
+:func:`repro.api.canonical.request_cache_key` — are routed exactly
+once; every duplicate slot aliases the shared
+:class:`~repro.api.result.RouteResult`, the same identity the service
+layer (:mod:`repro.service`) caches and coalesces on.
+
 Nesting note: requests routed by a process batch should keep
 ``config.workers == 1`` — one process per request is already the
 scaling axis, and nesting process pools inside pool workers multiplies
@@ -28,6 +34,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.errors import RoutingError
 from repro.core.parallel import EXECUTORS, make_executor
+from repro.api.canonical import request_cache_key
 from repro.api.pipeline import RoutingPipeline
 from repro.api.request import RouteRequest
 from repro.api.result import RouteResult
@@ -136,26 +143,69 @@ class Batch:
 
         Results are identical to routing each request through a
         :class:`~repro.api.pipeline.RoutingPipeline` serially — the
-        batch is purely a wall-time facade.  Failure handling follows
-        ``on_error``: the default re-raises the first failing request's
-        error (in input order) after in-flight work completes, while
-        ``"return"`` keeps sibling results and returns
-        :class:`BatchError` slots for the failures.
+        batch is purely a wall-time facade.  Identical requests (equal
+        :func:`~repro.api.canonical.request_cache_key`) are routed
+        once: their slots alias one shared :class:`RouteResult`, so
+        batch results must be treated as read-only.  Failure handling
+        follows ``on_error``: the default re-raises the first failing
+        request's error (in input order) after in-flight work
+        completes, while ``"return"`` keeps sibling results and
+        returns :class:`BatchError` slots for the failures.
         """
         reqs: Sequence[RouteRequest] = list(requests)
         if not reqs:
             return []
-        serial = self.workers == 1 or len(reqs) == 1
+        unique, slot_of = self._collapse_duplicates(reqs)
+        serial = self.workers == 1 or len(unique) == 1
         if serial and self.on_error == "raise":
             # Nothing is ever in flight on the serial path, so fail
             # fast instead of routing the whole batch before raising.
-            return [self._pipeline.run(r) for r in reqs]
-        outcomes = self._route_guarded(reqs, serial)
+            routed = [self._pipeline.run(r) for r in unique]
+            return [routed[slot] for slot in slot_of]
+        outcomes = self._route_guarded(unique, serial)
         if self.on_error == "raise":
             for outcome in outcomes:
                 if isinstance(outcome, BatchError):
                     raise outcome.error
-        return outcomes
+        return [outcomes[slot] for slot in slot_of]
+
+    @staticmethod
+    def _collapse_duplicates(
+        reqs: Sequence[RouteRequest],
+    ) -> tuple[list[RouteRequest], list[int]]:
+        """Map duplicate requests onto one representative each.
+
+        Returns ``(unique, slot_of)``: the deduplicated requests that
+        must actually be routed — with successfully resolved file
+        references inlined, so the layout parsed for hashing is not
+        parsed a second time for routing — and, for every input index,
+        the position in ``unique`` whose outcome it shares.  A request
+        that cannot be canonicalized (unresolvable layout reference,
+        non-JSON strategy params) is kept unique *and* unresolved, so
+        its failure still surfaces through the normal routing path in
+        input order.
+        """
+        unique: list[RouteRequest] = []
+        slot_of: list[int] = []
+        first_slot: dict[str, int] = {}
+        for request in reqs:
+            resolved = request
+            try:
+                if request.layout is None:
+                    resolved = request.with_layout(request.resolve_layout())
+                key = request_cache_key(resolved, layout=resolved.layout)
+            except Exception:  # noqa: BLE001 - unhashable request == unique request
+                key = None
+                resolved = request
+            if key is not None and key in first_slot:
+                slot_of.append(first_slot[key])
+                continue
+            slot = len(unique)
+            if key is not None:
+                first_slot[key] = slot
+            unique.append(resolved)
+            slot_of.append(slot)
+        return unique, slot_of
 
     def _route_guarded(
         self, reqs: Sequence[RouteRequest], serial: bool
@@ -188,7 +238,12 @@ class Batch:
             pending = [r for r in resolved if isinstance(r, RouteRequest)]
             routed: list[BatchOutcome] = []
             if pending:
-                with make_executor(min(self.workers, len(pending)), "process") as pool:
+                # Slot-isolated resolve failures (or duplicate collapse)
+                # can leave a single pending request; a one-worker pool
+                # is legitimate here, so relax the fan-out minimum.
+                with make_executor(
+                    min(self.workers, len(pending)), "process", minimum=1
+                ) as pool:
                     routed = list(pool.map(_run_request_guarded, pending))
             routed_iter = iter(routed)
             return [

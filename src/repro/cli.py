@@ -1,6 +1,6 @@
 """Command-line interface — a thin shim over :mod:`repro.api`.
 
-Four subcommands cover the library's everyday use without writing
+Five subcommands cover the library's everyday use without writing
 Python:
 
 ``generate``
@@ -16,6 +16,10 @@ Python:
     checked-in corpus through every strategy × config-toggle
     combination, with oracle verification, byte-identity checks, and
     cross-strategy tolerance bands (see ``docs/scenarios.md``).
+``serve``
+    Run the routing service: a stdlib HTTP server over an async job
+    queue with admission control and a content-addressed result cache
+    (see ``docs/service.md``).
 ``render``
     ASCII-render a layout JSON (with no routing).
 
@@ -26,6 +30,7 @@ Example::
     python -m repro route chip.json --strategy negotiated --workers 4
     python -m repro route --request request.json --json-out result.json
     python -m repro conformance --quick --json-out conformance_report.json
+    python -m repro serve --port 8080 --workers 4 --queue-limit 64
 
 The historical ``--two-pass`` / ``--negotiate N`` flags still work as
 aliases for ``--strategy two-pass`` / ``--strategy negotiated``; since
@@ -129,6 +134,25 @@ def build_parser() -> argparse.ArgumentParser:
     conf.add_argument("--write-corpus", action="store_true",
                       help="regenerate the corpus files from the recipes and exit")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the routing service (stdlib HTTP over the async job queue)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks an ephemeral port; default 8080)")
+    serve.add_argument("--workers", type=int, default=2, metavar="K",
+                       help="concurrent routing runs (default 2)")
+    serve.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                       help="admission window: max queued+running routing runs "
+                            "before submissions get 429 (default 32)")
+    serve.add_argument("--cache-size", type=int, default=256, metavar="N",
+                       help="result-cache entries, keyed by canonical request "
+                            "hash (0 disables reuse; default 256)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP exchange to stderr")
+
     render = sub.add_parser("render", help="ASCII-render a layout JSON")
     render.add_argument("layout")
     render.add_argument("--width", type=int, default=78)
@@ -145,6 +169,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_route(args)
         if args.command == "conformance":
             return _cmd_conformance(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_render(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -436,6 +462,53 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
                 handle.write(text + "\n")
             print(f"wrote {args.json_out}", file=sys.stderr)
     return 0 if report.ok else 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the routing service until interrupted (SIGINT/SIGTERM)."""
+    import signal
+    import threading
+
+    from repro.service import RoutingService, make_server
+
+    service = RoutingService(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_size=args.cache_size,
+    )
+    server = make_server(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    # Flushed eagerly so supervisors (and the CI smoke job) watching
+    # stderr see the bound port before the first request arrives.
+    print(
+        f"repro service listening on http://{host}:{port} "
+        f"(workers={args.workers}, queue-limit={args.queue_limit}, "
+        f"cache-size={args.cache_size}); Ctrl-C to stop",
+        file=sys.stderr,
+        flush=True,
+    )
+
+    # SIGTERM must shut down as cleanly as Ctrl-C: supervisors (and
+    # shells running the server as a background job, where SIGINT is
+    # ignored) stop daemons with TERM.  serve_forever cannot be
+    # re-entered after shutdown(), which itself must not run on the
+    # serving thread — hand it to a helper thread.
+    def _graceful_shutdown(signum, frame):  # noqa: ARG001 - stdlib handler signature
+        print("repro service shutting down", file=sys.stderr, flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_term = signal.signal(signal.SIGTERM, _graceful_shutdown)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro service shutting down", file=sys.stderr, flush=True)
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        server.server_close()
+        service.close()
+    return 0
 
 
 def _cmd_render(args: argparse.Namespace) -> int:

@@ -50,12 +50,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 EXECUTORS = ("process", "thread")
 
 
-def validate_fanout(workers: int, executor: str) -> None:
-    """Reject invalid fan-out knobs before any pool (or pickling) work."""
+def validate_fanout(workers: int, executor: str, *, minimum: int = 2) -> None:
+    """Reject invalid fan-out knobs before any pool (or pickling) work.
+
+    *minimum* is the smallest legal pool.  Net fan-out keeps the
+    default of 2 (the serial routing path never builds a pool at all),
+    while the routing service's job pool legitimately runs with one
+    worker — a single-worker pool still decouples request admission
+    from execution.
+    """
     if executor not in EXECUTORS:
         raise RoutingError(f"executor must be one of {EXECUTORS}, not {executor!r}")
-    if workers < 2:
-        raise RoutingError(f"parallel fan-out needs workers >= 2, got {workers}")
+    if workers < minimum:
+        raise RoutingError(
+            f"parallel fan-out needs workers >= {minimum}, got {workers}"
+        )
 
 
 def make_executor(
@@ -64,16 +73,19 @@ def make_executor(
     *,
     initializer=None,
     initargs: tuple = (),
+    minimum: int = 2,
 ):
     """Build a :mod:`concurrent.futures` executor of the configured flavour.
 
-    The one place pool flavour strings turn into pool objects; both the
-    net-level fan-out (:class:`NetRoutingPool`) and the request-level
-    batch facade (:mod:`repro.api.batch`) go through it, so they share
+    The one place pool flavour strings turn into pool objects; the
+    net-level fan-out (:class:`NetRoutingPool`), the request-level
+    batch facade (:mod:`repro.api.batch`), and the service job pool
+    (:mod:`repro.service.jobs`) all go through it, so they share
     validation and semantics.  ``initializer``/``initargs`` only apply
-    to process pools (thread pools share the parent's state already).
+    to process pools (thread pools share the parent's state already);
+    ``minimum`` is forwarded to :func:`validate_fanout`.
     """
-    validate_fanout(workers, executor)
+    validate_fanout(workers, executor, minimum=minimum)
     if executor == "thread":
         return ThreadPoolExecutor(max_workers=workers)
     return ProcessPoolExecutor(

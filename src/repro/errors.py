@@ -55,3 +55,30 @@ class UnroutableError(RoutingError):
 
 class SearchError(ReproError):
     """The state-space search engine was misused or exhausted its limits."""
+
+
+class ServiceError(ReproError):
+    """The routing service rejected or failed a request.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code the failure maps to (``None`` when the
+        error was raised outside an HTTP exchange).
+    """
+
+    def __init__(self, message: str, *, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class QueueFullError(ServiceError):
+    """The service's admission window is full (HTTP 429).
+
+    Raised before a job is created: a rejected request is never
+    enqueued, so acceptance is all-or-nothing — every job that *was*
+    accepted still runs to a terminal state.
+    """
+
+    def __init__(self, message: str, *, status: int | None = 429):
+        super().__init__(message, status=status)

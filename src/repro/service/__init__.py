@@ -1,0 +1,42 @@
+"""repro.service — routing as a service.
+
+The long-lived serving surface over the
+``RouteRequest → RoutingPipeline → RouteResult`` API:
+
+* :class:`~repro.service.jobs.RoutingService` — the HTTP-independent
+  core: an async job queue with a bounded admission window (429 on
+  overload), a thread worker pool built on
+  :func:`repro.core.parallel.make_executor`, content-addressed result
+  reuse, and coalescing of concurrent identical requests.
+* :class:`~repro.service.cache.ResultCache` — LRU over canonical
+  request keys (:func:`repro.api.canonical.request_cache_key`).
+* :class:`~repro.service.metrics.ServiceMetrics` — the counters and
+  route-latency percentiles behind ``GET /metrics``.
+* :func:`~repro.service.server.make_server` /
+  :class:`~repro.service.server.RoutingServer` — the stdlib HTTP
+  frontend (``POST /route``, ``POST /batch``, ``GET /jobs/<id>``,
+  ``GET /healthz``, ``GET /metrics``).
+* :class:`~repro.service.client.Client` — the thin stdlib HTTP client
+  used by tests, CI, and scripts.
+
+``python -m repro serve`` wires this into the CLI; see
+``docs/service.md`` for the endpoint reference, the job lifecycle, and
+the cache-key definition.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import Client
+from repro.service.jobs import JOB_STATES, Job, RoutingService
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import RoutingServer, make_server
+
+__all__ = [
+    "Client",
+    "JOB_STATES",
+    "Job",
+    "ResultCache",
+    "RoutingServer",
+    "RoutingService",
+    "ServiceMetrics",
+    "make_server",
+]

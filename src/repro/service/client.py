@@ -1,0 +1,171 @@
+"""Thin stdlib HTTP client for the routing service.
+
+:class:`Client` wraps the five endpoints in plain-Python calls so
+tests, CI smoke jobs, and scripts never hand-roll HTTP.  It speaks
+dicts at the transport boundary (what the wire carries) and converts
+to rich objects only where it is unambiguous —
+:meth:`Client.route` returns a parsed
+:class:`~repro.api.result.RouteResult`, everything else returns the
+JSON documents documented in :mod:`repro.service.server`.
+
+HTTP failures surface as :class:`~repro.errors.ServiceError` with
+``status`` set; a 429 specifically raises
+:class:`~repro.errors.QueueFullError` so backoff loops can catch the
+one case that is retryable by design.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Optional, Sequence, Union
+
+from repro.errors import QueueFullError, ServiceError
+from repro.api.request import RouteRequest
+from repro.api.result import RouteResult
+
+#: Accepted request shapes: a built object or an already-encoded dict.
+RequestLike = Union[RouteRequest, dict]
+
+
+def _encode_request(request: RequestLike) -> dict:
+    if isinstance(request, RouteRequest):
+        return request.to_dict()
+    if isinstance(request, dict):
+        return request
+    raise ServiceError(
+        f"expected a RouteRequest or request dict, got {type(request).__name__}"
+    )
+
+
+class Client:
+    """Talks to one service instance at *base_url*.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8080"`` (trailing slash tolerated).
+    timeout:
+        Per-HTTP-call socket timeout in seconds.  Calls that block
+        server-side (``wait=True``) get ``timeout`` added on top of
+        the requested wait budget.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _call(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[dict | list] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                message = detail or exc.reason
+            if exc.code == 429:
+                raise QueueFullError(message) from exc
+            raise ServiceError(message, status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"service unreachable at {self.base_url}: {exc.reason}") from exc
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /metrics`` — the counter snapshot."""
+        return self._call("GET", "/metrics")
+
+    def submit(self, request: RequestLike, *, wait: bool = False,
+               wait_timeout: float = 120.0) -> dict:
+        """``POST /route`` — returns the job document.
+
+        With ``wait=True`` the server long-polls: it blocks up to
+        ``wait_timeout`` seconds (capped by the server's own limit)
+        and returns the job in whatever state it reached — terminal
+        with the result embedded, or still pending if the budget
+        elapsed first.  The HTTP socket timeout is widened by the same
+        budget so the server always answers before the socket gives up.
+        """
+        path = f"/route?wait=1&timeout={wait_timeout:g}" if wait else "/route"
+        timeout = self.timeout + wait_timeout if wait else None
+        return self._call("POST", path, body=_encode_request(request), timeout=timeout)
+
+    def submit_batch(self, requests: Sequence[RequestLike]) -> list[dict]:
+        """``POST /batch`` — atomic admission; returns the job stubs."""
+        body = {"requests": [_encode_request(r) for r in requests]}
+        return self._call("POST", "/batch", body=body)["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>`` — 404s raise ``ServiceError(status=404)``."""
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, *, timeout: float = 120.0, poll: float = 0.05) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job is terminal.
+
+        Raises :class:`ServiceError` (status 504) if *timeout* elapses
+        first; unknown ids propagate their 404 immediately.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document["state"] in ("done", "failed"):
+                return document
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {document['state']} after {timeout:.1f}s",
+                    status=504,
+                )
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def route(self, request: RequestLike, *, wait_timeout: float = 120.0) -> RouteResult:
+        """Submit, wait, and parse: the one-call happy path.
+
+        Returns the parsed :class:`RouteResult`.  A failed job raises
+        :class:`ServiceError` carrying the job's error text; so does a
+        job still pending after ``wait_timeout`` (capped by the
+        server's own long-poll limit) — with status 504, and the job
+        keeps running server-side for later polling.
+        """
+        job = self.submit(request, wait=True, wait_timeout=wait_timeout)
+        if job["state"] in ("queued", "running"):
+            raise ServiceError(
+                f"job {job['id']} still {job['state']} after "
+                f"{wait_timeout:.1f}s (poll GET /jobs/{job['id']})",
+                status=504,
+            )
+        if job["state"] != "done":
+            raise ServiceError(
+                f"job {job['id']} {job['state']}: {job.get('error')}"
+            )
+        return RouteResult.from_dict(job["result"])

@@ -1,0 +1,421 @@
+"""The async job queue behind the routing service.
+
+:class:`RoutingService` is the HTTP-independent core: submissions come
+in as :class:`~repro.api.request.RouteRequest` objects and become
+:class:`Job` records that move through ``queued → running → done`` (or
+``failed``).  Three mechanisms keep a long-lived instance healthy
+under concurrent load:
+
+**Admission window.**  At most ``queue_limit`` routing runs may be in
+flight (queued + running).  A submission past the window raises
+:class:`~repro.errors.QueueFullError` *before* any job exists, so
+acceptance is binary: a 429'd request left no trace, and every
+accepted job is guaranteed to reach a terminal state — the worker
+wrapper catches all routing exceptions into the job's ``failed``
+state, and nothing between admission and completion can drop it.
+
+**Result cache.**  Submissions are keyed by
+:func:`repro.api.canonical.request_cache_key`; a key already in the
+:class:`~repro.service.cache.ResultCache` completes instantly as a
+``cache_hit`` job without consuming a window slot.
+
+**Coalescing.**  A submission whose key matches an in-flight job
+becomes a *follower*: it gets its own job id (its own lifecycle to
+poll) but no second routing run — when the primary finishes, result or
+failure fans out to every follower.  Followers do not consume window
+slots either; the window bounds actual routing work.
+
+Workers are threads from :func:`repro.core.parallel.make_executor`
+(``minimum=1`` — a single-worker service is legitimate).  Threads,
+not processes, because the cache, the job table, and any caller-
+registered strategies live in this process; per-request *net* fan-out
+(``config.workers`` with the process executor) still applies inside a
+job, which is where the CPU scaling lives.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.errors import QueueFullError, RoutingError, ServiceError
+from repro.core.parallel import make_executor
+from repro.api.canonical import request_cache_key
+from repro.api.pipeline import RoutingPipeline
+from repro.api.registry import StrategyRegistry
+from repro.api.request import RouteRequest
+from repro.api.result import RouteResult
+from repro.layout.layout import Layout
+from repro.service.cache import ResultCache
+from repro.service.metrics import ServiceMetrics
+
+#: Every state a job can be observed in, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Terminal states — a job here never changes again.
+TERMINAL_STATES = ("done", "failed")
+
+#: Finished jobs retained for ``GET /jobs/<id>`` before pruning.
+DEFAULT_JOB_HISTORY = 1024
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle record.
+
+    ``cache_hit`` jobs are born terminal; ``coalesced`` jobs follow an
+    identical in-flight primary and finish when it does.  All mutation
+    happens under the owning service's lock — readers outside the
+    service should go through :meth:`RoutingService.describe`.
+    """
+
+    id: str
+    key: str
+    state: str = "queued"
+    cache_hit: bool = False
+    coalesced: bool = False
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[RouteResult] = None
+    error: Optional[str] = None
+    _done: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in TERMINAL_STATES
+
+    def timings(self) -> dict[str, Optional[float]]:
+        """Queued/route/total wall seconds (``None`` while pending)."""
+        queued = (
+            None
+            if self.started_at is None
+            else self.started_at - self.submitted_at
+        )
+        route = (
+            None
+            if self.started_at is None or self.finished_at is None
+            else self.finished_at - self.started_at
+        )
+        total = (
+            None
+            if self.finished_at is None
+            else self.finished_at - self.submitted_at
+        )
+        return {"queued": queued, "route": route, "total": total}
+
+    def as_dict(self, *, include_result: bool = True) -> dict[str, Any]:
+        """JSON-ready view (the shape ``GET /jobs/<id>`` serves)."""
+        data: dict[str, Any] = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "timings": self.timings(),
+            "error": self.error,
+        }
+        if include_result and self.state == "done" and self.result is not None:
+            data["result"] = self.result.to_dict()
+        return data
+
+
+@dataclass
+class _Inflight:
+    """One key's in-flight routing run: the primary plus its followers."""
+
+    primary: Job
+    followers: list[Job] = field(default_factory=list)
+
+
+class RoutingService:
+    """Admission-controlled, cached, coalescing executor of requests.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent routing runs (thread pool size), >= 1.
+    queue_limit:
+        Admission window: maximum queued + running routing runs; a
+        submission past it raises :class:`QueueFullError` (HTTP 429).
+    cache_size:
+        :class:`ResultCache` capacity (0 disables result reuse).
+    registry:
+        Strategy registry for the pipeline (defaults to the built-ins).
+    job_history:
+        Terminal jobs retained for polling before the oldest are
+        pruned; in-flight jobs are never pruned.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        queue_limit: int = 32,
+        cache_size: int = 256,
+        registry: Optional[StrategyRegistry] = None,
+        job_history: int = DEFAULT_JOB_HISTORY,
+    ):
+        if queue_limit < 1:
+            raise RoutingError(f"queue_limit must be >= 1, got {queue_limit}")
+        if job_history < 1:
+            raise RoutingError(f"job_history must be >= 1, got {job_history}")
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.job_history = job_history
+        self.metrics = ServiceMetrics()
+        self.cache = ResultCache(max_entries=cache_size)
+        self._pipeline = RoutingPipeline(registry)
+        self._pool = make_executor(workers, "thread", minimum=1)
+        self._lock = threading.Lock()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._inflight: dict[str, _Inflight] = {}
+        self._pending = 0  # queued + running primaries (window occupancy)
+        self._running = 0
+        self._next_id = 0
+        self._started_at = time.time()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: RouteRequest) -> Job:
+        """Admit one request; returns its (possibly already-done) job.
+
+        Raises :class:`~repro.errors.RoutingError` for malformed
+        requests (unresolvable layout, non-canonicalizable params) and
+        :class:`QueueFullError` when the admission window is full.
+        """
+        layout, key = self._prepare(request)
+        with self._lock:
+            self.metrics.record_request()
+            return self._admit_locked(request, layout, key)
+
+    def submit_many(self, requests: Sequence[RouteRequest]) -> list[Job]:
+        """Admit a batch atomically: all jobs are created, or none.
+
+        The whole batch is hashed first (any malformed request fails
+        the batch before admission), then admitted under one lock so
+        the window check covers the batch's *new* routing runs as a
+        unit — duplicates within the batch coalesce onto the first
+        occurrence and cached keys cost no slots, exactly as they
+        would submitted one at a time.
+        """
+        prepared = [self._prepare(r) for r in requests]
+        with self._lock:
+            for _ in prepared:
+                self.metrics.record_request()
+            new_keys = {
+                key
+                for _, key in prepared
+                if key not in self._inflight and key not in self.cache
+            }
+            if self._pending + len(new_keys) > self.queue_limit:
+                self.metrics.record_rejected()
+                raise QueueFullError(
+                    f"admission window full: {self._pending} in flight + "
+                    f"{len(new_keys)} new > limit {self.queue_limit}"
+                )
+            return [
+                self._admit_locked(request, layout, key)
+                for (request, (layout, key)) in zip(requests, prepared)
+            ]
+
+    def _prepare(self, request: RouteRequest) -> tuple[Layout, str]:
+        """Resolve and hash outside the lock (both can be slow).
+
+        I/O failures on layout references become
+        :class:`~repro.errors.RoutingError` so the whole rejection
+        surface is the library's hierarchy (HTTP maps it to 400).
+        """
+        try:
+            layout = request.resolve_layout()
+        except OSError as exc:
+            raise RoutingError(f"cannot resolve request layout: {exc}") from exc
+        key = request_cache_key(request, layout=layout)
+        return layout, key
+
+    def _admit_locked(self, request: RouteRequest, layout: Layout, key: str) -> Job:
+        if self._closed:
+            raise ServiceError("service is shut down", status=503)
+        now = time.time()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.record_cache(hit=True)
+            job = self._new_job_locked(key, now)
+            job.cache_hit = True
+            job.state = "done"
+            job.started_at = now
+            job.finished_at = now
+            job.result = cached
+            job._done.set()
+            return job
+        self.metrics.record_cache(hit=False)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.metrics.record_coalesced()
+            job = self._new_job_locked(key, now)
+            job.coalesced = True
+            inflight.followers.append(job)
+            return job
+        if self._pending >= self.queue_limit:
+            self.metrics.record_rejected()
+            raise QueueFullError(
+                f"admission window full: {self._pending} routing runs in "
+                f"flight >= limit {self.queue_limit}"
+            )
+        job = self._new_job_locked(key, now)
+        self._inflight[key] = _Inflight(primary=job)
+        self._pending += 1
+        self._pool.submit(self._run_job, job, request, layout, key)
+        return job
+
+    def _new_job_locked(self, key: str, now: float) -> Job:
+        self._next_id += 1
+        job = Job(id=f"job-{self._next_id:06d}", key=key, submitted_at=now)
+        self._jobs[job.id] = job
+        self._prune_jobs_locked()
+        return job
+
+    def _prune_jobs_locked(self) -> None:
+        """Drop the oldest *terminal* jobs beyond the history bound."""
+        excess = len(self._jobs) - self.job_history
+        if excess <= 0:
+            return
+        for job_id in [
+            job_id for job_id, job in self._jobs.items() if job.finished
+        ][:excess]:
+            del self._jobs[job_id]
+
+    # ------------------------------------------------------------------
+    # Execution (worker threads)
+    # ------------------------------------------------------------------
+    def _run_job(self, job: Job, request: RouteRequest, layout: Layout, key: str) -> None:
+        with self._lock:
+            job.state = "running"
+            job.started_at = time.time()
+            self._running += 1
+        try:
+            result = self._pipeline.run(request, layout=layout)
+        except Exception as exc:  # noqa: BLE001 - accepted jobs must terminate, not vanish
+            self._finish_job(job, key, result=None, error=f"{type(exc).__name__}: {exc}")
+            return
+        self._finish_job(job, key, result=result, error=None)
+
+    def _finish_job(
+        self, job: Job, key: str, *, result: Optional[RouteResult], error: Optional[str]
+    ) -> None:
+        now = time.time()
+        with self._lock:
+            self._running -= 1
+            self._pending -= 1
+            inflight = self._inflight.pop(key, None)
+            followers = inflight.followers if inflight is not None else []
+            if result is not None:
+                self.cache.put(key, result)
+                self.metrics.record_completed(now - (job.started_at or now))
+            else:
+                self.metrics.record_failed()
+            for member in (job, *followers):
+                member.state = "done" if result is not None else "failed"
+                member.result = result
+                member.error = error
+                if member.started_at is None:
+                    # Followers never queued for a worker: their wait
+                    # began at submission, so queued=0 and the route
+                    # timing is the time spent waiting on the shared
+                    # run.  (Backdating to the primary's start would
+                    # make queued negative.)
+                    member.started_at = member.submitted_at
+                member.finished_at = now
+                member._done.set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        """The live job record, or ``None`` for unknown ids."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def describe(self, job_id: str, *, include_result: bool = True) -> Optional[dict]:
+        """A consistent JSON-ready snapshot of one job (or ``None``)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            return job.as_dict(include_result=include_result)
+
+    def describe_job(self, job: Job, *, include_result: bool = True) -> dict:
+        """Snapshot a job the caller already holds.
+
+        Unlike :meth:`describe` this cannot miss: a terminal job may be
+        pruned from the id table by a concurrent submission, but the
+        live object stays valid — the HTTP handlers use this for jobs
+        they just created.
+        """
+        with self._lock:
+            return job.as_dict(include_result=include_result)
+
+    def wait_job(self, job: Job, *, timeout: float = 60.0) -> bool:
+        """Block until *job* (held by the caller) is terminal.
+
+        Returns whether the job reached a terminal state within
+        *timeout* — prune-proof like :meth:`describe_job`.
+        """
+        return job._done.wait(timeout)
+
+    def wait(self, job_id: str, *, timeout: float = 60.0) -> Job:
+        """Block until *job_id* is terminal; raises on unknown/timeout."""
+        job = self.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        if not job._done.wait(timeout):
+            raise ServiceError(
+                f"job {job_id} still {job.state} after {timeout:.1f}s", status=504
+            )
+        return job
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` document: counters, gauges, cache stats."""
+        with self._lock:
+            queue_depth = self._pending - self._running
+            running = self._running
+            jobs_tracked = len(self._jobs)
+        data = self.metrics.snapshot()
+        data.update(
+            {
+                "queue_depth": queue_depth,
+                "running": running,
+                "jobs_tracked": jobs_tracked,
+                "workers": self.workers,
+                "queue_limit": self.queue_limit,
+                "uptime_seconds": time.time() - self._started_at,
+                "cache": self.cache.stats(),
+            }
+        )
+        return data
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, wait: bool = True) -> None:
+        """Stop admitting work and shut the worker pool down."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "RoutingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

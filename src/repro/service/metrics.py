@@ -1,0 +1,121 @@
+"""Service counters and latency percentiles for ``GET /metrics``.
+
+A deliberately small, dependency-free metrics surface: monotonic
+counters for the request-path events, plus a bounded reservoir of
+route wall times from which p50/p95 are computed on demand.  The
+reservoir keeps the most recent :data:`ROUTE_SAMPLE_WINDOW` completed
+routing runs — cache hits and coalesced followers never enter it, so
+the percentiles describe actual routing work, not cache lookups.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+#: Completed-route wall times retained for the percentile estimates.
+ROUTE_SAMPLE_WINDOW = 512
+
+
+def percentile(samples: list[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of *samples* (``None`` when empty).
+
+    Nearest-rank keeps the estimate an actual observed value, which is
+    the honest choice for the small windows a single service instance
+    accumulates.
+    """
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe counters + route-latency reservoir.
+
+    Counter semantics (all monotonic since service start):
+
+    ``requests``
+        Every submission that reached admission — including ones the
+        admission window then rejected.
+    ``cache_hits`` / ``cache_misses``
+        Result-cache outcomes at submission time.
+    ``coalesced``
+        Submissions attached to an identical already-in-flight job
+        instead of spawning a second routing run.
+    ``rejected``
+        Submissions refused with 429 (admission window full).
+    ``completed`` / ``failed``
+        Routing runs that reached a terminal state (followers of a
+        coalesced run count once — the run, not the followers).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self._route_seconds: deque[float] = deque(maxlen=ROUTE_SAMPLE_WINDOW)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(self) -> None:
+        """Count one submission reaching admission."""
+        with self._lock:
+            self.requests += 1
+
+    def record_cache(self, hit: bool) -> None:
+        """Count one result-cache lookup outcome."""
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_coalesced(self) -> None:
+        """Count one submission coalesced onto an in-flight run."""
+        with self._lock:
+            self.coalesced += 1
+
+    def record_rejected(self) -> None:
+        """Count one 429 rejection (admission window full)."""
+        with self._lock:
+            self.rejected += 1
+
+    def record_completed(self, route_seconds: float) -> None:
+        """Count one finished routing run and sample its wall time."""
+        with self._lock:
+            self.completed += 1
+            self._route_seconds.append(route_seconds)
+
+    def record_failed(self) -> None:
+        """Count one routing run that raised."""
+        with self._lock:
+            self.failed += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Counters plus p50/p95 route wall time (JSON-ready)."""
+        with self._lock:
+            samples = list(self._route_seconds)
+            return {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "coalesced": self.coalesced,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "route_samples": len(samples),
+                "route_seconds_p50": percentile(samples, 0.50),
+                "route_seconds_p95": percentile(samples, 0.95),
+            }

@@ -1,0 +1,243 @@
+"""Stdlib HTTP frontend over :class:`~repro.service.jobs.RoutingService`.
+
+No framework, no dependencies: a :class:`http.server.ThreadingHTTPServer`
+whose handler translates five endpoints into service calls and JSON —
+the serving surface ``python -m repro serve`` exposes.
+
+==========================  =============================================
+Endpoint                    Meaning
+==========================  =============================================
+``POST /route``             Submit one ``RouteRequest`` JSON document.
+                            Returns the job (``202`` while pending,
+                            ``200`` when born done from the cache).
+                            ``?wait=1`` long-polls: it blocks up to
+                            ``&timeout=N`` seconds (capped at
+                            :data:`WAIT_TIMEOUT_SECONDS`) and returns
+                            the job in whatever state it reached —
+                            ``200`` with the result when terminal,
+                            ``202`` if the budget elapsed first.
+``POST /batch``             Submit ``{"requests": [...]}`` (or a bare
+                            list) atomically; ``202`` with the job list
+                            or ``429`` with nothing admitted.
+``GET /jobs/<id>``          Poll one job; includes the serialized
+                            ``RouteResult`` once the state is ``done``.
+                            Unknown ids are ``404``.
+``GET /healthz``            Liveness: ``{"status": "ok", ...}``.
+``GET /metrics``            The counter snapshot (requests, cache hits,
+                            queue depth, p50/p95 route seconds, ...).
+==========================  =============================================
+
+Failure mapping: malformed JSON / bad requests → ``400``; a full
+admission window → ``429`` (with ``Retry-After``); unknown paths and
+jobs → ``404``.  Every body, success or failure, is JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import QueueFullError, ReproError, ServiceError
+from repro.api.request import RouteRequest
+from repro.service.jobs import RoutingService
+
+#: Upper bound on accepted request bodies (a layout JSON is small; a
+#: multi-megabyte body is a mistake or abuse, not a route request).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Server-side cap on ``?wait=1`` long-poll blocking; when it elapses
+#: the job is answered in its current (non-terminal) state with 202.
+WAIT_TIMEOUT_SECONDS = 300.0
+
+
+class RoutingServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`RoutingService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: RoutingService, *, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+
+def make_server(
+    service: RoutingService, *, host: str = "127.0.0.1", port: int = 8080,
+    quiet: bool = True,
+) -> RoutingServer:
+    """Bind a :class:`RoutingServer`; ``port=0`` picks an ephemeral port.
+
+    The caller owns the loop: run ``server.serve_forever()`` (usually
+    on a thread), stop with ``server.shutdown()``; the bound port is
+    ``server.server_address[1]``.
+    """
+    return RoutingServer((host, port), service, quiet=quiet)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-routing-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # BaseHTTPRequestHandler logs every exchange to stderr; the service
+    # is often run under pytest/CI where that is pure noise.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if not self.server.quiet:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> RoutingService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict, *, headers: Optional[dict] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str, *, headers: Optional[dict] = None) -> None:
+        # Error paths may answer before the declared request body was
+        # read (unknown path, oversize body, malformed Content-Length);
+        # on a keep-alive connection the unread bytes would be parsed
+        # as the next request.  Close instead of desyncing.
+        self.close_connection = True
+        self._send_json(
+            status, {"error": message}, headers={"Connection": "close", **(headers or {})}
+        )
+
+    def _read_body(self) -> bytes:
+        raw = self.headers.get("Content-Length", "0") or "0"
+        try:
+            length = int(raw)
+        except ValueError:
+            raise ServiceError(
+                f"malformed Content-Length header {raw!r}", status=400
+            ) from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ServiceError(f"request body of {length} bytes refused", status=413)
+        return self.rfile.read(length)
+
+    def _parse_request(self, data) -> RouteRequest:
+        if not isinstance(data, dict):
+            raise ServiceError("request body must be a JSON object", status=400)
+        return RouteRequest.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        try:
+            if method == "GET" and path == "/healthz":
+                self._handle_healthz()
+            elif method == "GET" and path == "/metrics":
+                self._send_json(200, self.service.snapshot())
+            elif method == "GET" and path.startswith("/jobs/"):
+                self._handle_job(path.removeprefix("/jobs/"))
+            elif method == "POST" and path == "/route":
+                self._handle_route(query)
+            elif method == "POST" and path == "/batch":
+                self._handle_batch()
+            else:
+                self._send_error_json(404, f"no such endpoint: {method} {path}")
+        except QueueFullError as exc:
+            self._send_error_json(429, str(exc), headers={"Retry-After": "1"})
+        except ServiceError as exc:
+            self._send_error_json(exc.status or 500, str(exc))
+        except ReproError as exc:
+            # Layout/validation/request construction failures are the
+            # caller's malformed input, not a server fault.
+            self._send_error_json(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - a handler crash must still answer
+            self._send_error_json(500, f"internal error: {type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _handle_healthz(self) -> None:
+        service = self.service
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "workers": service.workers,
+                "queue_limit": service.queue_limit,
+            },
+        )
+
+    def _handle_job(self, job_id: str) -> None:
+        if not job_id or "/" in job_id:
+            self._send_error_json(404, f"malformed job id {job_id!r}")
+            return
+        described = self.service.describe(job_id)
+        if described is None:
+            self._send_error_json(404, f"unknown job {job_id!r}")
+            return
+        self._send_json(200, described)
+
+    def _decode_json_body(self):
+        try:
+            return json.loads(self._read_body().decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"invalid JSON body: {exc}", status=400) from exc
+
+    def _handle_route(self, query: dict) -> None:
+        request = self._parse_request(self._decode_json_body())
+        job = self.service.submit(request)
+        wait = query.get("wait", ["0"])[0] not in ("", "0", "false", "no")
+        if wait and not job.finished:
+            # Long-poll semantics: block up to the caller's budget
+            # (capped server-side), then answer with whatever state the
+            # job is in — a still-running job is a 202, not an error.
+            raw_timeout = query.get("timeout", [None])[0]
+            try:
+                budget = (
+                    WAIT_TIMEOUT_SECONDS
+                    if raw_timeout is None
+                    else min(float(raw_timeout), WAIT_TIMEOUT_SECONDS)
+                )
+            except ValueError:
+                raise ServiceError(
+                    f"malformed timeout parameter {raw_timeout!r}", status=400
+                ) from None
+            self.service.wait_job(job, timeout=budget)
+        # describe_job, not describe: a cache-hit job is terminal at
+        # birth and a concurrent submission may prune it from the id
+        # table before this line — the held object is always valid.
+        self._send_json(
+            200 if job.finished else 202, self.service.describe_job(job)
+        )
+
+    def _handle_batch(self) -> None:
+        data = self._decode_json_body()
+        if isinstance(data, dict):
+            data = data.get("requests")
+        if not isinstance(data, list):
+            raise ServiceError(
+                'batch body must be a JSON list or {"requests": [...]}', status=400
+            )
+        requests = [self._parse_request(entry) for entry in data]
+        jobs = self.service.submit_many(requests)
+        payload = {
+            "jobs": [
+                self.service.describe_job(job, include_result=False) for job in jobs
+            ]
+        }
+        self._send_json(202, payload)

@@ -76,6 +76,86 @@ class TestShapes:
         assert [r.total_length for r in batched] == [r.total_length for r in serial]
 
 
+class TestDuplicateCollapse:
+    """Identical requests in one batch must route exactly once."""
+
+    def _counting_pipeline(self, monkeypatch):
+        calls = []
+        real_run = RoutingPipeline.run
+
+        def counting_run(self, request, **kwargs):
+            calls.append(request)
+            return real_run(self, request, **kwargs)
+
+        monkeypatch.setattr(RoutingPipeline, "run", counting_run)
+        return calls
+
+    def test_serial_duplicates_route_once(self, monkeypatch):
+        calls = self._counting_pipeline(monkeypatch)
+        request = make_requests(n=1)[0]
+        results = Batch().route_many([request, request, request])
+        assert len(calls) == 1
+        assert results[0] is results[1] is results[2]
+
+    def test_equal_but_distinct_requests_collapse(self, monkeypatch):
+        calls = self._counting_pipeline(monkeypatch)
+        layout = make_requests(n=1)[0].layout
+        requests = [
+            RouteRequest(layout=layout, strategy="two-pass",
+                         strategy_params={"passes": 2})
+            for _ in range(2)
+        ]
+        results = Batch().route_many(requests)
+        assert len(calls) == 1
+        assert results[0] is results[1]
+
+    def test_distinct_requests_not_collapsed(self, monkeypatch):
+        calls = self._counting_pipeline(monkeypatch)
+        requests = make_requests(n=3)
+        results = Batch().route_many(requests)
+        assert len(calls) == 3
+        lengths = [r.total_length for r in results]
+        assert lengths == [RoutingPipeline().run(r).total_length for r in requests]
+
+    def test_thread_pool_duplicates_route_once(self, monkeypatch):
+        calls = self._counting_pipeline(monkeypatch)
+        unique = make_requests(n=2)
+        requests = [unique[0], unique[1], unique[0]]
+        results = Batch(workers=2, executor="thread").route_many(requests)
+        assert len(calls) == 2
+        assert results[0] is results[2]
+        assert results[0] is not results[1]
+
+    def test_duplicate_slots_match_input_order(self):
+        a, b = make_requests(n=2)
+        results = route_many([a, b, a, b])
+        assert results[0] is results[2]
+        assert results[1] is results[3]
+        assert results[0].total_length == RoutingPipeline().run(a).total_length
+
+    def test_process_return_policy_with_single_survivor(self, tmp_path):
+        """A process batch where slot isolation leaves one routable
+        request must still route it (needs a one-worker pool)."""
+        good = make_requests(n=1)[0]
+        bad = RouteRequest(layout_path=str(tmp_path / "missing.json"))
+        outcomes = Batch(
+            workers=2, executor="process", on_error="return"
+        ).route_many([good, bad])
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+
+    def test_unhashable_request_still_routed_per_slot(self, tmp_path, monkeypatch):
+        """A request whose layout reference is unreadable is treated as
+        unique, so its failure surfaces through the normal slot path."""
+        calls = self._counting_pipeline(monkeypatch)
+        good = make_requests(n=1)[0]
+        bad = RouteRequest(layout_path=str(tmp_path / "missing.json"))
+        outcomes = Batch(on_error="return").route_many([good, bad, good])
+        assert len(calls) == 2  # good once (collapsed), bad once
+        assert outcomes[0] is outcomes[2]
+        assert not outcomes[1].ok
+
+
 class TestValidation:
     def test_bad_workers_rejected(self):
         with pytest.raises(RoutingError):

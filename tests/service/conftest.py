@@ -1,0 +1,82 @@
+"""Shared fixtures for the service-layer tests.
+
+The key asset is the *gated* strategy: a routing strategy that blocks
+on an event until the test releases it.  It turns race-prone "is the
+job still running?" questions into deterministic ones — the test holds
+every worker at a barrier, makes its assertions about queue depth /
+admission / coalescing, then opens the gate.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.registry import StrategyRegistry
+from repro.api.strategies import SingleStrategy
+from repro.layout.generators import LayoutSpec, random_layout
+
+
+def small_layout(seed: int = 1):
+    """A tiny distinct layout per seed (distinct => distinct cache keys)."""
+    return random_layout(LayoutSpec(n_cells=4, n_nets=3), seed=seed)
+
+
+class Gate:
+    """Synchronization handle shared between a test and its strategy runs."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self._lock = threading.Lock()
+        self.runs = 0
+
+    def enter(self) -> None:
+        with self._lock:
+            self.runs += 1
+        self.started.set()
+        assert self.release.wait(20), "test gate was never released"
+
+
+class GatedStrategy:
+    """Routes like ``single`` after passing the gate.
+
+    Accepts arbitrary keyword parameters (ignored) so tests can vary
+    ``strategy_params`` — including nested structures — purely to vary
+    the canonical cache key.
+    """
+
+    def __init__(self, gate: Gate, params: dict):
+        self.gate = gate
+        self.params = params
+
+    def run(self, router, request):
+        self.gate.enter()
+        return SingleStrategy().run(router, request)
+
+
+class FailingStrategy:
+    """Raises after counting the run — the worker-crash path."""
+
+    def __init__(self, gate: Gate):
+        self.gate = gate
+
+    def run(self, router, request):
+        self.gate.enter()
+        raise RuntimeError("strategy exploded on purpose")
+
+
+@pytest.fixture
+def gate() -> Gate:
+    return Gate()
+
+
+@pytest.fixture
+def gated_registry(gate: Gate) -> StrategyRegistry:
+    """A registry with ``single``, the gate, and a failing strategy."""
+    registry = StrategyRegistry()
+    registry.register("single", SingleStrategy)
+    registry.register("gated", lambda **params: GatedStrategy(gate, params))
+    registry.register("failing", lambda **params: FailingStrategy(gate))
+    return registry
