@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Design iteration without starting over: the incremental reroute loop.
+
+The paper opens with the observation that "multiple design iterations
+are inevitable".  This example plays three typical iterations against
+a routed grid — an ECO net swap, a cell nudge, and a block of net
+replacements — each expressed as a `LayoutDelta` and re-routed with
+`RoutingPipeline.reroute`.  For every step it prints the dirty-set
+partition (kept / ripped / new), the incremental wall time against a
+from-scratch run of the same mutated layout, and whether the result
+is byte-identical to scratch (guaranteed for net-only deltas under
+the single strategy).
+
+Run:  python examples/incremental_reroute.py
+"""
+
+import time
+
+from repro.api import RerouteRequest, RouteRequest, RoutingPipeline
+from repro.analysis.tables import format_table
+from repro.incremental.scripts import (
+    disjoint_delta,
+    geometry_delta,
+    replace_nets_delta,
+)
+from repro.layout.generators import LayoutSpec, grid_layout, random_netlist
+from repro.scenarios import route_fingerprint
+
+
+def build_layout():
+    layout = grid_layout(3, 3, cell_width=16, cell_height=16, gap=3, margin=8)
+    spec = LayoutSpec(terminals_per_net=(2, 3), pad_fraction=0.1)
+    for net in random_netlist(layout, 18, seed=11, spec=spec):
+        layout.add_net(net)
+    return layout
+
+
+def main() -> None:
+    pipeline = RoutingPipeline()
+    layout = build_layout()
+    request = RouteRequest(layout=layout, strategy="single", on_unroutable="skip")
+
+    started = time.perf_counter()
+    result = pipeline.run(request)
+    base_wall = time.perf_counter() - started
+    print(
+        f"base route: {len(result.route.trees)} nets, "
+        f"wirelength {result.route.total_length}, {base_wall * 1e3:.1f} ms"
+    )
+    print()
+
+    iterations = [
+        ("ECO net swap", lambda cur: disjoint_delta(cur, tag="eco")),
+        ("cell nudge", lambda cur: geometry_delta(cur, tag="nudge")),
+        ("replace 2 nets", lambda cur: replace_nets_delta(cur, 2)),
+    ]
+
+    rows = []
+    for label, make_delta in iterations:
+        delta = make_delta(request.layout)
+        reroute_request = RerouteRequest(base=request, delta=delta)
+
+        started = time.perf_counter()
+        incremental = pipeline.reroute(reroute_request, prev_result=result)
+        reroute_wall = time.perf_counter() - started
+
+        mutated_request = reroute_request.mutated_request()
+        started = time.perf_counter()
+        scratch = pipeline.run(mutated_request)
+        scratch_wall = time.perf_counter() - started
+
+        identical = route_fingerprint(incremental.route) == route_fingerprint(
+            scratch.route
+        )
+        timings = incremental.timings
+        rows.append([
+            label,
+            f"{timings['kept_nets']:.0f}",
+            f"{timings['ripped_nets']:.0f}",
+            f"{timings['new_nets']:.0f}",
+            f"{reroute_wall * 1e3:.1f}",
+            f"{scratch_wall * 1e3:.1f}",
+            f"{scratch_wall / reroute_wall:.1f}x",
+            "yes" if identical else "no (banded)",
+        ])
+
+        # The next iteration amends what this one produced.
+        request = mutated_request
+        result = incremental
+
+    print(format_table(
+        ["iteration", "kept", "ripped", "new", "reroute ms", "scratch ms",
+         "speedup", "identical"],
+        rows,
+        title="three design iterations, incrementally re-routed:",
+    ))
+    print()
+    print(
+        "every result above verifies clean; net-only deltas are exact,\n"
+        "geometry deltas stay inside the conformance wirelength band\n"
+        "(see docs/incremental.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

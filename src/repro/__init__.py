@@ -18,6 +18,9 @@ The top-level namespace re-exports the public API; subpackages:
 * :mod:`repro.api` — the canonical public surface: ``RouteRequest`` →
   :class:`~repro.api.pipeline.RoutingPipeline` → ``RouteResult``, the
   pluggable strategy registry, and the ``route_many`` batch facade.
+* :mod:`repro.incremental` — incremental re-routing: JSON-round-
+  trippable layout deltas, the kept/ripped/new dirty-set classifier,
+  and warm-started engines behind ``RoutingPipeline.reroute``.
 * :mod:`repro.scenarios` — named seeded scenario families, the
   checked-in ``scenarios/`` corpus, and the differential conformance
   runner over every strategy × config-toggle combination.
@@ -86,11 +89,21 @@ from repro.analysis import (
     summarize_route,
     verify_global_route,
 )
+from repro.incremental import (
+    CellMove,
+    DirtySet,
+    LayoutDelta,
+    apply_delta,
+    classify_nets,
+    compose_deltas,
+    plan_reroute,
+)
 from repro.api import (
     Batch,
     BatchError,
     CongestionSummary,
     DetailSummary,
+    RerouteRequest,
     RouteRequest,
     RouteResult,
     RoutingPipeline,
@@ -99,6 +112,8 @@ from repro.api import (
     layout_fingerprint,
     register_strategy,
     request_cache_key,
+    reroute,
+    reroute_cache_key,
     route_many,
 )
 from repro.scenarios import (
@@ -120,6 +135,7 @@ __all__ = [
     "Batch",
     "BatchError",
     "Cell",
+    "CellMove",
     "Client",
     "CongestionHistory",
     "CongestionMap",
@@ -129,6 +145,7 @@ __all__ = [
     "DetailedResult",
     "DetailedRouter",
     "Direction",
+    "DirtySet",
     "EscapeMode",
     "GeometryError",
     "GlobalRoute",
@@ -137,6 +154,7 @@ __all__ = [
     "InvertedCornerCost",
     "IterationStats",
     "Layout",
+    "LayoutDelta",
     "LayoutError",
     "LayoutSpec",
     "NegotiatedCongestionCost",
@@ -153,6 +171,7 @@ __all__ = [
     "QueueFullError",
     "Rect",
     "ReproError",
+    "RerouteRequest",
     "ResultCache",
     "RoutePath",
     "RouteRequest",
@@ -176,7 +195,10 @@ __all__ = [
     "UnroutableError",
     "ValidationError",
     "WirelengthCost",
+    "apply_delta",
     "build_scenario",
+    "classify_nets",
+    "compose_deltas",
     "find_path",
     "grid_astar_route",
     "grid_layout",
@@ -185,11 +207,14 @@ __all__ = [
     "lee_moore_route",
     "load_corpus",
     "make_server",
+    "plan_reroute",
     "random_layout",
     "register_strategy",
     "render_expansion",
     "render_layout",
     "request_cache_key",
+    "reroute",
+    "reroute_cache_key",
     "route_many",
     "route_net",
     "route_with_fallback",

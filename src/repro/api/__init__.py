@@ -22,6 +22,11 @@ One declarative contract for every frontend::
   :func:`~repro.api.canonical.layout_fingerprint` — the content-
   addressed request identity behind the batch duplicate-collapse and
   the :mod:`repro.service` result cache.
+* :class:`~repro.api.rerouting.RerouteRequest` /
+  :meth:`~repro.api.pipeline.RoutingPipeline.reroute` — incremental
+  re-routing: a :class:`~repro.incremental.delta.LayoutDelta` applied
+  to a previously routed base request, with only the dirty nets routed
+  (see :mod:`repro.incremental` and ``docs/incremental.md``).
 
 The CLI (``python -m repro route``) is a thin shim over this package,
 and the legacy ``GlobalRouter.route_two_pass`` /
@@ -46,10 +51,16 @@ from repro.api.result import (
 )
 from repro.api.registry import (
     DEFAULT_REGISTRY,
+    IncrementalRoutingStrategy,
     RoutingStrategy,
     StrategyOutcome,
     StrategyRegistry,
     register_strategy,
+)
+from repro.api.rerouting import (
+    RerouteRequest,
+    reroute,
+    reroute_cache_key,
 )
 from repro.api.strategies import (
     BUILTIN_STRATEGIES,
@@ -67,7 +78,9 @@ __all__ = [
     "CongestionSummary",
     "DEFAULT_REGISTRY",
     "DetailSummary",
+    "IncrementalRoutingStrategy",
     "NegotiatedStrategy",
+    "RerouteRequest",
     "RouteRequest",
     "RouteResult",
     "RoutingPipeline",
@@ -82,6 +95,8 @@ __all__ = [
     "layout_fingerprint",
     "register_strategy",
     "request_cache_key",
+    "reroute",
+    "reroute_cache_key",
     "route",
     "route_many",
 ]

@@ -38,6 +38,7 @@ from repro.search.stats import SearchStats
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.request import RouteRequest
     from repro.core.router import GlobalRouter
+    from repro.incremental.engine import WarmStart
 
 
 @dataclass
@@ -72,6 +73,24 @@ class RoutingStrategy(Protocol):
 
     def run(self, router: "GlobalRouter", request: "RouteRequest") -> StrategyOutcome:
         """Route the layout behind *router* per *request*."""
+        ...
+
+
+@runtime_checkable
+class IncrementalRoutingStrategy(RoutingStrategy, Protocol):
+    """A strategy that can also warm-start from a prior result.
+
+    ``RoutingPipeline.reroute`` resolves the base request's strategy
+    and dispatches here; strategies without this method (``two-pass``:
+    its penalty accumulation has no meaningful warm-start seed) make
+    the reroute fail fast with a :class:`~repro.errors.RoutingError`
+    instead of silently routing from scratch.
+    """
+
+    def run_incremental(
+        self, router: "GlobalRouter", request: "RouteRequest", warm: "WarmStart"
+    ) -> StrategyOutcome:
+        """Finish routing *warm*'s dirty nets on the mutated layout."""
         ...
 
 

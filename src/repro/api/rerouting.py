@@ -1,0 +1,152 @@
+"""The declarative reroute request: a base request plus a layout delta.
+
+A :class:`RerouteRequest` names the routing run being amended (a full
+:class:`~repro.api.request.RouteRequest` — its cache key is how the
+service finds the previous result) and the
+:class:`~repro.incremental.delta.LayoutDelta` to apply.  Like every
+other API artifact it is frozen and JSON round-trippable, so reroute
+requests travel through files and over the service wire unchanged.
+
+Identity: :func:`reroute_cache_key` hashes ``{base request key,
+delta}`` — deliberately *not* the mutated request's key.  A warm-
+started negotiated reroute is a different computation from routing the
+mutated layout from scratch (same contract bands, not byte identity),
+so the two must never share a cache slot; the conformance suite's
+equivalence checks are exactly about quantifying that gap.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.errors import RoutingError
+from repro.layout.layout import Layout
+from repro.incremental.delta import LayoutDelta, apply_delta
+from repro.api.canonical import _sha256, canonical_json, request_cache_key
+from repro.api.request import RouteRequest
+from repro.api.result import RouteResult
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RerouteRequest:
+    """A complete description of one incremental re-routing run.
+
+    Attributes
+    ----------
+    base:
+        The request whose result is being amended.  Its strategy,
+        config, and policies govern the reroute; its cache key locates
+        the previous result.
+    delta:
+        The layout mutation to apply before re-routing.
+    """
+
+    base: RouteRequest
+    delta: LayoutDelta
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, RouteRequest):
+            raise RoutingError(
+                f"reroute base must be a RouteRequest, got {type(self.base).__name__}"
+            )
+        if not isinstance(self.delta, LayoutDelta):
+            raise RoutingError(
+                f"reroute delta must be a LayoutDelta, got {type(self.delta).__name__}"
+            )
+
+    def mutated_request(self, *, base_layout: Optional[Layout] = None) -> RouteRequest:
+        """The base request with the delta applied to its layout.
+
+        This is the request a from-scratch fallback routes (the
+        differential oracle of the equivalence suite, and what the
+        service runs when the base result is not cached).
+        """
+        layout = base_layout if base_layout is not None else self.base.resolve_layout()
+        return self.base.with_layout(apply_delta(layout, self.delta))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Convert to a JSON-ready dict."""
+        return {
+            "version": FORMAT_VERSION,
+            "base": self.base.to_dict(),
+            "delta": self.delta.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RerouteRequest":
+        """Rebuild a reroute request from :meth:`to_dict` output."""
+        try:
+            version = data["version"]
+            if version != FORMAT_VERSION:
+                raise RoutingError(f"unsupported reroute format version {version!r}")
+            return cls(
+                base=RouteRequest.from_dict(data["base"]),
+                delta=LayoutDelta.from_dict(data["delta"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise RoutingError(f"malformed reroute request: {exc}") from exc
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RerouteRequest":
+        """Parse a reroute request from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RoutingError(f"invalid reroute request JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def reroute_cache_key(
+    request: RerouteRequest, *, base_layout: Optional[Layout] = None
+) -> str:
+    """The content-addressed identity of *request*'s reroute work.
+
+    Two reroutes with equal keys start from interchangeable base
+    results and apply equal deltas, so their results are
+    interchangeable.  The key namespace is disjoint from
+    :func:`~repro.api.canonical.request_cache_key` (the ``"kind"``
+    discriminator), because an incremental result is not, in general,
+    byte-identical to the mutated request's from-scratch result.
+    """
+    payload = {
+        "kind": "reroute",
+        "base": request_cache_key(request.base, layout=base_layout),
+        "delta": request.delta.to_dict(),
+    }
+    return _sha256(canonical_json(payload))
+
+
+def reroute(
+    prev_result: RouteResult,
+    delta: LayoutDelta,
+    *,
+    base: RouteRequest,
+    registry=None,
+    base_layout: Optional[Layout] = None,
+) -> RouteResult:
+    """One-shot convenience: incrementally amend *prev_result* by *delta*.
+
+    *base* is the request that produced *prev_result*.  Library-level
+    mirror of :func:`repro.api.pipeline.route` — see
+    :meth:`~repro.api.pipeline.RoutingPipeline.reroute` for the
+    semantics and ``examples/incremental_reroute.py`` for a
+    placement-feedback loop built on it.
+    """
+    from repro.api.pipeline import RoutingPipeline
+
+    return RoutingPipeline(registry).reroute(
+        RerouteRequest(base=base, delta=delta),
+        prev_result=prev_result,
+        base_layout=base_layout,
+    )

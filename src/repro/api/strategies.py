@@ -23,11 +23,36 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.congestion import find_passages, measure_congestion
 from repro.core.negotiate import NegotiatedRouter, NegotiationConfig
+from repro.incremental.engine import (
+    IncrementalOutcome,
+    incremental_negotiated,
+    incremental_single,
+)
 from repro.api.registry import StrategyOutcome, register_strategy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.request import RouteRequest
     from repro.core.router import GlobalRouter
+    from repro.incremental.engine import WarmStart
+
+
+def _adapt_incremental(outcome: IncrementalOutcome) -> StrategyOutcome:
+    """Convert an engine-level outcome to the pipeline's shape.
+
+    The :class:`~repro.incremental.dirty.DirtySet` is dropped here —
+    the pipeline already holds it from :func:`plan_reroute` and folds
+    the counts into the result timings.
+    """
+    return StrategyOutcome(
+        route=outcome.route,
+        first=outcome.first,
+        congestion_before=outcome.congestion_before,
+        congestion_after=outcome.congestion_after,
+        iterations=tuple(outcome.iterations),
+        rerouted_nets=outcome.rerouted_nets,
+        converged=outcome.converged,
+        search_stats=outcome.search_stats,
+    )
 
 
 @register_strategy("single")
@@ -64,6 +89,20 @@ class SingleStrategy:
             converged=congestion.total_overflow == 0,
         )
 
+    def run_incremental(
+        self, router: "GlobalRouter", request: "RouteRequest", warm: "WarmStart"
+    ) -> StrategyOutcome:
+        """Route only the dirty nets; kept trees survive verbatim."""
+        return _adapt_incremental(
+            incremental_single(
+                router,
+                warm,
+                on_unroutable=request.on_unroutable,
+                max_gap=self.max_gap,
+                measure=self.measure,
+            )
+        )
+
 
 @register_strategy("two-pass")
 class TwoPassStrategy:
@@ -71,6 +110,10 @@ class TwoPassStrategy:
 
     Parameters mirror the historical ``GlobalRouter.route_two_pass``
     keywords: ``penalty_weight``, ``passes`` (>= 2), ``max_gap``.
+
+    Deliberately *not* incremental: the scheme's penalty regions
+    accumulate from its own first pass, so there is no meaningful
+    warm-start seed — ``RoutingPipeline.reroute`` rejects it up front.
     """
 
     def __init__(
@@ -129,6 +172,19 @@ class NegotiatedStrategy:
             rerouted_nets=tuple(result.rerouted_nets),
             converged=result.converged,
             search_stats=result.search_stats,
+        )
+
+    def run_incremental(
+        self, router: "GlobalRouter", request: "RouteRequest", warm: "WarmStart"
+    ) -> StrategyOutcome:
+        """Warm-start the negotiation from the kept routes' congestion."""
+        return _adapt_incremental(
+            incremental_negotiated(
+                router,
+                warm,
+                self.negotiation,
+                on_unroutable=request.on_unroutable,
+            )
         )
 
 

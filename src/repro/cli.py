@@ -129,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "(repeatable)")
     conf.add_argument("--strategies", nargs="+", metavar="NAME", default=None,
                       help="strategy subset (default: single two-pass negotiated)")
+    conf.add_argument("--incremental", action="store_true",
+                      help="also replay the scripted layout deltas through "
+                           "reroute at every matrix point (incremental-* checks)")
     conf.add_argument("--json-out", metavar="PATH",
                       help="write the conformance report JSON ('-' for stdout)")
     conf.add_argument("--write-corpus", action="store_true",
@@ -406,6 +409,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
             flag for flag, value in (
                 ("--quick", args.quick), ("--only", args.only),
                 ("--strategies", args.strategies), ("--json-out", args.json_out),
+                ("--incremental", args.incremental),
             ) if value
         ]
         if ignored:
@@ -426,7 +430,10 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         if not scenarios:
             raise ReproError(f"no corpus scenarios match {args.only}")
     matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
-    report = run_conformance(scenarios, strategies=args.strategies, matrix=matrix)
+    report = run_conformance(
+        scenarios, strategies=args.strategies, matrix=matrix,
+        incremental=args.incremental,
+    )
 
     if args.json_out != "-":
         rows = []

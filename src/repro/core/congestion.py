@@ -302,6 +302,26 @@ class CongestionHistory:
                 entry.overflow / entry.passage.capacity
             )
 
+    def seed(self, congestion: CongestionMap) -> None:
+        """Pre-charge history from an existing routing's utilization.
+
+        The incremental re-router starts from kept routes that a prior
+        negotiation already detoured; their conflicts are *resolved*,
+        so :meth:`update` (overflow-driven) would record nothing and a
+        ripped-up net would forget why it detoured.  Seeding charges
+        every *full* passage (``usage >= capacity``) with
+        ``gain * usage / capacity`` — the saturated structure of the
+        previous solution — so dirty nets steer around it from wave 0
+        and re-negotiation does not unravel the kept assignment.
+        Existing history is kept when larger (seed never decreases).
+        """
+        for entry in congestion.entries:
+            capacity = entry.passage.capacity
+            if capacity > 0 and entry.usage >= capacity:
+                charge = self.gain * entry.usage / capacity
+                if charge > self.value(entry.passage):
+                    self.values[entry.passage] = charge
+
     def penalty_terms(self, congestion: CongestionMap) -> list[tuple[Rect, float, float]]:
         """``(region, present, history)`` terms for the negotiated cost.
 

@@ -1,0 +1,145 @@
+"""Scripted deltas: deterministic mutations for any layout.
+
+The differential equivalence suite, the ``--incremental`` conformance
+axis, and ``benchmarks/bench_x6_incremental.py`` all need a delta *per
+scenario* without hand-writing one for each corpus entry.  These
+helpers derive one from the layout itself, deterministically (same
+layout → same delta), covering the three delta classes the contract
+distinguishes:
+
+* :func:`empty_delta` — nothing changes; reroute must be
+  fingerprint-identical to the previous result.
+* :func:`disjoint_delta` — net-only edits (no cell geometry touched);
+  under the ``single`` strategy the reroute is fingerprint-identical
+  to routing the mutated layout from scratch.
+* :func:`geometry_delta` — the net edits plus a one-unit cell nudge
+  that survives placement validation; prior routes near the moved
+  cell are ripped, everything else is kept.
+* :func:`replace_nets_delta` — remove-and-re-add *k* existing nets
+  verbatim, dirtying exactly *k* nets; the benchmark's knob for
+  "p% of the netlist changed".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import LayoutError, ValidationError
+from repro.geometry.point import Point
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.layout.validate import validate_layout
+from repro.incremental.delta import CellMove, LayoutDelta, apply_delta
+
+
+def empty_delta() -> LayoutDelta:
+    """The delta that changes nothing."""
+    return LayoutDelta()
+
+
+def _fabricated_net(layout: Layout, tag: str) -> Net:
+    """A two-point net for layouts that have none to clone.
+
+    Pad pins on the first cell's bounding-box corners (legal route
+    endpoints: on the boundary, not strictly inside), or on the
+    outline corners of an empty floorplan.
+    """
+    box = layout.cells[0].bounding_box if layout.cells else layout.outline
+    return Net.two_point(
+        f"fab@{tag}", Point(box.x0, box.y0), Point(box.x1, box.y1)
+    )
+
+
+def disjoint_delta(layout: Layout, tag: str = "delta") -> LayoutDelta:
+    """A net-only delta: remove the last net, add a clone of the first.
+
+    No cell geometry changes, so every surviving prior route is kept.
+    The added net reuses the first net's terminals under a new name
+    (``<name>@<tag>``); a netless layout gets a fabricated two-point
+    net instead, and single-net layouts skip the removal so the
+    mutated layout never goes empty.
+    """
+    nets = layout.nets
+    remove = (nets[-1].name,) if len(nets) >= 2 else ()
+    if nets:
+        source = nets[0]
+        added = Net(f"{source.name}@{tag}", source.terminals)
+    else:
+        added = _fabricated_net(layout, tag)
+    return LayoutDelta(remove_nets=remove, add_nets=(added,))
+
+
+def _unit_moves(layout: Layout) -> Iterator[CellMove]:
+    for cell in layout.cells:
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            yield CellMove(cell.name, dx, dy)
+
+
+def _move_separation(layout: Layout, move: CellMove) -> Optional[int]:
+    """Min separation of the moved cell from the others, or ``None`` if illegal."""
+    moved = layout.cell(move.name).translated(move.dx, move.dy).bounding_box
+    if not layout.outline.contains_rect(moved):
+        return None
+    gaps = [
+        moved.separation(other.bounding_box)
+        for other in layout.cells
+        if other.name != move.name
+    ]
+    return min(gaps) if gaps else layout.outline.width
+
+
+def geometry_delta(layout: Layout, tag: str = "geom") -> LayoutDelta:
+    """The disjoint edits plus a one-unit cell move, when one is legal.
+
+    Candidate moves are scanned deterministically (cell insertion
+    order × the four unit directions), preferring moves that keep the
+    moved cell ≥ 2 units from every other cell (routing channels stay
+    open) over ones that merely satisfy the paper's ≥ 1 separation;
+    each shortlisted move is confirmed by applying the delta and
+    running full placement validation.  Falls back to the plain
+    disjoint delta when no move survives.
+    """
+    base = disjoint_delta(layout, tag)
+    candidates = sorted(
+        _unit_moves(layout),
+        key=lambda move: -min(_move_separation(layout, move) or -1, 2),
+    )
+    for move in candidates:
+        separation = _move_separation(layout, move)
+        if separation is None or separation < 1:
+            continue
+        delta = LayoutDelta(
+            move_cells=(move,),
+            remove_nets=base.remove_nets,
+            add_nets=base.add_nets,
+        )
+        try:
+            validate_layout(apply_delta(layout, delta))
+        except (LayoutError, ValidationError):
+            continue
+        return delta
+    return base
+
+
+def replace_nets_delta(
+    layout: Layout, count: int, tag: str = "replace"
+) -> LayoutDelta:
+    """Remove and re-add the first *count* nets verbatim.
+
+    The mutated layout is *identical* to the base one, but the
+    replaced nets are classified *new* (their routes are recomputed)
+    while everything else is kept — a pure dirty-fraction dial for the
+    incremental benchmark, with the from-scratch result available as
+    an exact oracle.  *tag* is unused (the re-added nets must keep
+    their names) but accepted for signature symmetry.
+    """
+    del tag
+    if count < 0 or count > len(layout.nets):
+        raise LayoutError(
+            f"cannot replace {count} nets of a {len(layout.nets)}-net layout"
+        )
+    chosen = layout.nets[:count]
+    return LayoutDelta(
+        remove_nets=tuple(net.name for net in chosen),
+        add_nets=tuple(chosen),
+    )

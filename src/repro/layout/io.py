@@ -70,15 +70,18 @@ def layout_from_json(text: str) -> Layout:
 # Element converters
 # ----------------------------------------------------------------------
 def _rect_to_list(rect: Rect) -> list[int]:
+    """``[x0, y0, x1, y1]`` — the rect shape used throughout the format."""
     return [rect.x0, rect.y0, rect.x1, rect.y1]
 
 
 def _rect_from_list(values: list[int]) -> Rect:
+    """Inverse of :func:`rect_to_list`."""
     x0, y0, x1, y1 = values
     return Rect(x0, y0, x1, y1)
 
 
 def _cell_to_dict(cell: Cell) -> dict[str, Any]:
+    """One cell as its layout-file entry (``rect`` or ``polygon`` form)."""
     if cell.is_rectangular:
         return {"name": cell.name, "rect": _rect_to_list(cell.bounding_box)}
     assert isinstance(cell.shape, OrthoPolygon)
@@ -89,6 +92,7 @@ def _cell_to_dict(cell: Cell) -> dict[str, Any]:
 
 
 def _cell_from_dict(data: dict[str, Any]) -> Cell:
+    """Inverse of :func:`cell_to_dict`; raises :class:`LayoutError` when malformed."""
     if "rect" in data:
         return Cell(data["name"], _rect_from_list(data["rect"]))
     if "polygon" in data:
@@ -98,6 +102,7 @@ def _cell_from_dict(data: dict[str, Any]) -> Cell:
 
 
 def _net_to_dict(net: Net) -> dict[str, Any]:
+    """One net as its layout-file entry (terminals with pin lists)."""
     return {
         "name": net.name,
         "terminals": [
@@ -114,6 +119,7 @@ def _net_to_dict(net: Net) -> dict[str, Any]:
 
 
 def _net_from_dict(data: dict[str, Any]) -> Net:
+    """Inverse of :func:`net_to_dict`."""
     terminals = [
         Terminal(
             term["name"],
@@ -125,3 +131,15 @@ def _net_from_dict(data: dict[str, Any]) -> Net:
         for term in data["terminals"]
     ]
     return Net(data["name"], terminals)
+
+
+# Public element-level converters.  The incremental delta format
+# (:mod:`repro.incremental.delta`) serializes added cells and nets with
+# exactly the layout-file shapes, so a delta file reads the same as the
+# layout JSON it mutates.
+rect_to_list = _rect_to_list
+rect_from_list = _rect_from_list
+cell_to_dict = _cell_to_dict
+cell_from_dict = _cell_from_dict
+net_to_dict = _net_to_dict
+net_from_dict = _net_from_dict

@@ -30,6 +30,7 @@ from repro.scenarios.corpus import (
 from repro.scenarios.conformance import (
     DEFAULT_STRATEGIES,
     FULL_MATRIX,
+    INCREMENTAL_STRATEGIES,
     QUICK_MATRIX,
     WIRELENGTH_BAND,
     ConformanceReport,
@@ -52,6 +53,7 @@ __all__ = [
     "write_corpus",
     "DEFAULT_STRATEGIES",
     "FULL_MATRIX",
+    "INCREMENTAL_STRATEGIES",
     "QUICK_MATRIX",
     "WIRELENGTH_BAND",
     "ConformanceReport",

@@ -21,6 +21,18 @@ and checks three kinds of promises:
    single-pass baseline, and a congestion strategy must never end with
    more overflow than it started with.
 
+With ``incremental=True`` a fourth axis replays scripted layout deltas
+(:mod:`repro.incremental.scripts`) through
+:meth:`~repro.api.pipeline.RoutingPipeline.reroute` at every matrix
+point, for the strategies that implement warm starts, and checks the
+incremental contract differentially against from-scratch routes of the
+mutated layouts: ``incremental-identity`` (empty deltas reproduce the
+base fingerprint; congestion-neutral deltas reproduce the scratch
+fingerprint for order-independent strategies), ``incremental-validity``
+(every reroute verifies clean), and ``incremental-band`` (reroute
+wirelength within :data:`WIRELENGTH_BAND` of scratch, overflow never
+worse than the warm start's opening measurement).
+
 The report (:class:`ConformanceReport`) records every case and check
 and serializes to JSON — CI uploads it as the ``conformance-smoke``
 artifact, and ``python -m repro conformance`` renders it for humans.
@@ -37,8 +49,12 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 from repro.errors import ReproError
 from repro.api.pipeline import RoutingPipeline
 from repro.api.request import RouteRequest
+from repro.api.rerouting import RerouteRequest
+from repro.api.result import RouteResult
 from repro.core.route import GlobalRoute
 from repro.core.router import RouterConfig
+from repro.incremental.delta import LayoutDelta
+from repro.incremental.scripts import disjoint_delta, empty_delta, geometry_delta
 from repro.scenarios.families import Scenario
 
 #: Strategies the conformance matrix covers by default, with bounded
@@ -48,6 +64,11 @@ DEFAULT_STRATEGIES: dict[str, dict[str, Any]] = {
     "two-pass": {"passes": 2},
     "negotiated": {"max_iterations": 8},
 }
+
+#: Strategies exercised by the incremental axis: the ones whose
+#: pipeline strategies implement ``run_incremental`` (two-pass is
+#: deliberately from-scratch-only; see ``repro.api.strategies``).
+INCREMENTAL_STRATEGIES: tuple[str, ...] = ("single", "negotiated")
 
 #: Final wirelength of any strategy, relative to the single-pass
 #: baseline on the same scenario.  Congestion strategies buy overflow
@@ -222,6 +243,7 @@ def run_conformance(
     *,
     strategies: Mapping[str, Mapping[str, Any]] | Sequence[str] | None = None,
     matrix: Sequence[MatrixPoint] = FULL_MATRIX,
+    incremental: bool = False,
 ) -> ConformanceReport:
     """Route every scenario through every strategy × matrix point.
 
@@ -232,6 +254,11 @@ def run_conformance(
     itself is recorded as a failed ``validity`` check rather than
     propagated, so one broken combination cannot hide the rest of the
     matrix.
+
+    With ``incremental=True``, every cell of a strategy in
+    :data:`INCREMENTAL_STRATEGIES` additionally replays the scripted
+    deltas through :meth:`RoutingPipeline.reroute` against that cell's
+    own result and appends the ``incremental-*`` checks.
     """
     if strategies is None:
         strategy_params = dict(DEFAULT_STRATEGIES)
@@ -253,16 +280,22 @@ def run_conformance(
         for strategy, params in strategy_params.items():
             groups: dict[tuple, dict[str, str]] = {}  # identity key -> config -> digest
             for point in matrix:
-                case = _route_case(pipeline, scenario, strategy, params, point)
-                if isinstance(case, CheckRecord):
-                    report.checks.append(case)
+                routed = _route_case(pipeline, scenario, strategy, params, point)
+                if isinstance(routed, CheckRecord):
+                    report.checks.append(routed)
                     continue
+                case, result = routed
                 report.cases.append(case)
                 report.checks.append(_validity_check(case))
                 groups.setdefault(_identity_key(strategy, point), {})[point.name] = (
                     case.fingerprint
                 )
                 baselines.setdefault(strategy, case)
+                if incremental and strategy in INCREMENTAL_STRATEGIES:
+                    _incremental_checks(
+                        pipeline, report, scenario, strategy, params, point,
+                        base_case=case, base_result=result,
+                    )
             for key, digests in groups.items():
                 report.checks.append(_identity_check(scenario.name, strategy, key, digests))
         _cross_strategy_checks(report, scenario.name, baselines)
@@ -276,16 +309,9 @@ def _route_case(
     strategy: str,
     params: Mapping[str, Any],
     point: MatrixPoint,
-) -> CaseRecord | CheckRecord:
+) -> tuple[CaseRecord, RouteResult] | CheckRecord:
     """Route one matrix cell; a pipeline crash becomes a failed check."""
-    request = RouteRequest(
-        layout=scenario.layout,
-        config=point.to_config(),
-        strategy=strategy,
-        strategy_params=dict(params),
-        on_unroutable="skip",
-        verify=True,
-    )
+    request = _cell_request(scenario, strategy, params, point)
     started = time.perf_counter()
     try:
         result = pipeline.run(request)
@@ -303,10 +329,35 @@ def _route_case(
             detail=f"config {point.name}: pipeline raised {type(exc).__name__}: {exc}",
         )
     elapsed = time.perf_counter() - started
-    return CaseRecord(
-        scenario=scenario.name,
+    case = _case_record(scenario.name, strategy, point.name, result, elapsed)
+    return case, result
+
+
+def _cell_request(
+    scenario: Scenario,
+    strategy: str,
+    params: Mapping[str, Any],
+    point: MatrixPoint,
+) -> RouteRequest:
+    """The canonical request one matrix cell routes."""
+    return RouteRequest(
+        layout=scenario.layout,
+        config=point.to_config(),
         strategy=strategy,
-        config=point.name,
+        strategy_params=dict(params),
+        on_unroutable="skip",
+        verify=True,
+    )
+
+
+def _case_record(
+    scenario: str, strategy: str, config: str, result: RouteResult, elapsed: float
+) -> CaseRecord:
+    """Fold one :class:`RouteResult` into the report's case shape."""
+    return CaseRecord(
+        scenario=scenario,
+        strategy=strategy,
+        config=config,
         fingerprint=route_fingerprint(result.route),
         wirelength=result.total_length,
         routed_nets=result.route.routed_count,
@@ -403,3 +454,195 @@ def _cross_strategy_checks(
                     ),
                 )
             )
+
+
+# ----------------------------------------------------------------------
+# Incremental axis
+# ----------------------------------------------------------------------
+def _scripted_deltas(scenario: Scenario) -> dict[str, LayoutDelta]:
+    """The per-scenario delta script the incremental axis replays.
+
+    All three are deterministic functions of the scenario layout, so
+    every matrix point reroutes the exact same mutations:
+
+    ``empty``
+        No change at all — the reroute must return the base result
+        untouched, byte for byte, for every warm-startable strategy.
+    ``disjoint``
+        Net-list-only churn (remove one net, clone another) that leaves
+        cell geometry alone, so an order-independent strategy must
+        reproduce the from-scratch route of the mutated layout exactly.
+    ``geometry``
+        A unit cell move (falling back to ``disjoint`` when no legal
+        move exists) that actually rips routes crossing the changed
+        rectangles — the band checks carry the contract here.
+    """
+    return {
+        "empty": empty_delta(),
+        "disjoint": disjoint_delta(scenario.layout),
+        "geometry": geometry_delta(scenario.layout),
+    }
+
+
+def _incremental_checks(
+    pipeline: RoutingPipeline,
+    report: ConformanceReport,
+    scenario: Scenario,
+    strategy: str,
+    params: Mapping[str, Any],
+    point: MatrixPoint,
+    *,
+    base_case: CaseRecord,
+    base_result: RouteResult,
+) -> None:
+    """Replay the scripted deltas through ``reroute`` for one cell."""
+    base_request = _cell_request(scenario, strategy, params, point)
+    for delta_name, delta in _scripted_deltas(scenario).items():
+        label = f"{point.name}+reroute[{delta_name}]"
+        reroute_request = RerouteRequest(base=base_request, delta=delta)
+        started = time.perf_counter()
+        try:
+            rerouted = pipeline.reroute(reroute_request, prev_result=base_result)
+        except Exception as exc:  # noqa: BLE001 - keep the crash in its cell
+            report.checks.append(
+                CheckRecord(
+                    kind="incremental-validity",
+                    scenario=scenario.name,
+                    strategy=strategy,
+                    ok=False,
+                    detail=(
+                        f"config {label}: reroute raised "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+            )
+            continue
+        elapsed = time.perf_counter() - started
+        case = _case_record(scenario.name, strategy, label, rerouted, elapsed)
+        report.cases.append(case)
+        report.checks.append(_incremental_validity(case, rerouted))
+
+        if delta.is_empty:
+            # An empty delta keeps every net: the engines return the
+            # previous routing untouched, whatever the strategy.
+            report.checks.append(
+                _incremental_identity(
+                    case, base_case.fingerprint,
+                    f"config {label}: vs base {base_case.config}",
+                )
+            )
+            continue
+
+        scratch_label = f"{point.name}+scratch[{delta_name}]"
+        started = time.perf_counter()
+        try:
+            scratch = pipeline.run(reroute_request.mutated_request())
+        except Exception as exc:  # noqa: BLE001 - keep the crash in its cell
+            report.checks.append(
+                CheckRecord(
+                    kind="incremental-validity",
+                    scenario=scenario.name,
+                    strategy=strategy,
+                    ok=False,
+                    detail=(
+                        f"config {scratch_label}: pipeline raised "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+            )
+            continue
+        scratch_case = _case_record(
+            scenario.name, strategy, scratch_label, scratch,
+            time.perf_counter() - started,
+        )
+        report.cases.append(scratch_case)
+
+        if delta_name == "disjoint" and strategy == "single":
+            # Cell geometry is untouched, and ``single`` routes every
+            # net independently of the others — so routing only the
+            # dirty nets must land exactly where from scratch does.
+            report.checks.append(
+                _incremental_identity(
+                    case, scratch_case.fingerprint,
+                    f"config {label}: vs scratch {scratch_label}",
+                )
+            )
+        report.checks.append(_incremental_band(case, scratch_case))
+
+
+def _incremental_validity(case: CaseRecord, result: RouteResult) -> CheckRecord:
+    """A reroute is always a valid routing: clean verify, nothing lost."""
+    problems = []
+    if case.violations:
+        problems.append(f"{case.violations} verification violations")
+    if case.failed_nets:
+        problems.append(f"{case.failed_nets} unrouted nets")
+    kept = result.timings.get("kept_nets")
+    ripped = result.timings.get("ripped_nets")
+    new = result.timings.get("new_nets")
+    classified = (
+        f" (kept={kept:.0f} ripped={ripped:.0f} new={new:.0f})"
+        if None not in (kept, ripped, new)
+        else ""
+    )
+    return CheckRecord(
+        kind="incremental-validity",
+        scenario=case.scenario,
+        strategy=case.strategy,
+        ok=not problems,
+        detail=(
+            f"config {case.config}: "
+            + ("; ".join(problems) if problems else "clean")
+            + classified
+        ),
+    )
+
+
+def _incremental_identity(
+    case: CaseRecord, expected: str, context: str
+) -> CheckRecord:
+    """Byte identity between a reroute and its oracle route."""
+    ok = case.fingerprint == expected
+    return CheckRecord(
+        kind="incremental-identity",
+        scenario=case.scenario,
+        strategy=case.strategy,
+        ok=ok,
+        detail=(
+            f"{context}: {case.fingerprint}"
+            + ("" if ok else f" != {expected}")
+        ),
+    )
+
+
+def _incremental_band(case: CaseRecord, scratch: CaseRecord) -> CheckRecord:
+    """Reroute quality stays within the from-scratch bands."""
+    problems = []
+    lo, hi = WIRELENGTH_BAND
+    if scratch.wirelength > 0:
+        ratio = case.wirelength / scratch.wirelength
+        if not lo <= ratio <= hi:
+            problems.append(
+                f"wirelength {case.wirelength} is {ratio:.3f}x scratch "
+                f"({scratch.wirelength}); band [{lo}, {hi}]"
+            )
+    if (
+        case.overflow_before is not None
+        and case.overflow_after is not None
+        and case.overflow_after > case.overflow_before
+    ):
+        problems.append(
+            f"overflow worsened {case.overflow_before} -> {case.overflow_after}"
+        )
+    return CheckRecord(
+        kind="incremental-band",
+        scenario=case.scenario,
+        strategy=case.strategy,
+        ok=not problems,
+        detail=(
+            f"config {case.config}: "
+            + ("; ".join(problems) if problems else
+               f"wirelength {case.wirelength} vs scratch {scratch.wirelength}, "
+               f"overflow {case.overflow_before} -> {case.overflow_after}")
+        ),
+    )

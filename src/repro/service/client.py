@@ -1,6 +1,6 @@
 """Thin stdlib HTTP client for the routing service.
 
-:class:`Client` wraps the five endpoints in plain-Python calls so
+:class:`Client` wraps the six endpoints in plain-Python calls so
 tests, CI smoke jobs, and scripts never hand-roll HTTP.  It speaks
 dicts at the transport boundary (what the wire carries) and converts
 to rich objects only where it is unambiguous —
@@ -24,10 +24,14 @@ from typing import Any, Optional, Sequence, Union
 
 from repro.errors import QueueFullError, ServiceError
 from repro.api.request import RouteRequest
+from repro.api.rerouting import RerouteRequest
 from repro.api.result import RouteResult
 
 #: Accepted request shapes: a built object or an already-encoded dict.
 RequestLike = Union[RouteRequest, dict]
+
+#: Accepted reroute shapes, analogously.
+RerouteLike = Union[RerouteRequest, dict]
 
 
 def _encode_request(request: RequestLike) -> dict:
@@ -37,6 +41,16 @@ def _encode_request(request: RequestLike) -> dict:
         return request
     raise ServiceError(
         f"expected a RouteRequest or request dict, got {type(request).__name__}"
+    )
+
+
+def _encode_reroute(request: RerouteLike) -> dict:
+    if isinstance(request, RerouteRequest):
+        return request.to_dict()
+    if isinstance(request, dict):
+        return request
+    raise ServiceError(
+        f"expected a RerouteRequest or reroute dict, got {type(request).__name__}"
     )
 
 
@@ -118,6 +132,19 @@ class Client:
         timeout = self.timeout + wait_timeout if wait else None
         return self._call("POST", path, body=_encode_request(request), timeout=timeout)
 
+    def submit_reroute(self, request: RerouteLike, *, wait: bool = False,
+                       wait_timeout: float = 120.0) -> dict:
+        """``POST /reroute`` — returns the job document.
+
+        Same long-poll semantics as :meth:`submit`.  The job's
+        ``incremental`` field reports whether the server warm-started
+        from its cached base result (``True``) or fell back to routing
+        the mutated layout from scratch (``False``).
+        """
+        path = f"/reroute?wait=1&timeout={wait_timeout:g}" if wait else "/reroute"
+        timeout = self.timeout + wait_timeout if wait else None
+        return self._call("POST", path, body=_encode_reroute(request), timeout=timeout)
+
     def submit_batch(self, requests: Sequence[RequestLike]) -> list[dict]:
         """``POST /batch`` — atomic admission; returns the job stubs."""
         body = {"requests": [_encode_request(r) for r in requests]}
@@ -158,6 +185,21 @@ class Client:
         keeps running server-side for later polling.
         """
         job = self.submit(request, wait=True, wait_timeout=wait_timeout)
+        return self._finished_result(job, wait_timeout)
+
+    def reroute(self, request: RerouteLike, *, wait_timeout: float = 120.0) -> RouteResult:
+        """Submit a reroute, wait, and parse — :meth:`route`'s sibling.
+
+        The server resolves the previous result from its
+        content-addressed cache (submit the base request first, to the
+        same instance); an evicted base silently degrades to a
+        from-scratch run of the mutated layout, so the call always
+        returns a usable :class:`RouteResult`.
+        """
+        job = self.submit_reroute(request, wait=True, wait_timeout=wait_timeout)
+        return self._finished_result(job, wait_timeout)
+
+    def _finished_result(self, job: dict, wait_timeout: float) -> RouteResult:
         if job["state"] in ("queued", "running"):
             raise ServiceError(
                 f"job {job['id']} still {job['state']} after "

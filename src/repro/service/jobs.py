@@ -39,14 +39,16 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import QueueFullError, RoutingError, ServiceError
 from repro.core.parallel import make_executor
+from repro.incremental.delta import apply_delta
 from repro.api.canonical import request_cache_key
 from repro.api.pipeline import RoutingPipeline
 from repro.api.registry import StrategyRegistry
 from repro.api.request import RouteRequest
+from repro.api.rerouting import RerouteRequest, reroute_cache_key
 from repro.api.result import RouteResult
 from repro.layout.layout import Layout
 from repro.service.cache import ResultCache
@@ -77,6 +79,11 @@ class Job:
     state: str = "queued"
     cache_hit: bool = False
     coalesced: bool = False
+    #: ``None`` for plain route jobs; for ``/reroute`` submissions,
+    #: whether the base result was cached and the run warm-started
+    #: (``True``) or fell back to routing the mutated layout from
+    #: scratch (``False``).
+    incremental: Optional[bool] = None
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -118,6 +125,7 @@ class Job:
             "state": self.state,
             "cache_hit": self.cache_hit,
             "coalesced": self.coalesced,
+            "incremental": self.incremental,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -198,7 +206,35 @@ class RoutingService:
         layout, key = self._prepare(request)
         with self._lock:
             self.metrics.record_request()
-            return self._admit_locked(request, layout, key)
+            return self._admit_locked(key, work=self._route_work(request, layout))
+
+    def submit_reroute(self, request: RerouteRequest) -> Job:
+        """Admit one incremental reroute; returns its job.
+
+        The base result is resolved from the content-addressed cache
+        *at admission time*: when present, the run warm-starts from it
+        through :meth:`RoutingPipeline.reroute` (``job.incremental``
+        is ``True``); when absent — evicted, or never routed here —
+        the service falls back to routing the mutated layout from
+        scratch (``incremental=False``), so a reroute submission
+        always yields a usable result.  Either way the result is
+        cached under :func:`~repro.api.rerouting.reroute_cache_key`,
+        which is disjoint from the from-scratch key namespace: a
+        warm-started result is never served for a plain ``/route`` of
+        the mutated layout, or vice versa.
+        """
+        base_layout, mutated_layout, base_key, key = self._prepare_reroute(request)
+        with self._lock:
+            self.metrics.record_request()
+            prev = self.cache.get(base_key)
+            if prev is not None:
+                work = self._reroute_work(request, base_layout, prev)
+            else:
+                work = self._route_work(
+                    request.base.with_layout(mutated_layout), mutated_layout
+                )
+            self.metrics.record_reroute(incremental=prev is not None)
+            return self._admit_locked(key, work=work, incremental=prev is not None)
 
     def submit_many(self, requests: Sequence[RouteRequest]) -> list[Job]:
         """Admit a batch atomically: all jobs are created, or none.
@@ -226,7 +262,7 @@ class RoutingService:
                     f"{len(new_keys)} new > limit {self.queue_limit}"
                 )
             return [
-                self._admit_locked(request, layout, key)
+                self._admit_locked(key, work=self._route_work(request, layout))
                 for (request, (layout, key)) in zip(requests, prepared)
             ]
 
@@ -244,7 +280,47 @@ class RoutingService:
         key = request_cache_key(request, layout=layout)
         return layout, key
 
-    def _admit_locked(self, request: RouteRequest, layout: Layout, key: str) -> Job:
+    def _prepare_reroute(
+        self, request: RerouteRequest
+    ) -> tuple[Layout, Layout, str, str]:
+        """Resolve, mutate, and hash a reroute outside the lock.
+
+        Applying the delta here means a malformed one (removing a cell
+        a surviving net still pins to, moving a cell nobody placed)
+        rejects the submission with a 400-mappable error before any
+        job exists — the same binary acceptance as :meth:`_prepare`.
+        """
+        try:
+            base_layout = request.base.resolve_layout()
+        except OSError as exc:
+            raise RoutingError(f"cannot resolve reroute base layout: {exc}") from exc
+        mutated_layout = apply_delta(base_layout, request.delta)
+        base_key = request_cache_key(request.base, layout=base_layout)
+        key = reroute_cache_key(request, base_layout=base_layout)
+        return base_layout, mutated_layout, base_key, key
+
+    # ------------------------------------------------------------------
+    # Work closures (what a worker thread actually runs)
+    # ------------------------------------------------------------------
+    def _route_work(
+        self, request: RouteRequest, layout: Optional[Layout]
+    ) -> Callable[[], RouteResult]:
+        return lambda: self._pipeline.run(request, layout=layout)
+
+    def _reroute_work(
+        self, request: RerouteRequest, base_layout: Layout, prev: RouteResult
+    ) -> Callable[[], RouteResult]:
+        return lambda: self._pipeline.reroute(
+            request, prev_result=prev, base_layout=base_layout
+        )
+
+    def _admit_locked(
+        self,
+        key: str,
+        *,
+        work: Callable[[], RouteResult],
+        incremental: Optional[bool] = None,
+    ) -> Job:
         if self._closed:
             raise ServiceError("service is shut down", status=503)
         now = time.time()
@@ -253,6 +329,7 @@ class RoutingService:
             self.metrics.record_cache(hit=True)
             job = self._new_job_locked(key, now)
             job.cache_hit = True
+            job.incremental = incremental
             job.state = "done"
             job.started_at = now
             job.finished_at = now
@@ -265,6 +342,7 @@ class RoutingService:
             self.metrics.record_coalesced()
             job = self._new_job_locked(key, now)
             job.coalesced = True
+            job.incremental = inflight.primary.incremental
             inflight.followers.append(job)
             return job
         if self._pending >= self.queue_limit:
@@ -274,9 +352,10 @@ class RoutingService:
                 f"flight >= limit {self.queue_limit}"
             )
         job = self._new_job_locked(key, now)
+        job.incremental = incremental
         self._inflight[key] = _Inflight(primary=job)
         self._pending += 1
-        self._pool.submit(self._run_job, job, request, layout, key)
+        self._pool.submit(self._run_job, job, key, work)
         return job
 
     def _new_job_locked(self, key: str, now: float) -> Job:
@@ -299,13 +378,13 @@ class RoutingService:
     # ------------------------------------------------------------------
     # Execution (worker threads)
     # ------------------------------------------------------------------
-    def _run_job(self, job: Job, request: RouteRequest, layout: Layout, key: str) -> None:
+    def _run_job(self, job: Job, key: str, work: Callable[[], RouteResult]) -> None:
         with self._lock:
             job.state = "running"
             job.started_at = time.time()
             self._running += 1
         try:
-            result = self._pipeline.run(request, layout=layout)
+            result = work()
         except Exception as exc:  # noqa: BLE001 - accepted jobs must terminate, not vanish
             self._finish_job(job, key, result=None, error=f"{type(exc).__name__}: {exc}")
             return

@@ -50,6 +50,11 @@ class ServiceMetrics:
     ``completed`` / ``failed``
         Routing runs that reached a terminal state (followers of a
         coalesced run count once — the run, not the followers).
+    ``reroutes`` / ``reroute_fallbacks``
+        ``/reroute`` submissions, and the subset whose base result was
+        not cached and fell back to a from-scratch run of the mutated
+        layout (a high fallback ratio means the cache is too small for
+        the iteration loop driving the service).
     """
 
     def __init__(self):
@@ -61,6 +66,8 @@ class ServiceMetrics:
         self.rejected = 0
         self.completed = 0
         self.failed = 0
+        self.reroutes = 0
+        self.reroute_fallbacks = 0
         self._route_seconds: deque[float] = deque(maxlen=ROUTE_SAMPLE_WINDOW)
 
     # ------------------------------------------------------------------
@@ -100,6 +107,13 @@ class ServiceMetrics:
         with self._lock:
             self.failed += 1
 
+    def record_reroute(self, *, incremental: bool) -> None:
+        """Count one ``/reroute`` submission (and its fallback, if any)."""
+        with self._lock:
+            self.reroutes += 1
+            if not incremental:
+                self.reroute_fallbacks += 1
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -115,6 +129,8 @@ class ServiceMetrics:
                 "rejected": self.rejected,
                 "completed": self.completed,
                 "failed": self.failed,
+                "reroutes": self.reroutes,
+                "reroute_fallbacks": self.reroute_fallbacks,
                 "route_samples": len(samples),
                 "route_seconds_p50": percentile(samples, 0.50),
                 "route_seconds_p95": percentile(samples, 0.95),

@@ -1,7 +1,7 @@
 """Stdlib HTTP frontend over :class:`~repro.service.jobs.RoutingService`.
 
 No framework, no dependencies: a :class:`http.server.ThreadingHTTPServer`
-whose handler translates five endpoints into service calls and JSON —
+whose handler translates six endpoints into service calls and JSON —
 the serving surface ``python -m repro serve`` exposes.
 
 ==========================  =============================================
@@ -16,6 +16,14 @@ Endpoint                    Meaning
                             the job in whatever state it reached —
                             ``200`` with the result when terminal,
                             ``202`` if the budget elapsed first.
+``POST /reroute``           Submit one ``RerouteRequest`` JSON document
+                            (``{"base": <route request>, "delta":
+                            <layout delta>}``).  Warm-starts from the
+                            cached base result when present, falls back
+                            to from-scratch on the mutated layout
+                            otherwise (``incremental`` on the job says
+                            which); same ``?wait=1`` long-poll
+                            semantics as ``/route``.
 ``POST /batch``             Submit ``{"requests": [...]}`` (or a bare
                             list) atomically; ``202`` with the job list
                             or ``429`` with nothing admitted.
@@ -41,6 +49,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import QueueFullError, ReproError, ServiceError
 from repro.api.request import RouteRequest
+from repro.api.rerouting import RerouteRequest
 from repro.service.jobs import RoutingService
 
 #: Upper bound on accepted request bodies (a layout JSON is small; a
@@ -153,6 +162,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_job(path.removeprefix("/jobs/"))
             elif method == "POST" and path == "/route":
                 self._handle_route(query)
+            elif method == "POST" and path == "/reroute":
+                self._handle_reroute(query)
             elif method == "POST" and path == "/batch":
                 self._handle_batch()
             else:
@@ -200,7 +211,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_route(self, query: dict) -> None:
         request = self._parse_request(self._decode_json_body())
-        job = self.service.submit(request)
+        self._answer_job(self.service.submit(request), query)
+
+    def _handle_reroute(self, query: dict) -> None:
+        data = self._decode_json_body()
+        if not isinstance(data, dict):
+            raise ServiceError("reroute body must be a JSON object", status=400)
+        self._answer_job(self.service.submit_reroute(RerouteRequest.from_dict(data)), query)
+
+    def _answer_job(self, job, query: dict) -> None:
+        """The shared ``/route``-style answer: optional long-poll, then JSON."""
         wait = query.get("wait", ["0"])[0] not in ("", "0", "false", "no")
         if wait and not job.finished:
             # Long-poll semantics: block up to the caller's budget

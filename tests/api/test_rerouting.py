@@ -1,0 +1,125 @@
+"""RerouteRequest: validation, serialization, identity, and execution."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.api import (
+    RerouteRequest,
+    RouteRequest,
+    RoutingPipeline,
+    reroute,
+    reroute_cache_key,
+    request_cache_key,
+)
+from repro.incremental.scripts import disjoint_delta, empty_delta
+from repro.scenarios import route_fingerprint
+
+
+@pytest.fixture
+def base_request(small_layout):
+    return RouteRequest(layout=small_layout, on_unroutable="skip")
+
+
+class TestValidation:
+    def test_base_must_be_a_route_request(self, small_layout):
+        with pytest.raises(RoutingError, match="base must be a RouteRequest"):
+            RerouteRequest(base="nope", delta=empty_delta())
+
+    def test_delta_must_be_a_layout_delta(self, base_request):
+        with pytest.raises(RoutingError, match="delta must be a LayoutDelta"):
+            RerouteRequest(base=base_request, delta={"remove_nets": []})
+
+
+class TestSerialization:
+    def test_json_round_trip(self, base_request, small_layout):
+        request = RerouteRequest(
+            base=base_request, delta=disjoint_delta(small_layout)
+        )
+        again = RerouteRequest.from_json(request.to_json())
+        assert again.delta == request.delta
+        assert request_cache_key(again.base) == request_cache_key(request.base)
+
+    def test_from_dict_rejects_bad_version_and_garbage(self, base_request):
+        doc = RerouteRequest(base=base_request, delta=empty_delta()).to_dict()
+        doc["version"] = 99
+        with pytest.raises(RoutingError, match="version"):
+            RerouteRequest.from_dict(doc)
+        with pytest.raises(RoutingError, match="malformed"):
+            RerouteRequest.from_dict({"version": 1})
+        with pytest.raises(RoutingError, match="invalid reroute request JSON"):
+            RerouteRequest.from_json("{not json")
+
+
+class TestMutatedRequest:
+    def test_mutated_request_applies_the_delta(self, base_request, small_layout):
+        delta = disjoint_delta(small_layout)
+        mutated = RerouteRequest(base=base_request, delta=delta).mutated_request()
+        names = {net.name for net in mutated.layout.nets}
+        assert {net.name for net in delta.add_nets} <= names
+        assert not set(delta.remove_nets) & names
+        # Policies ride along unchanged.
+        assert mutated.strategy == base_request.strategy
+        assert mutated.on_unroutable == base_request.on_unroutable
+
+
+class TestCacheKey:
+    def test_key_shape_and_determinism(self, base_request, small_layout):
+        request = RerouteRequest(
+            base=base_request, delta=disjoint_delta(small_layout)
+        )
+        key = reroute_cache_key(request)
+        assert len(key) == 64 and set(key) <= set("0123456789abcdef")
+        assert key == reroute_cache_key(request)
+
+    def test_key_varies_with_the_delta(self, base_request, small_layout):
+        empty = RerouteRequest(base=base_request, delta=empty_delta())
+        disjoint = RerouteRequest(
+            base=base_request, delta=disjoint_delta(small_layout)
+        )
+        assert reroute_cache_key(empty) != reroute_cache_key(disjoint)
+
+    def test_key_namespace_disjoint_from_route_requests(self, base_request):
+        request = RerouteRequest(base=base_request, delta=empty_delta())
+        assert reroute_cache_key(request) != request_cache_key(base_request)
+
+
+class TestExecution:
+    def test_pipeline_reroute_reports_the_partition(
+        self, base_request, small_layout
+    ):
+        pipeline = RoutingPipeline()
+        prev = pipeline.run(base_request)
+        delta = disjoint_delta(small_layout)
+        result = pipeline.reroute(
+            RerouteRequest(base=base_request, delta=delta), prev_result=prev
+        )
+        nets = len(small_layout.nets)
+        assert result.timings["kept_nets"] == nets - len(delta.remove_nets)
+        assert result.timings["new_nets"] == len(delta.add_nets)
+        assert result.timings["removed_nets"] == len(delta.remove_nets)
+        assert "plan" in result.timings
+
+    def test_reroute_convenience_matches_pipeline(
+        self, base_request, small_layout
+    ):
+        pipeline = RoutingPipeline()
+        prev = pipeline.run(base_request)
+        delta = disjoint_delta(small_layout)
+        via_helper = reroute(prev, delta, base=base_request)
+        via_pipeline = pipeline.reroute(
+            RerouteRequest(base=base_request, delta=delta), prev_result=prev
+        )
+        assert route_fingerprint(via_helper.route) == route_fingerprint(
+            via_pipeline.route
+        )
+
+    def test_unsupported_strategy_is_rejected(self, small_layout):
+        base = RouteRequest(
+            layout=small_layout, strategy="two-pass", on_unroutable="skip"
+        )
+        pipeline = RoutingPipeline()
+        prev = pipeline.run(base)
+        with pytest.raises(RoutingError, match="does not support incremental"):
+            pipeline.reroute(
+                RerouteRequest(base=base, delta=empty_delta()), prev_result=prev
+            )

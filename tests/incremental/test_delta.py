@@ -1,0 +1,255 @@
+"""LayoutDelta semantics: validation, application, and composition."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.cell import Cell
+from repro.layout.io import layout_to_json
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.layout.pin import Pin
+from repro.layout.terminal import Terminal
+from repro.layout.validate import validate_layout
+from repro.incremental.delta import (
+    CellMove,
+    LayoutDelta,
+    apply_delta,
+    changed_rects,
+    compose_deltas,
+)
+
+
+def _cell(name: str, x0: int, y0: int, x1: int, y1: int) -> Cell:
+    return Cell(name, Rect(x0, y0, x1, y1))
+
+
+def _layout() -> Layout:
+    """Two separated cells with one net between their boundary pins."""
+    layout = Layout(Rect(0, 0, 100, 100))
+    a = _cell("a", 10, 10, 30, 30)
+    b = _cell("b", 60, 60, 90, 90)
+    layout.add_cell(a)
+    layout.add_cell(b)
+    layout.add_net(
+        Net(
+            "n0",
+            [
+                Terminal("t0", [Pin("p0", Point(30, 20), "a")]),
+                Terminal("t1", [Pin("p1", Point(60, 70), "b")]),
+            ],
+        )
+    )
+    return layout
+
+
+# ----------------------------------------------------------------------
+# Construction and views
+# ----------------------------------------------------------------------
+def test_empty_delta_is_empty():
+    delta = LayoutDelta()
+    assert delta.is_empty
+    assert not LayoutDelta(remove_nets=("n0",)).is_empty
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(LayoutError, match="repeats"):
+        LayoutDelta(remove_cells=("a", "a"))
+    with pytest.raises(LayoutError, match="repeats"):
+        LayoutDelta(move_cells=(CellMove("a", 1, 0), CellMove("a", 0, 1)))
+
+
+def test_move_plus_remove_or_add_rejected():
+    with pytest.raises(LayoutError, match="moves and removes"):
+        LayoutDelta(move_cells=(CellMove("a", 1, 0),), remove_cells=("a",))
+    with pytest.raises(LayoutError, match="moves and adds"):
+        LayoutDelta(
+            move_cells=(CellMove("a", 1, 0),),
+            add_cells=(_cell("a", 0, 0, 5, 5),),
+        )
+
+
+def test_replaced_views():
+    delta = LayoutDelta(
+        remove_cells=("a",),
+        add_cells=(_cell("a", 10, 10, 20, 20),),
+        remove_nets=("n0", "n1"),
+        add_nets=(Net.two_point("n0", Point(1, 1), Point(2, 2)),),
+    )
+    assert delta.replaced_cells == {"a"}
+    assert delta.replaced_nets == {"n0"}
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def test_json_round_trip_byte_identical():
+    delta = LayoutDelta(
+        add_cells=(_cell("c", 40, 40, 50, 50),),
+        remove_cells=("a",),
+        move_cells=(CellMove("b", -2, 3),),
+        remove_nets=("n0",),
+        outline=Rect(0, 0, 120, 120),
+    )
+    text = delta.to_json()
+    again = LayoutDelta.from_json(text)
+    assert again == delta
+    assert again.to_json() == text
+
+
+def test_from_dict_rejects_bad_version_and_garbage():
+    with pytest.raises(LayoutError, match="version"):
+        LayoutDelta.from_dict({"version": 99})
+    with pytest.raises(LayoutError, match="malformed"):
+        LayoutDelta.from_dict({"version": 1, "move_cells": [{"dx": 1}]})
+    with pytest.raises(LayoutError, match="invalid delta JSON"):
+        LayoutDelta.from_json("{not json")
+
+
+# ----------------------------------------------------------------------
+# Application
+# ----------------------------------------------------------------------
+def test_apply_empty_delta_preserves_layout():
+    layout = _layout()
+    mutated = apply_delta(layout, LayoutDelta())
+    assert layout_to_json(mutated) == layout_to_json(layout)
+
+
+def test_apply_never_mutates_the_base():
+    layout = _layout()
+    before = layout_to_json(layout)
+    apply_delta(layout, LayoutDelta(remove_nets=("n0",), remove_cells=()))
+    assert layout_to_json(layout) == before
+
+
+def test_move_carries_pins_along():
+    layout = _layout()
+    mutated = apply_delta(layout, LayoutDelta(move_cells=(CellMove("b", 5, -10),)))
+    assert mutated.cell("b").bounding_box == Rect(65, 50, 95, 80)
+    (pin,) = mutated.net("n0").terminals[1].pins
+    assert pin.location == Point(65, 60)
+    validate_layout(mutated)
+
+
+def test_remove_cell_with_surviving_net_raises():
+    layout = _layout()
+    with pytest.raises(LayoutError, match="still\\s+references"):
+        apply_delta(layout, LayoutDelta(remove_cells=("b",)))
+
+
+def test_remove_cell_with_its_net_works():
+    layout = _layout()
+    mutated = apply_delta(
+        layout, LayoutDelta(remove_cells=("b",), remove_nets=("n0",))
+    )
+    assert [c.name for c in mutated.cells] == ["a"]
+    assert not mutated.nets
+
+
+def test_remove_unknown_name_raises():
+    layout = _layout()
+    with pytest.raises(LayoutError):
+        apply_delta(layout, LayoutDelta(remove_cells=("ghost",)))
+    with pytest.raises(LayoutError):
+        apply_delta(layout, LayoutDelta(move_cells=(CellMove("ghost", 1, 0),)))
+
+
+def test_replace_cell_uses_new_definition():
+    layout = _layout()
+    # Replacing the cell and its net together keeps the layout coherent.
+    replacement = _cell("b", 55, 55, 85, 85)
+    net = Net(
+        "n0",
+        [
+            Terminal("t0", [Pin("p0", Point(30, 20), "a")]),
+            Terminal("t1", [Pin("p1", Point(55, 70), "b")]),
+        ],
+    )
+    mutated = apply_delta(
+        layout,
+        LayoutDelta(
+            remove_cells=("b",),
+            add_cells=(replacement,),
+            remove_nets=("n0",),
+            add_nets=(net,),
+        ),
+    )
+    assert mutated.cell("b").bounding_box == Rect(55, 55, 85, 85)
+    validate_layout(mutated)
+
+
+def test_outline_replacement():
+    layout = _layout()
+    mutated = apply_delta(layout, LayoutDelta(outline=Rect(0, 0, 200, 150)))
+    assert mutated.outline == Rect(0, 0, 200, 150)
+    assert [c.name for c in mutated.cells] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# changed_rects
+# ----------------------------------------------------------------------
+def test_changed_rects_cover_old_and_new_footprints():
+    layout = _layout()
+    move = LayoutDelta(move_cells=(CellMove("b", 5, 0),))
+    rects = changed_rects(layout, move)
+    old = layout.cell("b").bounding_box
+    assert any(r == old for r in rects)
+    assert any(r == old.translated(5, 0) for r in rects)
+
+    removal = LayoutDelta(remove_cells=("a",), remove_nets=("n0",))
+    assert changed_rects(layout, removal) == list(layout.cell("a").blocking_rects)
+
+    assert changed_rects(layout, LayoutDelta(remove_nets=("n0",))) == []
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+def test_compose_matches_sequential_application():
+    layout = _layout()
+    first = LayoutDelta(move_cells=(CellMove("b", 2, 2),))
+    second = LayoutDelta(move_cells=(CellMove("b", -1, 3),), remove_nets=("n0",))
+    fused = compose_deltas(first, second)
+    sequential = apply_delta(apply_delta(layout, first), second)
+    assert layout_to_json(apply_delta(layout, fused)) == layout_to_json(sequential)
+    assert fused.move_cells == (CellMove("b", 1, 5),)
+
+
+def test_compose_add_then_remove_cancels():
+    extra = _cell("c", 40, 40, 50, 50)
+    fused = compose_deltas(
+        LayoutDelta(add_cells=(extra,)), LayoutDelta(remove_cells=("c",))
+    )
+    assert fused.is_empty
+
+
+def test_compose_remove_then_add_is_replace():
+    replacement = _cell("a", 12, 12, 28, 28)
+    fused = compose_deltas(
+        LayoutDelta(remove_cells=("a",), remove_nets=("n0",)),
+        LayoutDelta(add_cells=(replacement,)),
+    )
+    assert fused.replaced_cells == {"a"}
+    layout = _layout()
+    mutated = apply_delta(layout, fused)
+    assert mutated.cell("a").bounding_box == Rect(12, 12, 28, 28)
+
+
+def test_compose_invalid_sequences_raise():
+    with pytest.raises(LayoutError, match="cannot compose"):
+        compose_deltas(
+            LayoutDelta(remove_cells=("a",)), LayoutDelta(remove_cells=("a",))
+        )
+    with pytest.raises(LayoutError, match="cannot compose"):
+        compose_deltas(
+            LayoutDelta(remove_cells=("a",)),
+            LayoutDelta(move_cells=(CellMove("a", 1, 0),)),
+        )
+
+
+def test_compose_second_outline_wins():
+    first = LayoutDelta(outline=Rect(0, 0, 150, 150))
+    second = LayoutDelta(outline=Rect(0, 0, 300, 300))
+    assert compose_deltas(first, second).outline == Rect(0, 0, 300, 300)
+    assert compose_deltas(first, LayoutDelta()).outline == Rect(0, 0, 150, 150)

@@ -1,0 +1,139 @@
+"""Dirty-set classification: kept / ripped / new / removed."""
+
+import pytest
+
+from repro.core.router import GlobalRouter, RouterConfig
+from repro.geometry.rect import Rect
+from repro.incremental.delta import LayoutDelta
+from repro.incremental.dirty import classify_nets
+from repro.incremental.delta import apply_delta
+from repro.incremental.scripts import (
+    disjoint_delta,
+    empty_delta,
+    geometry_delta,
+    replace_nets_delta,
+)
+
+
+@pytest.fixture
+def routed(small_layout):
+    route = GlobalRouter(small_layout, RouterConfig()).route_all(
+        on_unroutable="skip"
+    )
+    return small_layout, route
+
+
+def _classify(routed, delta):
+    layout, route = routed
+    mutated = apply_delta(layout, delta)
+    return mutated, classify_nets(route, layout, mutated, delta)
+
+
+def test_empty_delta_keeps_everything(routed):
+    layout, _route = routed
+    _mutated, dirty = _classify(routed, empty_delta())
+    assert set(dirty.kept) == {net.name for net in layout.nets}
+    assert dirty.ripped == dirty.new == dirty.removed == ()
+    assert dirty.dirty == ()
+
+
+def test_disjoint_delta_is_net_bookkeeping_only(routed):
+    layout, _route = routed
+    delta = disjoint_delta(layout)
+    _mutated, dirty = _classify(routed, delta)
+    assert set(dirty.new) == {net.name for net in delta.add_nets}
+    assert set(dirty.removed) == set(delta.remove_nets)
+    assert dirty.ripped == ()
+    surviving = {n.name for n in layout.nets} - set(delta.remove_nets)
+    assert set(dirty.kept) == surviving
+
+
+def test_geometry_delta_rips_routes_near_the_move(routed):
+    layout, route = routed
+    delta = geometry_delta(layout)
+    if not delta.move_cells:
+        pytest.skip("no legal unit move on this layout")
+    mutated, dirty = _classify(routed, delta)
+    # Ripped routes are exactly the ones whose reason says so; every
+    # mutated-layout net is accounted for exactly once.
+    all_nets = {net.name for net in mutated.nets}
+    assert set(dirty.kept) | set(dirty.ripped) | set(dirty.new) == all_nets
+    assert not (set(dirty.kept) & set(dirty.ripped))
+    reasons = dict(dirty.reasons)
+    assert set(reasons) == set(dirty.ripped)
+    # The moved cell's own nets must not be classified kept with stale
+    # pin positions: each ripped/kept verdict is consistent with the
+    # route actually clearing the changed footprints (checked by the
+    # property suite exhaustively; here we pin that classification ran).
+    moved = {m.name for m in delta.move_cells}
+    for name in dirty.kept:
+        tree = route.trees[name]
+        for cell_name in moved:
+            old = layout.cell(cell_name).bounding_box.inflated(1)
+            new = (
+                mutated.cell(cell_name).bounding_box.inflated(1)
+            )
+            for path in tree.paths:
+                for p in path.points:
+                    assert not _strictly_inside(old, p)
+                    assert not _strictly_inside(new, p)
+
+
+def _strictly_inside(rect: Rect, p) -> bool:
+    return rect.x0 < p.x < rect.x1 and rect.y0 < p.y < rect.y1
+
+
+def test_replace_nets_delta_marks_replacements_new(routed):
+    layout, _route = routed
+    delta = replace_nets_delta(layout, 2)
+    _mutated, dirty = _classify(routed, delta)
+    assert set(dirty.new) == set(delta.remove_nets)
+    assert len(dirty.new) == 2
+    assert dirty.ripped == ()
+    assert dirty.removed == ()
+
+
+def test_outline_change_rips_every_net(routed):
+    layout, _route = routed
+    bigger = Rect(
+        layout.outline.x0,
+        layout.outline.y0,
+        layout.outline.x1 + 40,
+        layout.outline.y1 + 40,
+    )
+    _mutated, dirty = _classify(routed, LayoutDelta(outline=bigger))
+    assert dirty.kept == ()
+    assert set(dirty.ripped) == {net.name for net in layout.nets}
+    assert all(reason == "outline changed" for _n, reason in dirty.reasons)
+
+
+def test_missing_prior_route_is_ripped(routed):
+    layout, route = routed
+    victim = layout.nets[0].name
+    trimmed = type(route)(
+        trees={k: v for k, v in route.trees.items() if k != victim},
+        stats=route.stats,
+        failed_nets=list(route.failed_nets),
+    )
+    mutated = apply_delta(layout, empty_delta())
+    dirty = classify_nets(trimmed, layout, mutated, empty_delta())
+    assert victim in dirty.ripped
+    assert dict(dirty.reasons)[victim] == "no prior route"
+
+
+def test_moved_cell_pins_count_as_changed(routed):
+    layout, _route = routed
+    delta = geometry_delta(layout)
+    if not delta.move_cells:
+        pytest.skip("no legal unit move on this layout")
+    mutated, dirty = _classify(routed, delta)
+    moved = {m.name for m in delta.move_cells}
+    # Any net pinned to a moved cell cannot be kept (its pins moved).
+    for net in mutated.nets:
+        on_moved = any(
+            pin.cell in moved
+            for terminal in net.terminals
+            for pin in terminal.pins
+        )
+        if on_moved and net.name not in dirty.new:
+            assert net.name in dirty.ripped

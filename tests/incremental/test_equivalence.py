@@ -1,0 +1,172 @@
+"""The differential equivalence suite: reroute vs from-scratch.
+
+Every corpus scenario is replayed through the conformance harness's
+incremental axis (`run_conformance(..., incremental=True)`), which
+asserts the full contract at every matrix point:
+
+* an empty delta reroutes to a fingerprint-identical result (both
+  strategies);
+* a net-only (disjoint) delta reroutes byte-identically to routing the
+  mutated layout from scratch under the single strategy;
+* every reroute result verifies clean and stays inside the PR-4
+  wirelength/overflow bands relative to its from-scratch twin.
+
+The direct tests below then pin the same promises without the harness
+in the loop, so a harness bug cannot mask an engine bug.
+"""
+
+import pytest
+
+from repro.api import RerouteRequest, RouteRequest, RoutingPipeline
+from repro.core.router import RouterConfig
+from repro.incremental.scripts import (
+    disjoint_delta,
+    empty_delta,
+    geometry_delta,
+    replace_nets_delta,
+)
+from repro.scenarios import (
+    INCREMENTAL_STRATEGIES,
+    QUICK_MATRIX,
+    WIRELENGTH_BAND,
+    load_corpus,
+    route_fingerprint,
+    run_conformance,
+)
+
+CORPUS = load_corpus()
+SCENARIOS = {scenario.name: scenario for scenario in CORPUS}
+
+
+def _pipeline_pair(scenario, strategy, **params):
+    """Route *scenario* from scratch; return (pipeline, request, result)."""
+    pipeline = RoutingPipeline()
+    request = RouteRequest(
+        layout=scenario.layout,
+        config=RouterConfig(),
+        strategy=strategy,
+        strategy_params=params,
+        on_unroutable="skip",
+        verify=True,
+    )
+    return pipeline, request, pipeline.run(request)
+
+
+# ----------------------------------------------------------------------
+# The oracle: every corpus scenario, every incremental strategy
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "scenario", CORPUS, ids=[scenario.name for scenario in CORPUS]
+)
+@pytest.mark.parametrize("strategy", INCREMENTAL_STRATEGIES)
+def test_corpus_scenario_reroute_conforms(scenario, strategy):
+    report = run_conformance(
+        [scenario],
+        strategies=[strategy],
+        matrix=[QUICK_MATRIX[0]],
+        incremental=True,
+    )
+    assert report.ok, report.summary()
+    kinds = {check.kind for check in report.checks}
+    assert "incremental-validity" in kinds
+    assert "incremental-identity" in kinds
+
+
+def test_incremental_axis_covers_the_full_quick_matrix():
+    scenario = SCENARIOS["congestion-hotspot-s59"]
+    report = run_conformance(
+        [scenario],
+        strategies=list(INCREMENTAL_STRATEGIES),
+        matrix=QUICK_MATRIX,
+        incremental=True,
+    )
+    assert report.ok, report.summary()
+    reroute_cases = [c for c in report.cases if "+reroute[" in c.config]
+    # 3 scripted deltas x len(QUICK_MATRIX) points x 2 strategies.
+    assert len(reroute_cases) == 3 * len(QUICK_MATRIX) * 2
+
+
+# ----------------------------------------------------------------------
+# Direct checks, harness out of the loop
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", INCREMENTAL_STRATEGIES)
+def test_empty_delta_is_fingerprint_identical(strategy):
+    scenario = SCENARIOS["channel-corridors-s11"]
+    pipeline, request, base = _pipeline_pair(scenario, strategy)
+    result = pipeline.reroute(
+        RerouteRequest(base=request, delta=empty_delta()), prev_result=base
+    )
+    assert route_fingerprint(result.route) == route_fingerprint(base.route)
+    assert result.timings["ripped_nets"] == 0
+    assert result.timings["new_nets"] == 0
+
+
+def test_disjoint_delta_single_matches_scratch_exactly():
+    scenario = SCENARIOS["pad-ring-s37"]
+    pipeline, request, base = _pipeline_pair(scenario, "single")
+    reroute_request = RerouteRequest(
+        base=request, delta=disjoint_delta(scenario.layout)
+    )
+    incremental = pipeline.reroute(reroute_request, prev_result=base)
+    scratch = pipeline.run(reroute_request.mutated_request())
+    assert route_fingerprint(incremental.route) == route_fingerprint(
+        scratch.route
+    )
+
+
+def test_replaced_nets_single_matches_scratch_exactly():
+    scenario = SCENARIOS["congestion-hotspot-s53"]
+    pipeline, request, base = _pipeline_pair(scenario, "single")
+    reroute_request = RerouteRequest(
+        base=request, delta=replace_nets_delta(scenario.layout, 2)
+    )
+    incremental = pipeline.reroute(reroute_request, prev_result=base)
+    scratch = pipeline.run(reroute_request.mutated_request())
+    assert route_fingerprint(incremental.route) == route_fingerprint(
+        scratch.route
+    )
+    assert incremental.timings["new_nets"] == 2
+
+
+@pytest.mark.parametrize("strategy", INCREMENTAL_STRATEGIES)
+def test_geometry_delta_verifies_clean_and_stays_in_band(strategy):
+    scenario = SCENARIOS["macro-maze-s23"]
+    delta = geometry_delta(scenario.layout)
+    if delta.is_empty:
+        pytest.skip("no legal unit move on this layout")
+    pipeline, request, base = _pipeline_pair(scenario, strategy)
+    reroute_request = RerouteRequest(base=request, delta=delta)
+    incremental = pipeline.reroute(reroute_request, prev_result=base)
+    scratch = pipeline.run(reroute_request.mutated_request())
+
+    assert incremental.verified and not incremental.violations
+    assert scratch.verified and not scratch.violations
+    assert not incremental.route.failed_nets
+
+    lo, hi = WIRELENGTH_BAND
+    if scratch.route.total_length > 0:
+        ratio = incremental.route.total_length / scratch.route.total_length
+        assert lo <= ratio <= hi
+    if (
+        incremental.congestion_before is not None
+        and incremental.congestion_after is not None
+    ):
+        assert (
+            incremental.congestion_after.total_overflow
+            <= incremental.congestion_before.total_overflow
+        )
+
+
+def test_reroute_reports_the_dirty_partition():
+    scenario = SCENARIOS["congestion-hotspot-s59"]
+    pipeline, request, base = _pipeline_pair(scenario, "single")
+    delta = replace_nets_delta(scenario.layout, 1)
+    result = pipeline.reroute(
+        RerouteRequest(base=request, delta=delta), prev_result=base
+    )
+    nets = len(scenario.layout.nets)
+    assert result.timings["kept_nets"] == nets - 1
+    assert result.timings["new_nets"] == 1
+    assert result.timings["ripped_nets"] == 0
+    assert result.timings["removed_nets"] == 0
+    assert "plan" in result.timings

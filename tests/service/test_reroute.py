@@ -1,0 +1,138 @@
+"""The /reroute path: warm start, fallback, caching, and the wire.
+
+Service-object tests drive :meth:`RoutingService.submit_reroute`
+directly; the final class goes over real TCP through
+:meth:`Client.reroute`, matching the ``test_server.py`` idiom.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import RerouteRequest, RouteRequest
+from repro.incremental.scripts import disjoint_delta, empty_delta
+from repro.scenarios import route_fingerprint
+from repro.service import Client, RoutingService, make_server
+from tests.service.conftest import small_layout
+
+
+def make_reroute(seed=1, delta=None, **kwargs):
+    layout = small_layout(seed)
+    base = RouteRequest(layout=layout, on_unroutable="skip", **kwargs)
+    return base, RerouteRequest(
+        base=base, delta=delta if delta is not None else disjoint_delta(layout)
+    )
+
+
+class TestWarmStart:
+    def test_cached_base_reroutes_incrementally(self):
+        with RoutingService(workers=1, queue_limit=4) as service:
+            base, request = make_reroute()
+            service.wait(service.submit(base).id, timeout=30)
+            job = service.wait(service.submit_reroute(request).id, timeout=30)
+            assert job.state == "done"
+            assert job.incremental is True
+            assert job.result is not None and job.result.ok
+            assert "plan" in job.result.timings
+            assert service.metrics.reroutes == 1
+            assert service.metrics.reroute_fallbacks == 0
+
+    def test_empty_delta_serves_the_previous_geometry(self):
+        with RoutingService(workers=1, queue_limit=4) as service:
+            base, request = make_reroute(delta=empty_delta())
+            prev = service.wait(service.submit(base).id, timeout=30)
+            job = service.wait(service.submit_reroute(request).id, timeout=30)
+            assert job.incremental is True
+            assert route_fingerprint(job.result.route) == route_fingerprint(
+                prev.result.route
+            )
+
+
+class TestFallback:
+    def test_unknown_base_falls_back_to_scratch(self):
+        with RoutingService(workers=1, queue_limit=4) as service:
+            _base, request = make_reroute()
+            job = service.wait(service.submit_reroute(request).id, timeout=30)
+            assert job.state == "done"
+            assert job.incremental is False
+            assert job.result is not None and job.result.ok
+            # The fallback routed the *mutated* layout.
+            added = {net.name for net in request.delta.add_nets}
+            routed = set(job.result.route.trees) | set(
+                job.result.route.failed_nets
+            )
+            assert added <= routed
+            assert service.metrics.reroutes == 1
+            assert service.metrics.reroute_fallbacks == 1
+
+
+class TestCaching:
+    def test_repeat_reroute_is_a_cache_hit(self):
+        with RoutingService(workers=1, queue_limit=4) as service:
+            base, request = make_reroute()
+            service.wait(service.submit(base).id, timeout=30)
+            first = service.wait(service.submit_reroute(request).id, timeout=30)
+            second = service.submit_reroute(request)
+            assert second.cache_hit
+            assert route_fingerprint(second.result.route) == route_fingerprint(
+                first.result.route
+            )
+
+    def test_reroute_key_disjoint_from_scratch_key(self):
+        # A reroute of the mutated layout never collides with a plain
+        # /route of that same mutated layout.
+        with RoutingService(workers=1, queue_limit=8) as service:
+            base, request = make_reroute()
+            service.wait(service.submit(base).id, timeout=30)
+            service.wait(service.submit_reroute(request).id, timeout=30)
+            scratch = service.submit(request.mutated_request())
+            assert not scratch.cache_hit
+
+
+class TestWire:
+    @pytest.fixture
+    def served(self):
+        def _start(**service_kwargs):
+            service = RoutingService(
+                **{"workers": 2, "queue_limit": 8, **service_kwargs}
+            )
+            server = make_server(service, port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            client = Client(
+                f"http://127.0.0.1:{server.server_address[1]}", timeout=10.0
+            )
+            started.append((service, server, thread))
+            return service, client
+
+        started: list = []
+        yield _start
+        for service, server, thread in started:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.close()
+
+    def test_reroute_round_trip_over_http(self, served):
+        service, client = served()
+        base, request = make_reroute()
+        client.route(base)
+        result = client.reroute(request)
+        assert result.ok
+        assert service.metrics.reroutes == 1
+        assert service.metrics.reroute_fallbacks == 0
+
+    def test_submit_reroute_with_wait_returns_done_job(self, served):
+        _, client = served()
+        _base, request = make_reroute(seed=2)
+        job = client.submit_reroute(request, wait=True, wait_timeout=30.0)
+        assert job["state"] == "done"
+        assert job["incremental"] is False  # base was never routed here
+
+    def test_malformed_reroute_body_400(self, served):
+        from repro.errors import ServiceError
+
+        _, client = served()
+        with pytest.raises(ServiceError) as excinfo:
+            client._call("POST", "/reroute", body={"version": 1})
+        assert excinfo.value.status == 400
