@@ -1,0 +1,355 @@
+#!/usr/bin/env python
+"""Service load bench: N concurrent clients through the real HTTP frontend.
+
+The service's scaling pitch is the worker tier: routing is CPU-bound
+pure Python, so thread workers serialize on the GIL while
+``--executor process`` spreads concurrent jobs across cores.  This
+bench pins that claim with real traffic — a live
+:class:`~repro.service.server.RoutingServer` on an ephemeral TCP port,
+N client threads each long-polling distinct requests (distinct cache
+keys: every submission is a genuine routing run, no cache hits, no
+coalescing) — across the executor × store matrix:
+
+======================  =====================================================
+configuration           what it isolates
+======================  =====================================================
+``thread+memory``       the GIL-bound baseline (PR 5 behavior)
+``process+memory``      the worker-tier speedup, same in-memory store
+``thread+sqlite``       the durable store's overhead on the serial tier
+``process+sqlite``      the production pairing: multi-core and restart-safe
+======================  =====================================================
+
+Per configuration it records wall time, throughput (requests/s), p50
+and p95 request latency (submit → terminal, client-observed), and a
+byte-identity verdict: one probe request is routed in-process through
+:class:`RoutingPipeline` and its
+:func:`~repro.scenarios.conformance.route_fingerprint` must match what
+came over the wire.  Two gates apply on every run:
+
+* **identity** — every configuration must match the in-process
+  fingerprint (a worker tier that changes results is wrong, not fast);
+* **throughput** — on a multi-core box, ``process+memory`` must beat
+  ``thread+memory`` on the full workload; on a single-core box the
+  comparison is physically meaningless (same serial CPU plus IPC), so
+  the gate degrades to an overhead bound — the process tier may not
+  cost more than :data:`SINGLE_CORE_OVERHEAD_FLOOR` of thread
+  throughput.  The artifact records ``cpu_cores`` so a reader knows
+  which gate a committed baseline ran under.  Quick mode reports the
+  ratio but never gates: sub-second smoke workloads are dominated by
+  pool spin-up.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py            # full
+    PYTHONPATH=src python benchmarks/bench_service_load.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_service_load.py --quick \\
+        --check BENCH_service.json                                    # gate
+
+With ``--check BASELINE``, each configuration's wall time is compared
+against the recorded baseline and the driver exits non-zero past
+``--max-regression`` (default 3x — the same deliberately loose wall
+gate as ``run_suite.py``: it catches blowups, not CI-box jitter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.api.pipeline import RoutingPipeline  # noqa: E402
+from repro.api.request import RouteRequest  # noqa: E402
+from repro.layout.generators import LayoutSpec, random_layout  # noqa: E402
+from repro.scenarios.conformance import route_fingerprint  # noqa: E402
+from repro.service import Client, RoutingService, make_server  # noqa: E402
+from repro.service.metrics import percentile  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: On one core the process tier can only lose (serialization + IPC on
+#: the same serial CPU); below half of thread throughput that loss is
+#: an overhead bug, not physics.
+SINGLE_CORE_OVERHEAD_FLOOR = 0.5
+
+#: The executor × store matrix, in reporting order.
+CONFIGURATIONS = (
+    ("thread+memory", "thread", "memory"),
+    ("process+memory", "process", "memory"),
+    ("thread+sqlite", "thread", "sqlite"),
+    ("process+sqlite", "process", "sqlite"),
+)
+
+
+def _requests(clients: int, per_client: int, spec: LayoutSpec) -> list[list[RouteRequest]]:
+    """Distinct layouts per (client, slot): every submission routes."""
+    return [
+        [
+            RouteRequest(
+                layout=random_layout(spec, seed=1 + client * per_client + slot)
+            )
+            for slot in range(per_client)
+        ]
+        for client in range(clients)
+    ]
+
+
+def run_configuration(
+    *,
+    executor: str,
+    store_backend: str,
+    clients: int,
+    batches: list[list[RouteRequest]],
+    reference_fingerprint: str,
+    wait_timeout: float = 300.0,
+) -> dict:
+    """Drive one executor+store pairing over real HTTP; return its row."""
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        store = (
+            "memory" if store_backend == "memory" else f"sqlite:{tmp}/bench.db"
+        )
+        service = RoutingService(
+            workers=clients,
+            queue_limit=max(32, 2 * clients * len(batches[0])),
+            executor=executor,
+            store=store,
+        )
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        latencies: list[float] = []
+        latency_lock = threading.Lock()
+
+        def drive(batch: list[RouteRequest]) -> str:
+            client = Client(url, timeout=30.0)
+            fingerprint = ""
+            for request in batch:
+                started = time.perf_counter()
+                result = client.route(request, wait_timeout=wait_timeout)
+                elapsed = time.perf_counter() - started
+                with latency_lock:
+                    latencies.append(elapsed)
+                # The first client's first request doubles as the
+                # identity probe (seed 1 — the reference request).
+                if not fingerprint:
+                    fingerprint = route_fingerprint(result.route)
+            return fingerprint
+
+        # Warm the tier outside the timed window: process pools fork
+        # lazily on first submit, and that one-time cost is startup,
+        # not throughput.
+        warm = Client(url, timeout=30.0)
+        warm.route(batches[0][0], wait_timeout=wait_timeout)
+        service.cache.clear()
+
+        wall_started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            fingerprints = list(pool.map(drive, batches))
+        wall = time.perf_counter() - wall_started
+
+        snapshot = service.snapshot()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        service.close()
+
+    total = sum(len(batch) for batch in batches)
+    return {
+        "executor": executor,
+        "store": store_backend,
+        "clients": clients,
+        "requests": total,
+        "wall_seconds": wall,
+        "throughput_rps": total / wall if wall else None,
+        "latency_p50_seconds": percentile(latencies, 0.50),
+        "latency_p95_seconds": percentile(latencies, 0.95),
+        "identical_to_inprocess": fingerprints[0] == reference_fingerprint,
+        "completed": snapshot["completed"],
+        "failed": snapshot["failed"],
+        "worker_restarts": snapshot["worker_restarts"],
+    }
+
+
+def run_suite(*, quick: bool = False) -> dict[str, dict]:
+    """The full matrix; see :data:`CONFIGURATIONS`."""
+    if quick:
+        clients, per_client = 2, 2
+        spec = LayoutSpec(n_cells=6, n_nets=6)
+    else:
+        clients, per_client = 4, 5
+        spec = LayoutSpec(n_cells=14, n_nets=16)
+    batches = _requests(clients, per_client, spec)
+    reference = RoutingPipeline().run(batches[0][0])
+    reference_fingerprint = route_fingerprint(reference.route)
+    results: dict[str, dict] = {}
+    for name, executor, store_backend in CONFIGURATIONS:
+        results[name] = run_configuration(
+            executor=executor,
+            store_backend=store_backend,
+            clients=clients,
+            batches=batches,
+            reference_fingerprint=reference_fingerprint,
+        )
+    return results
+
+
+def _load_baseline(path: pathlib.Path) -> dict | None:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_service_load: unreadable baseline {path}: {exc}", file=sys.stderr)
+        return None
+    if data.get("schema") != SCHEMA_VERSION:
+        print(
+            f"bench_service_load: baseline {path} has schema "
+            f"{data.get('schema')!r}, expected {SCHEMA_VERSION}; "
+            f"skipping regression check",
+            file=sys.stderr,
+        )
+        return None
+    return data
+
+
+def _check_regressions(
+    baseline: dict, current: dict[str, dict], max_regression: float
+) -> list[str]:
+    failures: list[str] = []
+    for name, entry in current.items():
+        base_entry = baseline.get("configurations", {}).get(name)
+        if base_entry is None:
+            continue
+        base_wall = base_entry.get("wall_seconds")
+        new_wall = entry.get("wall_seconds")
+        if base_wall and new_wall:
+            ratio = new_wall / base_wall
+            verdict = "REGRESSED" if ratio > max_regression else "ok"
+            print(
+                f"  {name}: wall {base_wall:.3f}s -> {new_wall:.3f}s "
+                f"({ratio:.2f}x, limit {max_regression:.1f}x) {verdict}"
+            )
+            if ratio > max_regression:
+                failures.append(
+                    f"{name}: wall {ratio:.2f}x over baseline "
+                    f"(limit {max_regression:.1f}x)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload for CI smoke (throughput gate reports, not fails)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=_REPO_ROOT / "BENCH_service.json",
+        help="where to write the JSON artifact (default: repo-root BENCH_service.json)",
+    )
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None, metavar="BASELINE",
+        help="compare against a recorded baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=3.0,
+        help="allowed wall-time ratio over the baseline before failing (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load_baseline(args.check) if args.check else None
+
+    mode = "quick" if args.quick else "full"
+    print(f"bench_service_load: service load suite ({mode}) ...")
+    results = run_suite(quick=args.quick)
+    for name, entry in results.items():
+        print(
+            f"  {name}: {entry['requests']} requests / "
+            f"{entry['wall_seconds']:.3f}s = {entry['throughput_rps']:.2f} req/s "
+            f"(p50 {entry['latency_p50_seconds']:.3f}s, "
+            f"p95 {entry['latency_p95_seconds']:.3f}s, "
+            f"identical={entry['identical_to_inprocess']})"
+        )
+
+    broken = [n for n, e in results.items() if not e["identical_to_inprocess"]]
+    if broken:
+        print(
+            f"bench_service_load: tier changed routed results on: {broken}",
+            file=sys.stderr,
+        )
+        return 1
+    failed_jobs = [n for n, e in results.items() if e["failed"]]
+    if failed_jobs:
+        print(
+            f"bench_service_load: jobs failed under load on: {failed_jobs}",
+            file=sys.stderr,
+        )
+        return 1
+
+    speedup = (
+        results["process+memory"]["throughput_rps"]
+        / results["thread+memory"]["throughput_rps"]
+    )
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    print(
+        f"bench_service_load: process/thread throughput ratio {speedup:.2f}x "
+        f"on {cores} core(s)"
+    )
+    if not args.quick:
+        floor = 1.0 if cores > 1 else SINGLE_CORE_OVERHEAD_FLOOR
+        if speedup < floor:
+            print(
+                f"bench_service_load: process tier at {speedup:.2f}x of thread "
+                f"throughput, below the {floor:.2f}x floor for {cores} core(s)",
+                file=sys.stderr,
+            )
+            return 1
+        if cores == 1:
+            print(
+                "bench_service_load: single core — gating process-tier "
+                "overhead only; rerun on a multi-core box to measure the "
+                "speedup itself"
+            )
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "suite": "service-load",
+        "mode": mode,
+        "python": platform.python_version(),
+        "cpu_cores": cores,
+        "process_over_thread_throughput": speedup,
+        "configurations": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"bench_service_load: wrote {args.out}")
+
+    if baseline is not None:
+        print(f"bench_service_load: regression check against {args.check}")
+        failures = _check_regressions(baseline, results, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"bench_service_load: REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print("bench_service_load: no regressions")
+    elif args.check:
+        print("bench_service_load: no usable baseline; skipping regression check")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

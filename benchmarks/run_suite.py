@@ -1,23 +1,35 @@
 #!/usr/bin/env python
 """Perf-benchmark suite driver: runs the tracked workloads and emits
-``BENCH_hotpath.json`` so every PR has a perf trajectory to compare
-against.
+the committed baseline artifacts so every PR has a perf trajectory to
+compare against.
+
+Two suites are tracked (pick with ``--suite``):
+
+* ``hotpath`` (default) — the single-process routing hot path; emits
+  ``BENCH_hotpath.json``.
+* ``service`` — N concurrent clients through the real HTTP service
+  across the executor × store matrix
+  (:mod:`benchmarks.bench_service_load`); emits ``BENCH_service.json``.
+* ``all`` — both, each against its default artifact (``--check`` is
+  per-suite and therefore rejected here; gate suites individually).
 
 Usage (from the repository root)::
 
-    PYTHONPATH=src python benchmarks/run_suite.py            # full suite
+    PYTHONPATH=src python benchmarks/run_suite.py            # full hotpath
     PYTHONPATH=src python benchmarks/run_suite.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/run_suite.py --quick \\
         --check BENCH_hotpath.json                           # regression gate
+    PYTHONPATH=src python benchmarks/run_suite.py --suite service --quick \\
+        --check BENCH_service.json                           # service gate
 
-The JSON artifact records, per workload: wall time with the ray cache
-off and on, the cache speedup, nodes expanded, expansions per second,
-cache hit rate, and the byte-identity verdict (cache on vs off).  See
-``docs/performance.md`` for how to read it.
+The hotpath artifact records, per workload: wall time with the ray
+cache off and on, the cache speedup, nodes expanded, expansions per
+second, cache hit rate, and the byte-identity verdict (cache on vs
+off).  See ``docs/performance.md`` for how to read it.
 
 With ``--check BASELINE``, workloads present in both the baseline and
 the current run are compared; the driver exits non-zero when any
-workload's cache-on wall time regresses more than ``--max-regression``
+workload's wall time regresses more than ``--max-regression``
 (default 3x — generous on purpose: CI boxes are slow and noisy, so the
 gate only catches algorithmic blowups, not jitter).
 """
@@ -110,15 +122,36 @@ def _check_regressions(
     return failures
 
 
+def _run_service_suite(args: argparse.Namespace) -> int:
+    """Delegate to :mod:`benchmarks.bench_service_load`'s own driver."""
+    from benchmarks.bench_service_load import main as service_main
+
+    forwarded: list[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    forwarded += ["--out", str(args.out or _REPO_ROOT / "BENCH_service.json")]
+    if args.check is not None:
+        forwarded += [
+            "--check", str(args.check),
+            "--max-regression", str(args.max_regression),
+        ]
+    return service_main(forwarded)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite", choices=("hotpath", "service", "all"), default="hotpath",
+        help="which tracked suite to run (default hotpath)",
+    )
     parser.add_argument(
         "--quick", action="store_true",
         help="run only the quick workload subset (CI smoke)",
     )
     parser.add_argument(
-        "--out", type=pathlib.Path, default=_REPO_ROOT / "BENCH_hotpath.json",
-        help="where to write the JSON artifact (default: repo-root BENCH_hotpath.json)",
+        "--out", type=pathlib.Path, default=None,
+        help="where to write the JSON artifact (default: the suite's "
+             "committed baseline name in the repo root)",
     )
     parser.add_argument(
         "--check", type=pathlib.Path, default=None, metavar="BASELINE",
@@ -129,6 +162,13 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed wall-time ratio over the baseline before failing (default 3.0)",
     )
     args = parser.parse_args(argv)
+
+    if args.suite == "all" and args.check is not None:
+        parser.error("--check is per-suite; gate hotpath and service separately")
+    if args.suite == "service":
+        return _run_service_suite(args)
+    if args.out is None:
+        args.out = _REPO_ROOT / "BENCH_hotpath.json"
 
     # Read the baseline before writing --out: the CI smoke run points
     # both at the committed BENCH_hotpath.json.
@@ -175,6 +215,16 @@ def main(argv: list[str] | None = None) -> int:
         print("run_suite: no regressions")
     elif args.check:
         print("run_suite: no usable baseline; skipping regression check")
+
+    if args.suite == "all":
+        return _run_service_suite(
+            argparse.Namespace(
+                quick=args.quick,
+                out=None,
+                check=None,
+                max_regression=args.max_regression,
+            )
+        )
     return 0
 
 

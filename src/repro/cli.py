@@ -153,6 +153,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=256, metavar="N",
                        help="result-cache entries, keyed by canonical request "
                             "hash (0 disables reuse; default 256)")
+    serve.add_argument("--executor", choices=["thread", "process"],
+                       default="thread",
+                       help="worker tier: 'thread' routes on the dispatch "
+                            "threads (GIL-bound), 'process' routes in a "
+                            "crash-tolerant process pool (default thread)")
+    serve.add_argument("--store", default="memory", metavar="SPEC",
+                       help="result/job store: 'memory' (default) or "
+                            "'sqlite:PATH' — sqlite survives restarts, "
+                            "shares cached results across frontends, and "
+                            "re-queues unfinished jobs at startup")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP exchange to stderr")
 
@@ -473,6 +483,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the routing service until interrupted (SIGINT/SIGTERM)."""
+    import json
     import signal
     import threading
 
@@ -482,17 +493,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_limit=args.queue_limit,
         cache_size=args.cache_size,
+        executor=args.executor,
+        store=args.store,
     )
     server = make_server(
         service, host=args.host, port=args.port, quiet=not args.verbose
     )
     host, port = server.server_address[:2]
+    recovered = service.metrics.snapshot()["recovered"]
+    if recovered:
+        print(
+            f"repro service recovered {recovered} unfinished job(s) from "
+            f"the previous run",
+            file=sys.stderr,
+            flush=True,
+        )
     # Flushed eagerly so supervisors (and the CI smoke job) watching
     # stderr see the bound port before the first request arrives.
     print(
         f"repro service listening on http://{host}:{port} "
         f"(workers={args.workers}, queue-limit={args.queue_limit}, "
-        f"cache-size={args.cache_size}); Ctrl-C to stop",
+        f"cache-size={args.cache_size}, executor={args.executor}, "
+        f"store={args.store}); Ctrl-C to stop",
         file=sys.stderr,
         flush=True,
     )
@@ -515,6 +537,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         signal.signal(signal.SIGTERM, previous_term)
         server.server_close()
         service.close()
+        final = service.snapshot()
+        print(
+            "repro service final metrics: "
+            + json.dumps(
+                {
+                    key: final[key]
+                    for key in (
+                        "requests", "completed", "failed", "cache_hits",
+                        "coalesced", "rejected", "recovered",
+                        "worker_restarts", "job_retries",
+                    )
+                }
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
     return 0
 
 

@@ -1,90 +1,18 @@
-"""Content-addressed result cache for the routing service.
+"""Back-compat shim: the result cache moved into the store subsystem.
 
-Keys are the canonical request hashes from
-:func:`repro.api.canonical.request_cache_key`; values are live
-:class:`~repro.api.result.RouteResult` objects.  Because a key covers
-everything that influences the result (layout content, full router
-config, strategy + params, verify/detail toggles), a hit is always
-safe to serve verbatim — there is no TTL and no invalidation beyond
-LRU eviction, since a changed input *is* a different key.
-
-Cached results are shared objects: every job that hits a key hands out
-the same :class:`RouteResult` instance, so holders must treat results
-as read-only (HTTP callers only ever see the serialized form).
+PR 5 introduced ``repro.service.cache.ResultCache``; the store
+refactor generalized it into the pluggable
+:class:`~repro.service.store.base.ResultStore` interface with the LRU
+living in :class:`~repro.service.store.memory.MemoryResultStore`
+(unchanged semantics, plus an eviction counter) alongside the new
+sqlite backend.  ``ResultCache`` remains the public name for the
+in-memory backend so existing imports and constructor calls keep
+working.
 """
 
-from __future__ import annotations
+from repro.service.store.memory import MemoryResultStore
 
-import threading
-from collections import OrderedDict
-from typing import TYPE_CHECKING, Optional
+#: The in-memory LRU result cache (historical name).
+ResultCache = MemoryResultStore
 
-from repro.errors import RoutingError
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.api.result import RouteResult
-
-
-class ResultCache:
-    """A thread-safe LRU over canonical request keys.
-
-    Parameters
-    ----------
-    max_entries:
-        Results retained before least-recently-used eviction; ``0``
-        disables caching entirely (every lookup misses, nothing is
-        stored) — the knob behind ``repro serve --cache-size 0``.
-    """
-
-    def __init__(self, max_entries: int = 256):
-        if max_entries < 0:
-            raise RoutingError(f"cache max_entries must be >= 0, got {max_entries}")
-        self.max_entries = max_entries
-        self._entries: "OrderedDict[str, RouteResult]" = OrderedDict()
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-
-    def get(self, key: str) -> Optional["RouteResult"]:
-        """The cached result for *key*, or ``None`` (counts hit/miss)."""
-        with self._lock:
-            result = self._entries.get(key)
-            if result is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return result
-
-    def put(self, key: str, result: "RouteResult") -> None:
-        """Store *result* under *key*, evicting the LRU tail if needed."""
-        if self.max_entries == 0:
-            return
-        with self._lock:
-            self._entries[key] = result
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-
-    def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
-        with self._lock:
-            self._entries.clear()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __contains__(self, key: str) -> bool:
-        with self._lock:
-            return key in self._entries
-
-    def stats(self) -> dict[str, int]:
-        """Hit/miss/size counters for the ``/metrics`` snapshot."""
-        with self._lock:
-            return {
-                "entries": len(self._entries),
-                "max_entries": self.max_entries,
-                "hits": self._hits,
-                "misses": self._misses,
-            }
+__all__ = ["ResultCache"]

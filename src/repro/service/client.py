@@ -11,7 +11,12 @@ JSON documents documented in :mod:`repro.service.server`.
 HTTP failures surface as :class:`~repro.errors.ServiceError` with
 ``status`` set; a 429 specifically raises
 :class:`~repro.errors.QueueFullError` so backoff loops can catch the
-one case that is retryable by design.
+one case that is retryable by design.  The client absorbs the common
+case itself: a 429'd submission is retried up to ``retry_429`` times,
+sleeping whatever the server's ``Retry-After`` header asks (capped by
+``retry_after_cap``) — safe because a 429 by contract left no job
+behind.  Only when the bounded attempts are exhausted does
+:class:`QueueFullError` reach the caller, exactly as before.
 """
 
 from __future__ import annotations
@@ -65,11 +70,27 @@ class Client:
         Per-HTTP-call socket timeout in seconds.  Calls that block
         server-side (``wait=True``) get ``timeout`` added on top of
         the requested wait budget.
+    retry_429:
+        Times an admission-window 429 is retried before
+        :class:`QueueFullError` propagates (0 disables — every 429
+        raises immediately, the pre-retry behavior).
+    retry_after_cap:
+        Upper bound in seconds on how long one ``Retry-After`` sleep
+        may last, whatever the server asks for.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        retry_429: int = 2,
+        retry_after_cap: float = 5.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry_429 = retry_429
+        self.retry_after_cap = retry_after_cap
 
     # ------------------------------------------------------------------
     # Transport
@@ -83,28 +104,46 @@ class Client:
         timeout: Optional[float] = None,
     ) -> Any:
         data = None if body is None else json.dumps(body).encode("utf-8")
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout if timeout is None else timeout
-            ) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            detail = exc.read().decode("utf-8", errors="replace")
+        for attempt in range(self.retry_429 + 1):
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"} if data else {},
+            )
             try:
-                message = json.loads(detail).get("error", detail)
-            except json.JSONDecodeError:
-                message = detail or exc.reason
-            if exc.code == 429:
-                raise QueueFullError(message) from exc
-            raise ServiceError(message, status=exc.code) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"service unreachable at {self.base_url}: {exc.reason}") from exc
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout if timeout is None else timeout
+                ) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                detail = exc.read().decode("utf-8", errors="replace")
+                try:
+                    message = json.loads(detail).get("error", detail)
+                except json.JSONDecodeError:
+                    message = detail or exc.reason
+                if exc.code == 429:
+                    # A 429 is pre-admission by contract: no job was
+                    # created, so resending the identical body is safe.
+                    if attempt < self.retry_429:
+                        time.sleep(self._retry_after_seconds(exc))
+                        continue
+                    raise QueueFullError(message) from exc
+                raise ServiceError(message, status=exc.code) from exc
+            except urllib.error.URLError as exc:
+                raise ServiceError(
+                    f"service unreachable at {self.base_url}: {exc.reason}"
+                ) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _retry_after_seconds(self, exc: urllib.error.HTTPError) -> float:
+        """The server's ``Retry-After`` ask, clamped to the cap."""
+        header = exc.headers.get("Retry-After") if exc.headers else None
+        try:
+            asked = float(header) if header is not None else 1.0
+        except ValueError:
+            asked = 1.0
+        return max(0.0, min(asked, self.retry_after_cap))
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -154,23 +193,37 @@ class Client:
         """``GET /jobs/<id>`` — 404s raise ``ServiceError(status=404)``."""
         return self._call("GET", f"/jobs/{job_id}")
 
-    def wait(self, job_id: str, *, timeout: float = 120.0, poll: float = 0.05) -> dict:
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 120.0,
+        poll: float = 0.05,
+        poll_max: float = 1.0,
+    ) -> dict:
         """Poll ``GET /jobs/<id>`` until the job is terminal.
 
+        The poll interval starts at *poll* and doubles each round up
+        to *poll_max* — snappy for sub-second jobs, gentle on the
+        server for long ones (N waiting clients settle at ~N/poll_max
+        requests per second instead of hammering at the floor rate).
         Raises :class:`ServiceError` (status 504) if *timeout* elapses
         first; unknown ids propagate their 404 immediately.
         """
         deadline = time.monotonic() + timeout
+        interval = poll
         while True:
             document = self.job(job_id)
             if document["state"] in ("done", "failed"):
                 return document
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServiceError(
                     f"job {job_id} still {document['state']} after {timeout:.1f}s",
                     status=504,
                 )
-            time.sleep(poll)
+            time.sleep(min(interval, remaining))
+            interval = min(interval * 2, poll_max)
 
     # ------------------------------------------------------------------
     # Conveniences

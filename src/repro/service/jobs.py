@@ -14,10 +14,12 @@ accepted job is guaranteed to reach a terminal state — the worker
 wrapper catches all routing exceptions into the job's ``failed``
 state, and nothing between admission and completion can drop it.
 
-**Result cache.**  Submissions are keyed by
+**Result store.**  Submissions are keyed by
 :func:`repro.api.canonical.request_cache_key`; a key already in the
-:class:`~repro.service.cache.ResultCache` completes instantly as a
-``cache_hit`` job without consuming a window slot.
+:class:`~repro.service.store.base.ResultStore` completes instantly as
+a ``cache_hit`` job without consuming a window slot.  The store is
+pluggable (``store="memory"`` or ``"sqlite:PATH"``): the sqlite
+backend survives restarts and can be shared by several frontends.
 
 **Coalescing.**  A submission whose key matches an in-flight job
 becomes a *follower*: it gets its own job id (its own lifecycle to
@@ -25,23 +27,33 @@ poll) but no second routing run — when the primary finishes, result or
 failure fans out to every follower.  Followers do not consume window
 slots either; the window bounds actual routing work.
 
-Workers are threads from :func:`repro.core.parallel.make_executor`
-(``minimum=1`` — a single-worker service is legitimate).  Threads,
-not processes, because the cache, the job table, and any caller-
-registered strategies live in this process; per-request *net* fan-out
-(``config.workers`` with the process executor) still applies inside a
-job, which is where the CPU scaling lives.
+Two worker tiers execute the accepted work.  Dispatch is always a
+thread pool from :func:`repro.core.parallel.make_executor`
+(``minimum=1``); with ``executor="thread"`` the routing runs inline on
+those threads (GIL-bound, but mandatory for caller-registered
+strategies that only exist in this process), while
+``executor="process"`` hands each run's JSON work spec to the
+crash-tolerant :class:`~repro.service.workers.ProcessTier` — true
+multi-core routing, with worker-crash detection, a per-job
+retry-once, and restart accounting in ``/metrics``.
+
+**Durability.**  Every accepted job also writes a resubmission spec to
+the store's :class:`~repro.service.store.base.JobStore`; rows are
+deleted at terminal states, and whatever a crashed process left behind
+is re-queued — under the original job ids, bypassing the admission
+window — when the next service instance opens the same store.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, Union
 
-from repro.errors import QueueFullError, RoutingError, ServiceError
+from repro.errors import QueueFullError, ReproError, RoutingError, ServiceError
 from repro.core.parallel import make_executor
 from repro.incremental.delta import apply_delta
 from repro.api.canonical import request_cache_key
@@ -51,8 +63,9 @@ from repro.api.request import RouteRequest
 from repro.api.rerouting import RerouteRequest, reroute_cache_key
 from repro.api.result import RouteResult
 from repro.layout.layout import Layout
-from repro.service.cache import ResultCache
+from repro.service.store import JobRecord, Store, make_store
 from repro.service.metrics import ServiceMetrics
+from repro.service.workers import WORKER_TIERS, ProcessTier
 
 #: Every state a job can be observed in, in lifecycle order.
 JOB_STATES = ("queued", "running", "done", "failed")
@@ -84,6 +97,9 @@ class Job:
     #: (``True``) or fell back to routing the mutated layout from
     #: scratch (``False``).
     incremental: Optional[bool] = None
+    #: Whether this job was re-queued from a persistent job store
+    #: after a previous process died with it unfinished.
+    recovered: bool = False
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -126,6 +142,7 @@ class Job:
             "cache_hit": self.cache_hit,
             "coalesced": self.coalesced,
             "incremental": self.incremental,
+            "recovered": self.recovered,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -135,6 +152,24 @@ class Job:
         if include_result and self.state == "done" and self.result is not None:
             data["result"] = self.result.to_dict()
         return data
+
+
+@dataclass
+class _Work:
+    """One admitted routing run, in every form the service needs it.
+
+    ``inline`` runs it on a dispatch thread (the thread tier, and the
+    only form custom-registry strategies have); ``exec_spec`` is the
+    JSON document the process tier ships to a worker; ``persist_spec``
+    is the self-contained resubmission document the job store keeps
+    for crash recovery (layout inlined — recovery never re-reads
+    layout files).
+    """
+
+    kind: str
+    inline: Callable[[], RouteResult]
+    exec_spec: Optional[dict]
+    persist_spec: dict
 
 
 @dataclass
@@ -151,17 +186,29 @@ class RoutingService:
     Parameters
     ----------
     workers:
-        Concurrent routing runs (thread pool size), >= 1.
+        Concurrent routing runs (dispatch pool size, and the process
+        pool size on the process tier), >= 1.
     queue_limit:
         Admission window: maximum queued + running routing runs; a
         submission past it raises :class:`QueueFullError` (HTTP 429).
     cache_size:
-        :class:`ResultCache` capacity (0 disables result reuse).
+        Result-store capacity (0 disables result reuse).  Ignored when
+        *store* is a pre-built :class:`Store`.
     registry:
         Strategy registry for the pipeline (defaults to the built-ins).
+        Incompatible with ``executor="process"`` — worker processes
+        resolve strategies by name from a fresh interpreter.
     job_history:
         Terminal jobs retained for polling before the oldest are
         pruned; in-flight jobs are never pruned.
+    executor:
+        ``"thread"`` (default) routes on the dispatch threads;
+        ``"process"`` routes in a crash-tolerant process pool (see
+        :mod:`repro.service.workers`).
+    store:
+        ``"memory"`` (default), ``"sqlite:PATH"``, or a pre-built
+        :class:`~repro.service.store.base.Store`.  Persistent stores
+        re-queue the previous process's unfinished jobs at startup.
     """
 
     def __init__(
@@ -172,18 +219,38 @@ class RoutingService:
         cache_size: int = 256,
         registry: Optional[StrategyRegistry] = None,
         job_history: int = DEFAULT_JOB_HISTORY,
+        executor: str = "thread",
+        store: Union[str, Store] = "memory",
     ):
         if queue_limit < 1:
             raise RoutingError(f"queue_limit must be >= 1, got {queue_limit}")
         if job_history < 1:
             raise RoutingError(f"job_history must be >= 1, got {job_history}")
+        if executor not in WORKER_TIERS:
+            raise RoutingError(
+                f"executor must be one of {WORKER_TIERS}, not {executor!r}"
+            )
+        if executor == "process" and registry is not None:
+            raise RoutingError(
+                "a custom strategy registry requires executor='thread': worker "
+                "processes resolve strategies by name from a fresh interpreter "
+                "and would not see runtime registrations"
+            )
         self.workers = workers
         self.queue_limit = queue_limit
         self.job_history = job_history
+        self.executor = executor
         self.metrics = ServiceMetrics()
-        self.cache = ResultCache(max_entries=cache_size)
+        self.store = store if isinstance(store, Store) else make_store(
+            store, cache_size=cache_size
+        )
+        #: The result store, under its historical attribute name.
+        self.cache = self.store.results
         self._pipeline = RoutingPipeline(registry)
         self._pool = make_executor(workers, "thread", minimum=1)
+        self._tier = (
+            ProcessTier(workers, self.metrics) if executor == "process" else None
+        )
         self._lock = threading.Lock()
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._inflight: dict[str, _Inflight] = {}
@@ -192,6 +259,8 @@ class RoutingService:
         self._next_id = 0
         self._started_at = time.time()
         self._closed = False
+        self._final_snapshot: Optional[dict] = None
+        self._recover_pending()
 
     # ------------------------------------------------------------------
     # Submission
@@ -211,7 +280,7 @@ class RoutingService:
     def submit_reroute(self, request: RerouteRequest) -> Job:
         """Admit one incremental reroute; returns its job.
 
-        The base result is resolved from the content-addressed cache
+        The base result is resolved from the content-addressed store
         *at admission time*: when present, the run warm-starts from it
         through :meth:`RoutingPipeline.reroute` (``job.incremental``
         is ``True``); when absent — evicted, or never routed here —
@@ -227,12 +296,7 @@ class RoutingService:
         with self._lock:
             self.metrics.record_request()
             prev = self.cache.get(base_key)
-            if prev is not None:
-                work = self._reroute_work(request, base_layout, prev)
-            else:
-                work = self._route_work(
-                    request.base.with_layout(mutated_layout), mutated_layout
-                )
+            work = self._reroute_work(request, base_layout, mutated_layout, prev)
             self.metrics.record_reroute(incremental=prev is not None)
             return self._admit_locked(key, work=work, incremental=prev is not None)
 
@@ -300,26 +364,70 @@ class RoutingService:
         return base_layout, mutated_layout, base_key, key
 
     # ------------------------------------------------------------------
-    # Work closures (what a worker thread actually runs)
+    # Work construction (inline closure + process spec + persistence)
     # ------------------------------------------------------------------
-    def _route_work(
-        self, request: RouteRequest, layout: Optional[Layout]
-    ) -> Callable[[], RouteResult]:
-        return lambda: self._pipeline.run(request, layout=layout)
-
-    def _reroute_work(
-        self, request: RerouteRequest, base_layout: Layout, prev: RouteResult
-    ) -> Callable[[], RouteResult]:
-        return lambda: self._pipeline.reroute(
-            request, prev_result=prev, base_layout=base_layout
+    def _route_work(self, request: RouteRequest, layout: Layout) -> _Work:
+        resolved = request.with_layout(layout).to_dict()
+        spec = {"kind": "route", "request": resolved}
+        return _Work(
+            kind="route",
+            inline=lambda: self._pipeline.run(request, layout=layout),
+            exec_spec=spec,
+            persist_spec=spec,
         )
 
+    def _reroute_work(
+        self,
+        request: RerouteRequest,
+        base_layout: Layout,
+        mutated_layout: Layout,
+        prev: Optional[RouteResult],
+    ) -> _Work:
+        """Reroute work: warm-started when *prev* exists, else fallback.
+
+        The persisted spec is the reroute document either way — a
+        recovered reroute re-resolves its base from the result store,
+        so a base that was cached (or arrived) by then warm-starts
+        even if the original run had to fall back.
+        """
+        inlined = RerouteRequest(
+            base=request.base.with_layout(base_layout), delta=request.delta
+        )
+        persist_spec = {"kind": "reroute", "request": inlined.to_dict()}
+        if prev is None:
+            mutated_request = request.base.with_layout(mutated_layout)
+            return _Work(
+                kind="reroute",
+                inline=lambda: self._pipeline.run(
+                    mutated_request, layout=mutated_layout
+                ),
+                exec_spec={"kind": "route", "request": mutated_request.to_dict()},
+                persist_spec=persist_spec,
+            )
+        return _Work(
+            kind="reroute",
+            inline=lambda: self._pipeline.reroute(
+                request, prev_result=prev, base_layout=base_layout
+            ),
+            exec_spec={
+                "kind": "reroute",
+                "request": inlined.to_dict(),
+                "prev": prev.to_dict(),
+            },
+            persist_spec=persist_spec,
+        )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
     def _admit_locked(
         self,
         key: str,
         *,
-        work: Callable[[], RouteResult],
+        work: _Work,
         incremental: Optional[bool] = None,
+        job_id: Optional[str] = None,
+        enforce_window: bool = True,
     ) -> Job:
         if self._closed:
             raise ServiceError("service is shut down", status=503)
@@ -327,7 +435,7 @@ class RoutingService:
         cached = self.cache.get(key)
         if cached is not None:
             self.metrics.record_cache(hit=True)
-            job = self._new_job_locked(key, now)
+            job = self._new_job_locked(key, now, job_id=job_id)
             job.cache_hit = True
             job.incremental = incremental
             job.state = "done"
@@ -340,27 +448,46 @@ class RoutingService:
         inflight = self._inflight.get(key)
         if inflight is not None:
             self.metrics.record_coalesced()
-            job = self._new_job_locked(key, now)
+            job = self._new_job_locked(key, now, job_id=job_id)
             job.coalesced = True
             job.incremental = inflight.primary.incremental
             inflight.followers.append(job)
+            self._persist_job(job, work)
             return job
-        if self._pending >= self.queue_limit:
+        if enforce_window and self._pending >= self.queue_limit:
             self.metrics.record_rejected()
             raise QueueFullError(
                 f"admission window full: {self._pending} routing runs in "
                 f"flight >= limit {self.queue_limit}"
             )
-        job = self._new_job_locked(key, now)
+        job = self._new_job_locked(key, now, job_id=job_id)
         job.incremental = incremental
         self._inflight[key] = _Inflight(primary=job)
         self._pending += 1
+        self._persist_job(job, work)
         self._pool.submit(self._run_job, job, key, work)
         return job
 
-    def _new_job_locked(self, key: str, now: float) -> Job:
-        self._next_id += 1
-        job = Job(id=f"job-{self._next_id:06d}", key=key, submitted_at=now)
+    def _persist_job(self, job: Job, work: _Work) -> None:
+        """Write the job's resubmission record to the durable log."""
+        self.store.jobs.record(
+            JobRecord(
+                id=job.id,
+                key=job.key,
+                state=job.state,
+                kind=work.kind,
+                spec=work.persist_spec,
+                submitted_at=job.submitted_at,
+            )
+        )
+
+    def _new_job_locked(
+        self, key: str, now: float, *, job_id: Optional[str] = None
+    ) -> Job:
+        if job_id is None or job_id in self._jobs:
+            self._next_id += 1
+            job_id = f"job-{self._next_id:06d}"
+        job = Job(id=job_id, key=key, submitted_at=now)
         self._jobs[job.id] = job
         self._prune_jobs_locked()
         return job
@@ -376,19 +503,105 @@ class RoutingService:
             del self._jobs[job_id]
 
     # ------------------------------------------------------------------
-    # Execution (worker threads)
+    # Recovery (startup, before the service takes traffic)
     # ------------------------------------------------------------------
-    def _run_job(self, job: Job, key: str, work: Callable[[], RouteResult]) -> None:
+    def _recover_pending(self) -> None:
+        """Re-queue whatever a previous process accepted but never ran.
+
+        Records are replayed oldest-first under their original job
+        ids, bypassing the admission window (the work was already
+        admitted once; 429ing it now would drop accepted jobs).  Keys
+        meanwhile satisfied by the shared result store complete as
+        cache hits; duplicate keys coalesce exactly like live traffic.
+        Unreplayable records (e.g. written by a newer format) are
+        dropped with a warning rather than wedging startup.
+        """
+        records = self.store.jobs.load_pending()
+        if not records:
+            return
+        for record in records:
+            # Re-admission below re-records each row (same id); rows
+            # that fail to replay must not wedge every later startup.
+            self.store.jobs.delete(record.id)
+        for record in records:
+            try:
+                self._resubmit_record(record)
+                self.metrics.record_recovered()
+            except ReproError as exc:
+                print(
+                    f"repro.service: dropping unrecoverable job "
+                    f"{record.id}: {exc}",
+                    file=sys.stderr,
+                )
+
+    def _resubmit_record(self, record: JobRecord) -> Job:
+        self._reserve_id(record.id)
+        if record.kind == "route":
+            request = RouteRequest.from_dict(record.spec["request"])
+            layout, key = self._prepare(request)
+            with self._lock:
+                job = self._admit_locked(
+                    key,
+                    work=self._route_work(request, layout),
+                    job_id=record.id,
+                    enforce_window=False,
+                )
+                job.recovered = True
+                return job
+        if record.kind == "reroute":
+            request = RerouteRequest.from_dict(record.spec["request"])
+            base_layout, mutated_layout, base_key, key = self._prepare_reroute(
+                request
+            )
+            with self._lock:
+                prev = self.cache.get(base_key)
+                work = self._reroute_work(
+                    request, base_layout, mutated_layout, prev
+                )
+                job = self._admit_locked(
+                    key,
+                    work=work,
+                    incremental=prev is not None,
+                    job_id=record.id,
+                    enforce_window=False,
+                )
+                job.recovered = True
+                return job
+        raise RoutingError(f"unknown persisted job kind {record.kind!r}")
+
+    def _reserve_id(self, job_id: str) -> None:
+        """Keep fresh ids from colliding with a recovered job's id."""
+        prefix, _, suffix = job_id.partition("-")
+        if prefix == "job" and suffix.isdigit():
+            with self._lock:
+                self._next_id = max(self._next_id, int(suffix))
+
+    # ------------------------------------------------------------------
+    # Execution (dispatch threads)
+    # ------------------------------------------------------------------
+    def _run_job(self, job: Job, key: str, work: _Work) -> None:
         with self._lock:
             job.state = "running"
             job.started_at = time.time()
             self._running += 1
+        self.store.jobs.update(job.id, "running")
         try:
-            result = work()
+            result = self._execute(work)
         except Exception as exc:  # noqa: BLE001 - accepted jobs must terminate, not vanish
             self._finish_job(job, key, result=None, error=f"{type(exc).__name__}: {exc}")
             return
         self._finish_job(job, key, result=result, error=None)
+
+    def _execute(self, work: _Work) -> RouteResult:
+        """Run one admitted work item on the configured tier.
+
+        The process tier executes the JSON spec in a worker process
+        (with crash retry — see :class:`ProcessTier`); the thread tier
+        runs the closure right here on the dispatch thread.
+        """
+        if self._tier is not None and work.exec_spec is not None:
+            return self._tier.run(work.exec_spec)
+        return work.inline()
 
     def _finish_job(
         self, job: Job, key: str, *, result: Optional[RouteResult], error: Optional[str]
@@ -417,6 +630,8 @@ class RoutingService:
                     member.started_at = member.submitted_at
                 member.finished_at = now
                 member._done.set()
+        for member in (job, *followers):
+            self.store.jobs.delete(member.id)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -465,8 +680,15 @@ class RoutingService:
         return job
 
     def snapshot(self) -> dict:
-        """The ``/metrics`` document: counters, gauges, cache stats."""
+        """The ``/metrics`` document: counters, gauges, store stats.
+
+        After :meth:`close` this returns the final pre-shutdown
+        snapshot (the store may be gone), so supervisors can log the
+        run's totals on the way out.
+        """
         with self._lock:
+            if self._final_snapshot is not None:
+                return dict(self._final_snapshot)
             queue_depth = self._pending - self._running
             running = self._running
             jobs_tracked = len(self._jobs)
@@ -478,6 +700,8 @@ class RoutingService:
                 "jobs_tracked": jobs_tracked,
                 "workers": self.workers,
                 "queue_limit": self.queue_limit,
+                "executor": self.executor,
+                "store_backend": self.store.backend,
                 "uptime_seconds": time.time() - self._started_at,
                 "cache": self.cache.stats(),
             }
@@ -488,10 +712,23 @@ class RoutingService:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, *, wait: bool = True) -> None:
-        """Stop admitting work and shut the worker pool down."""
+        """Stop admitting work, drain the tiers, and release the store.
+
+        With ``wait=True`` (the graceful path — what SIGTERM takes)
+        every already-accepted job runs to a terminal state before the
+        store closes, so a clean shutdown leaves an empty job log; an
+        abrupt death instead leaves its unfinished rows for the next
+        startup's recovery.
+        """
         with self._lock:
             self._closed = True
         self._pool.shutdown(wait=wait)
+        if self._tier is not None:
+            self._tier.close(wait=wait)
+        final = self.snapshot()
+        with self._lock:
+            self._final_snapshot = final
+        self.store.close()
 
     def __enter__(self) -> "RoutingService":
         return self

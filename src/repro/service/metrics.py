@@ -55,6 +55,13 @@ class ServiceMetrics:
         not cached and fell back to a from-scratch run of the mutated
         layout (a high fallback ratio means the cache is too small for
         the iteration loop driving the service).
+    ``recovered``
+        Jobs re-queued at startup from a persistent job store — work a
+        previous process accepted but never finished.
+    ``worker_restarts`` / ``job_retries``
+        Process-tier crash handling: worker-pool rebuilds after a
+        worker process died, and jobs given their one retry across
+        such a crash (always 0 on the thread tier).
     """
 
     def __init__(self):
@@ -68,6 +75,9 @@ class ServiceMetrics:
         self.failed = 0
         self.reroutes = 0
         self.reroute_fallbacks = 0
+        self.recovered = 0
+        self.worker_restarts = 0
+        self.job_retries = 0
         self._route_seconds: deque[float] = deque(maxlen=ROUTE_SAMPLE_WINDOW)
 
     # ------------------------------------------------------------------
@@ -114,6 +124,21 @@ class ServiceMetrics:
             if not incremental:
                 self.reroute_fallbacks += 1
 
+    def record_recovered(self) -> None:
+        """Count one job re-queued from the persistent job store."""
+        with self._lock:
+            self.recovered += 1
+
+    def record_worker_restart(self) -> None:
+        """Count one process-pool rebuild after a worker crash."""
+        with self._lock:
+            self.worker_restarts += 1
+
+    def record_retry(self) -> None:
+        """Count one job retried across a worker crash."""
+        with self._lock:
+            self.job_retries += 1
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -131,6 +156,9 @@ class ServiceMetrics:
                 "failed": self.failed,
                 "reroutes": self.reroutes,
                 "reroute_fallbacks": self.reroute_fallbacks,
+                "recovered": self.recovered,
+                "worker_restarts": self.worker_restarts,
+                "job_retries": self.job_retries,
                 "route_samples": len(samples),
                 "route_seconds_p50": percentile(samples, 0.50),
                 "route_seconds_p95": percentile(samples, 0.95),

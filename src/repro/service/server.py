@@ -190,6 +190,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "status": "ok",
                 "workers": service.workers,
                 "queue_limit": service.queue_limit,
+                "executor": service.executor,
+                "store": service.store.backend,
             },
         )
 

@@ -1,0 +1,44 @@
+"""repro.service.store — pluggable persistence for the routing service.
+
+The :class:`~repro.service.store.base.Store` handle pairs a
+content-addressed :class:`~repro.service.store.base.ResultStore` with
+a crash-recovery :class:`~repro.service.store.base.JobStore`; two
+backends exist — in-memory (``memory``, the default: fast,
+shared-nothing, dies with the process) and sqlite (``sqlite:PATH``:
+results survive restarts and can be shared across frontends, pending
+jobs are re-queued at the next startup).  See ``docs/service.md`` for
+the backend matrix and the recovery semantics.
+"""
+
+from repro.service.store.base import (
+    JOB_KINDS,
+    STORE_BACKENDS,
+    JobRecord,
+    JobStore,
+    ResultStore,
+    Store,
+    make_store,
+    parse_store_spec,
+)
+from repro.service.store.memory import MemoryJobStore, MemoryResultStore
+from repro.service.store.sqlite import (
+    SqliteJobStore,
+    SqliteResultStore,
+    open_sqlite_store,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "JobRecord",
+    "JobStore",
+    "MemoryJobStore",
+    "MemoryResultStore",
+    "ResultStore",
+    "STORE_BACKENDS",
+    "SqliteJobStore",
+    "SqliteResultStore",
+    "Store",
+    "make_store",
+    "open_sqlite_store",
+    "parse_store_spec",
+]

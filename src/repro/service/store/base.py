@@ -1,0 +1,191 @@
+"""The pluggable persistence interfaces behind the routing service.
+
+Two small contracts split the service's durable state:
+
+:class:`ResultStore`
+    The content-addressed result cache — canonical request keys
+    (:func:`repro.api.canonical.request_cache_key`) mapped to
+    :class:`~repro.api.result.RouteResult` objects, with LRU bounds
+    and hit/miss/eviction accounting.  A key covers everything that
+    influences the result, so a hit is always safe to serve verbatim;
+    there is no TTL and no invalidation beyond eviction.
+
+:class:`JobStore`
+    The durability log for accepted-but-unfinished work.  Each
+    admitted job writes a :class:`JobRecord` carrying a self-contained
+    resubmission *spec* (the request document with the layout inlined);
+    state transitions update the row and terminal jobs delete it, so
+    whatever :meth:`JobStore.load_pending` returns at startup is
+    exactly the work a dead process still owed its clients.
+    :meth:`RoutingService.__init__ <repro.service.jobs.RoutingService>`
+    re-queues those records under their original job ids.
+
+Backends pair the two behind one :class:`Store` handle:
+
+==========================  ===========================  ==================
+spec                        results                      jobs
+==========================  ===========================  ==================
+``memory`` (default)        in-process LRU               in-process table
+                            (dies with the process)      (dies with it too)
+``sqlite:PATH``             sqlite file, shareable       sqlite file —
+                            across frontends             restart recovery
+==========================  ===========================  ==================
+
+:func:`make_store` turns a spec string into a wired :class:`Store`;
+the service also accepts a pre-built :class:`Store` for tests and
+embedders that compose their own backends.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import RoutingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.result import RouteResult
+
+#: Store spec prefixes understood by :func:`make_store`.
+STORE_BACKENDS = ("memory", "sqlite")
+
+#: Job-store record kinds (which submission path replays the spec).
+JOB_KINDS = ("route", "reroute")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One persisted job: everything needed to resubmit it.
+
+    ``spec`` is a JSON-ready document — ``{"kind": "route", "request":
+    <RouteRequest dict with the layout inlined>}`` or the ``reroute``
+    analogue — so recovery never depends on layout files still being
+    where they were.
+    """
+
+    id: str
+    key: str
+    state: str
+    kind: str
+    spec: dict
+    submitted_at: float
+
+
+class ResultStore(abc.ABC):
+    """Content-addressed ``RouteResult`` storage with LRU bounds."""
+
+    #: Backend name surfaced in ``/metrics`` (``"memory"``/``"sqlite"``).
+    backend: str = "abstract"
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional["RouteResult"]:
+        """The cached result for *key*, or ``None`` (counts hit/miss)."""
+
+    @abc.abstractmethod
+    def put(self, key: str, result: "RouteResult") -> None:
+        """Store *result* under *key*, evicting beyond the bound."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Entries currently stored."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: str) -> bool:
+        """Whether *key* is stored (does not count as a hit/miss)."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict[str, Any]:
+        """``/metrics`` counters: entries, max_entries, hits, misses,
+        evictions, backend."""
+
+    def close(self) -> None:
+        """Release backend resources (no-op for in-memory stores)."""
+
+
+class JobStore(abc.ABC):
+    """Durability log for admitted-but-unfinished jobs."""
+
+    backend: str = "abstract"
+
+    @abc.abstractmethod
+    def record(self, record: JobRecord) -> None:
+        """Persist (or overwrite) one job row."""
+
+    @abc.abstractmethod
+    def update(self, job_id: str, state: str, *, error: Optional[str] = None) -> None:
+        """Update a row's state in place (unknown ids are a no-op)."""
+
+    @abc.abstractmethod
+    def delete(self, job_id: str) -> None:
+        """Drop a row — the job reached a terminal state."""
+
+    @abc.abstractmethod
+    def load_pending(self) -> list[JobRecord]:
+        """Every persisted row, oldest submission first.
+
+        Anything returned here was accepted by a previous process and
+        never finished; the service re-queues each record at startup.
+        """
+
+    def close(self) -> None:
+        """Release backend resources (no-op for in-memory stores)."""
+
+
+@dataclass
+class Store:
+    """A wired pair of backends plus the spec that named them."""
+
+    results: ResultStore
+    jobs: JobStore
+    backend: str
+    #: The spec string this store was built from (diagnostics only).
+    spec: str = field(default="")
+
+    def close(self) -> None:
+        """Close both backends (idempotent)."""
+        self.results.close()
+        self.jobs.close()
+
+
+def parse_store_spec(spec: str) -> tuple[str, Optional[str]]:
+    """Split a ``--store`` spec into ``(backend, path)``.
+
+    ``"memory"`` → ``("memory", None)``; ``"sqlite:PATH"`` →
+    ``("sqlite", PATH)``.  Anything else raises
+    :class:`~repro.errors.RoutingError` naming the valid forms.
+    """
+    if spec == "memory":
+        return "memory", None
+    backend, sep, path = spec.partition(":")
+    if backend == "sqlite" and sep and path:
+        return "sqlite", path
+    raise RoutingError(
+        f"unknown store spec {spec!r}: expected 'memory' or 'sqlite:PATH'"
+    )
+
+
+def make_store(spec: str = "memory", *, cache_size: int = 256) -> Store:
+    """Build the :class:`Store` a spec string names.
+
+    *cache_size* bounds the result store (0 disables result reuse,
+    exactly like ``repro serve --cache-size 0``); the job store is
+    never bounded — it only ever holds in-flight work.
+    """
+    backend, path = parse_store_spec(spec)
+    if backend == "memory":
+        from repro.service.store.memory import MemoryJobStore, MemoryResultStore
+
+        return Store(
+            results=MemoryResultStore(max_entries=cache_size),
+            jobs=MemoryJobStore(),
+            backend="memory",
+            spec=spec,
+        )
+    from repro.service.store.sqlite import open_sqlite_store
+
+    return open_sqlite_store(path, cache_size=cache_size, spec=spec)

@@ -1,0 +1,254 @@
+"""sqlite-backed store: results and jobs that survive the process.
+
+One database file (``--store sqlite:PATH``) holds two tables:
+
+``results``
+    The content-addressed cache — canonical request key, the
+    serialized :class:`~repro.api.result.RouteResult` JSON, and an
+    LRU stamp.  Because keys are content hashes, rows written by one
+    frontend are safe for any other to serve, so several service
+    processes may point at the same file and share one cache.
+
+``jobs``
+    The durability log — every accepted-but-unfinished job's
+    resubmission spec.  Rows are written at admission, updated on the
+    ``queued → running`` transition, and deleted at terminal states;
+    whatever survives a crash is exactly the work still owed, and the
+    next startup re-queues it.  Unlike ``results``, this table assumes
+    **one live frontend per file**: a second process recovering the
+    rows would steal jobs a healthy first process still owns (share a
+    results file across frontends; give each its own job file, or
+    accept the single-frontend restart semantics).
+
+Concurrency/durability choices: WAL journal mode (readers never block
+the writer, and a SIGKILL mid-transaction loses at most the un-synced
+tail, never table integrity), ``synchronous=NORMAL``, a 5 s busy
+timeout for the multi-frontend case, and one connection guarded by an
+in-process lock (the service calls in from multiple worker threads).
+Results serialize through ``RouteResult.to_dict``/``from_dict`` — the
+same wire round-trip the HTTP surface uses, so a result served from
+sqlite is byte-identical (as JSON) to one served from memory.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import RoutingError, ServiceError
+from repro.service.store.base import JobRecord, JobStore, ResultStore, Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.result import RouteResult
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key         TEXT PRIMARY KEY,
+    body        TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    last_used   INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS results_lru ON results(last_used);
+CREATE TABLE IF NOT EXISTS jobs (
+    id           TEXT PRIMARY KEY,
+    key          TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    kind         TEXT NOT NULL,
+    spec         TEXT NOT NULL,
+    submitted_at REAL NOT NULL,
+    error        TEXT
+);
+"""
+
+
+class _SqliteBackend:
+    """One connection + lock shared by the result and job stores."""
+
+    def __init__(self, path: str):
+        self.path = path
+        try:
+            self._conn: Optional[sqlite3.Connection] = sqlite3.connect(
+                path, check_same_thread=False
+            )
+        except sqlite3.Error as exc:
+            raise RoutingError(f"cannot open sqlite store {path!r}: {exc}") from exc
+        self._lock = threading.RLock()
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=5000")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def execute(self, sql: str, params: tuple = (), *, commit: bool = False):
+        with self._lock:
+            if self._conn is None:
+                raise ServiceError(f"sqlite store {self.path!r} is closed")
+            cursor = self._conn.execute(sql, params)
+            if commit:
+                self._conn.commit()
+            return cursor.fetchall()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.commit()
+                self._conn.close()
+                self._conn = None
+
+
+class SqliteResultStore(ResultStore):
+    """LRU result cache over a sqlite table (durable, shareable).
+
+    The LRU stamp is a monotonically increasing integer drawn from a
+    per-table counter rather than a wall-clock time, so recency is a
+    total order even when many puts land in one clock tick (and across
+    frontends sharing the file).
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, db: _SqliteBackend, *, max_entries: int = 256):
+        if max_entries < 0:
+            raise RoutingError(f"cache max_entries must be >= 0, got {max_entries}")
+        self._db = db
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def _touch(self, key: str) -> None:
+        self._db.execute(
+            "UPDATE results SET last_used ="
+            " (SELECT COALESCE(MAX(last_used), 0) + 1 FROM results)"
+            " WHERE key = ?",
+            (key,),
+            commit=True,
+        )
+
+    def get(self, key: str) -> Optional["RouteResult"]:
+        from repro.api.result import RouteResult
+
+        rows = self._db.execute("SELECT body FROM results WHERE key = ?", (key,))
+        if not rows:
+            with self._lock:
+                self._misses += 1
+            return None
+        self._touch(key)
+        with self._lock:
+            self._hits += 1
+        return RouteResult.from_dict(json.loads(rows[0][0]))
+
+    def put(self, key: str, result: "RouteResult") -> None:
+        if self.max_entries == 0:
+            return
+        import time
+
+        body = json.dumps(result.to_dict(), separators=(",", ":"))
+        self._db.execute(
+            "INSERT OR REPLACE INTO results (key, body, created_at, last_used)"
+            " VALUES (?, ?, ?,"
+            " (SELECT COALESCE(MAX(last_used), 0) + 1 FROM results))",
+            (key, body, time.time()),
+            commit=True,
+        )
+        excess = len(self) - self.max_entries
+        if excess > 0:
+            self._db.execute(
+                "DELETE FROM results WHERE key IN"
+                " (SELECT key FROM results ORDER BY last_used ASC LIMIT ?)",
+                (excess,),
+                commit=True,
+            )
+            with self._lock:
+                self._evictions += excess
+
+    def clear(self) -> None:
+        self._db.execute("DELETE FROM results", commit=True)
+
+    def __len__(self) -> int:
+        return self._db.execute("SELECT COUNT(*) FROM results")[0][0]
+
+    def __contains__(self, key: str) -> bool:
+        return bool(
+            self._db.execute("SELECT 1 FROM results WHERE key = ?", (key,))
+        )
+
+    def stats(self) -> dict:
+        with self._lock:
+            hits, misses, evictions = self._hits, self._misses, self._evictions
+        return {
+            "backend": self.backend,
+            "entries": len(self),
+            "max_entries": self.max_entries,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+        }
+
+    def close(self) -> None:
+        self._db.close()
+
+
+class SqliteJobStore(JobStore):
+    """The crash-recovery log (see the module docstring's caveats)."""
+
+    backend = "sqlite"
+
+    def __init__(self, db: _SqliteBackend):
+        self._db = db
+
+    def record(self, record: JobRecord) -> None:
+        self._db.execute(
+            "INSERT OR REPLACE INTO jobs"
+            " (id, key, state, kind, spec, submitted_at, error)"
+            " VALUES (?, ?, ?, ?, ?, ?, NULL)",
+            (
+                record.id, record.key, record.state, record.kind,
+                json.dumps(record.spec, separators=(",", ":")),
+                record.submitted_at,
+            ),
+            commit=True,
+        )
+
+    def update(self, job_id: str, state: str, *, error: Optional[str] = None) -> None:
+        self._db.execute(
+            "UPDATE jobs SET state = ?, error = ? WHERE id = ?",
+            (state, error, job_id),
+            commit=True,
+        )
+
+    def delete(self, job_id: str) -> None:
+        self._db.execute("DELETE FROM jobs WHERE id = ?", (job_id,), commit=True)
+
+    def load_pending(self) -> list[JobRecord]:
+        rows = self._db.execute(
+            "SELECT id, key, state, kind, spec, submitted_at FROM jobs"
+            " ORDER BY submitted_at ASC, id ASC"
+        )
+        return [
+            JobRecord(
+                id=job_id, key=key, state=state, kind=kind,
+                spec=json.loads(spec), submitted_at=submitted_at,
+            )
+            for job_id, key, state, kind, spec, submitted_at in rows
+        ]
+
+    def close(self) -> None:
+        self._db.close()
+
+
+def open_sqlite_store(
+    path: str, *, cache_size: int = 256, spec: str = ""
+) -> Store:
+    """Open (creating if needed) the sqlite store at *path*."""
+    db = _SqliteBackend(path)
+    return Store(
+        results=SqliteResultStore(db, max_entries=cache_size),
+        jobs=SqliteJobStore(db),
+        backend="sqlite",
+        spec=spec or f"sqlite:{path}",
+    )

@@ -1,0 +1,153 @@
+"""Restart durability: real server processes, a SIGKILL, a sqlite store.
+
+The scenario the store subsystem exists for: a ``repro serve``
+process is killed without warning, a replacement opens the same
+``sqlite:`` store, and (a) results routed before the kill come back
+as cache hits without re-routing, (b) jobs the dead process had
+accepted but not finished are re-queued and completed.  Everything
+runs over real TCP against real subprocesses — the exact path a
+supervisor restart takes in production.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api.request import RouteRequest
+from repro.scenarios.conformance import route_fingerprint
+from repro.service import Client
+from repro.service.store import JobRecord, make_store
+from repro.layout.generators import LayoutSpec, random_layout
+
+
+def small_layout(seed: int = 1):
+    return random_layout(LayoutSpec(n_cells=4, n_nets=3), seed=seed)
+
+
+BANNER = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+class ServeProcess:
+    """One ``repro serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, *extra_args: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        deadline = time.monotonic() + 60
+        self.url = None
+        while time.monotonic() < deadline:
+            line = self.proc.stderr.readline()
+            if not line:
+                break
+            match = BANNER.search(line)
+            if match:
+                self.url = f"http://{match.group(1)}:{match.group(2)}"
+                return
+        raise AssertionError("serve subprocess never printed its banner")
+
+    def kill_hard(self) -> None:
+        """SIGKILL: no drain, no store close — the crash being tested."""
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=30)
+
+
+@pytest.fixture
+def serve(tmp_path):
+    started = []
+
+    def _start(*extra_args: str) -> tuple[ServeProcess, Client]:
+        process = ServeProcess(*extra_args)
+        started.append(process)
+        return process, Client(process.url, timeout=30.0)
+
+    yield _start
+    for process in started:
+        process.stop()
+
+
+def test_cached_results_survive_sigkill(serve, tmp_path):
+    store_spec = f"sqlite:{tmp_path / 'svc.db'}"
+    request = RouteRequest(layout=small_layout(1))
+
+    first, client = serve("--store", store_spec)
+    routed = client.submit(request, wait=True, wait_timeout=120)
+    assert routed["state"] == "done"
+    assert not routed["cache_hit"]
+    first.kill_hard()
+
+    second, client = serve("--store", store_spec)
+    again = client.submit(request, wait=True, wait_timeout=120)
+    assert again["state"] == "done"
+    assert again["cache_hit"], "restart must serve the persisted result"
+    assert again["result"] == routed["result"]
+    # A cache hit is not a routing run: the new process never routed.
+    assert client.metrics()["completed"] == 0
+
+
+def test_pending_jobs_recover_after_crash(serve, tmp_path):
+    store_path = tmp_path / "svc.db"
+    store_spec = f"sqlite:{store_path}"
+    layout = small_layout(2)
+    request = RouteRequest(layout=layout).with_layout(layout)
+
+    # Plant the wreckage a crashed process would leave: an accepted
+    # job logged but never finished.  (Catching a live server at the
+    # exact kill instant is a race; the log contents are identical.)
+    orphans = make_store(store_spec)
+    orphans.jobs.record(
+        JobRecord(
+            id="job-000031",
+            key="orphaned-key",
+            state="running",
+            kind="route",
+            spec={"kind": "route", "request": request.to_dict()},
+            submitted_at=time.time(),
+        )
+    )
+    orphans.close()
+
+    process, client = serve("--store", store_spec)
+    assert client.metrics()["recovered"] == 1
+    recovered = client.wait("job-000031", timeout=120)
+    assert recovered["state"] == "done"
+    assert recovered["recovered"] is True
+    assert recovered["result"] is not None
+
+    # Clean shutdown (SIGTERM) drains and leaves an empty job log.
+    process.proc.send_signal(signal.SIGTERM)
+    process.proc.wait(timeout=60)
+    audit = make_store(store_spec)
+    assert audit.jobs.load_pending() == []
+    audit.close()
+
+
+def test_process_tier_over_http_matches_thread_tier(serve):
+    request = RouteRequest(layout=small_layout(3))
+    _, thread_client = serve("--executor", "thread")
+    _, process_client = serve("--executor", "process", "--workers", "2")
+    assert process_client.healthz()["executor"] == "process"
+    via_threads = thread_client.route(request)
+    via_processes = process_client.route(request)
+    assert route_fingerprint(via_processes.route) == route_fingerprint(
+        via_threads.route
+    )

@@ -200,17 +200,90 @@ class TestBatchEndpoint:
 class TestBackpressure:
     def test_overload_is_429_with_retry_after(self, served, gated_registry, gate):
         service, client = served(workers=1, queue_limit=1, registry=gated_registry)
-        blocked = client.submit(
+        # retry_429=0: this test asserts the raw rejection contract,
+        # not the client's retry loop (covered in test_client_retry).
+        no_retry = Client(client.base_url, timeout=10.0, retry_429=0)
+        blocked = no_retry.submit(
             RouteRequest(layout=small_layout(1), strategy="gated")
         )
         assert gate.started.wait(10)
         with pytest.raises(QueueFullError):
-            client.submit(RouteRequest(layout=small_layout(2), strategy="gated"))
-        metrics = client.metrics()
+            no_retry.submit(RouteRequest(layout=small_layout(2), strategy="gated"))
+        metrics = no_retry.metrics()
         assert metrics["rejected"] == 1
         gate.release.set()
         # The accepted job was never dropped by the rejection.
         assert client.wait(blocked["id"], timeout=60)["state"] == "done"
+
+    def test_client_retries_429_until_window_frees(self, served, gated_registry, gate):
+        service, client = served(workers=1, queue_limit=1, registry=gated_registry)
+        retrying = Client(
+            client.base_url, timeout=10.0, retry_429=50, retry_after_cap=0.05
+        )
+        blocked = retrying.submit(
+            RouteRequest(layout=small_layout(1), strategy="gated")
+        )
+        assert gate.started.wait(10)
+        # Free the window shortly after the retry loop starts spinning;
+        # the Event stays set, so the retried submission runs through.
+        releaser = threading.Timer(0.2, gate.release.set)
+        releaser.start()
+        try:
+            accepted = retrying.submit(
+                RouteRequest(layout=small_layout(2), strategy="gated")
+            )
+        finally:
+            releaser.cancel()
+        assert retrying.wait(accepted["id"], timeout=60)["state"] == "done"
+        assert retrying.wait(blocked["id"], timeout=60)["state"] == "done"
+        assert retrying.metrics()["rejected"] >= 1  # at least one retry happened
+
+    def test_client_retry_exhaustion_still_raises(self, served, gated_registry, gate):
+        service, client = served(workers=1, queue_limit=1, registry=gated_registry)
+        bounded = Client(
+            client.base_url, timeout=10.0, retry_429=2, retry_after_cap=0.02
+        )
+        blocked = bounded.submit(
+            RouteRequest(layout=small_layout(1), strategy="gated")
+        )
+        assert gate.started.wait(10)
+        with pytest.raises(QueueFullError):
+            bounded.submit(RouteRequest(layout=small_layout(2), strategy="gated"))
+        assert bounded.metrics()["rejected"] == 3  # initial try + 2 retries
+        gate.release.set()
+        assert bounded.wait(blocked["id"], timeout=60)["state"] == "done"
+
+    def test_retry_after_header_parsing(self, served):
+        _, client = served()
+        import urllib.error
+        from email.message import Message
+
+        def _error(headers: dict) -> urllib.error.HTTPError:
+            message = Message()
+            for name, value in headers.items():
+                message[name] = value
+            return urllib.error.HTTPError("http://x", 429, "busy", message, None)
+
+        assert client._retry_after_seconds(_error({"Retry-After": "1"})) == 1.0
+        assert client._retry_after_seconds(_error({"Retry-After": "99"})) == 5.0
+        assert client._retry_after_seconds(_error({"Retry-After": "junk"})) == 1.0
+        assert client._retry_after_seconds(_error({})) == 1.0
+
+    def test_wait_backoff_reaches_terminal(self, served):
+        _, client = served()
+        job = client.submit(RouteRequest(layout=small_layout(8)))
+        done = client.wait(job["id"], timeout=60, poll=0.01, poll_max=0.1)
+        assert done["state"] == "done"
+
+    def test_wait_timeout_is_504(self, served, gated_registry, gate):
+        service, client = served(workers=1, registry=gated_registry)
+        job = client.submit(RouteRequest(layout=small_layout(1), strategy="gated"))
+        assert gate.started.wait(10)
+        with pytest.raises(ServiceError) as excinfo:
+            client.wait(job["id"], timeout=0.3, poll=0.01)
+        assert excinfo.value.status == 504
+        gate.release.set()
+        assert client.wait(job["id"], timeout=60)["state"] == "done"
 
     def test_metrics_snapshot_shape(self, served):
         _, client = served()
@@ -220,7 +293,12 @@ class TestBackpressure:
             "requests", "cache_hits", "cache_misses", "coalesced", "rejected",
             "completed", "failed", "queue_depth", "running", "route_samples",
             "route_seconds_p50", "route_seconds_p95", "uptime_seconds", "cache",
+            "recovered", "worker_restarts", "job_retries", "executor",
+            "store_backend",
         ):
             assert key in metrics, key
         assert metrics["route_seconds_p50"] is not None
         assert metrics["cache"]["entries"] == 1
+        assert metrics["cache"]["evictions"] == 0
+        assert metrics["executor"] == "thread"
+        assert metrics["store_backend"] == "memory"

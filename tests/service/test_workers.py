@@ -1,0 +1,131 @@
+"""The process worker tier: identity, crash handling, guard rails.
+
+The crash tests inject a module-level ``target`` into
+:class:`ProcessTier` (it must be picklable by reference for the worker
+processes); a sentinel file makes "crash exactly once" deterministic
+across the pool rebuild.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import RoutingError, ServiceError
+from repro.api.pipeline import RoutingPipeline
+from repro.api.registry import StrategyRegistry
+from repro.api.request import RouteRequest
+from repro.api.rerouting import RerouteRequest
+from repro.incremental.delta import LayoutDelta
+from repro.scenarios.conformance import route_fingerprint
+from repro.service import RoutingService, WORKER_TIERS
+from repro.service.metrics import ServiceMetrics
+from repro.service.workers import ProcessTier, execute_spec
+from tests.service.conftest import small_layout
+
+
+def _crash_once(spec: dict) -> dict:
+    """Die hard on the first call, succeed on every later one."""
+    if not os.path.exists(spec["sentinel"]):
+        open(spec["sentinel"], "w").close()
+        os._exit(1)
+    return spec["payload"]
+
+
+def _always_crash(spec: dict) -> dict:
+    os._exit(1)
+
+
+class TestGuardRails:
+    def test_worker_tiers(self):
+        assert WORKER_TIERS == ("thread", "process")
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(RoutingError, match="executor"):
+            RoutingService(executor="fiber")
+
+    def test_custom_registry_requires_thread_tier(self):
+        with pytest.raises(RoutingError, match="registry"):
+            RoutingService(executor="process", registry=StrategyRegistry())
+
+    def test_execute_spec_rejects_unknown_kind(self):
+        with pytest.raises(ServiceError, match="kind"):
+            execute_spec({"kind": "teleport"})
+
+
+class TestProcessTierIdentity:
+    def test_route_identical_to_thread_tier(self):
+        request = RouteRequest(layout=small_layout(1))
+        with RoutingService(workers=2, executor="thread") as threads:
+            via_threads = threads.wait(threads.submit(request).id, timeout=120)
+        with RoutingService(workers=2, executor="process") as processes:
+            via_processes = processes.wait(
+                processes.submit(request).id, timeout=120
+            )
+        assert via_threads.state == "done"
+        assert via_processes.state == "done"
+        assert route_fingerprint(via_processes.result.route) == route_fingerprint(
+            via_threads.result.route
+        )
+
+    def test_reroute_runs_incremental_on_process_tier(self):
+        layout = small_layout(2)
+        base = RouteRequest(layout=layout)
+        delta = LayoutDelta()
+        reroute = RerouteRequest(base=base, delta=delta)
+        with RoutingService(workers=2, executor="process") as service:
+            assert service.wait(service.submit(base).id, timeout=120).state == "done"
+            job = service.wait(service.submit_reroute(reroute).id, timeout=120)
+            assert job.state == "done"
+            assert job.incremental is True
+            # Same contract as the thread tier: an empty delta keeps
+            # every tree of the base result.
+            reference = RoutingPipeline().run(base)
+            assert route_fingerprint(job.result.route) == route_fingerprint(
+                reference.route
+            )
+
+
+class TestCrashHandling:
+    def test_worker_crash_retries_once_and_recovers(self, tmp_path):
+        metrics = ServiceMetrics()
+        reference = RoutingPipeline().run(RouteRequest(layout=small_layout(3)))
+        spec = {
+            "kind": "route",
+            "sentinel": str(tmp_path / "crashed-once"),
+            "payload": reference.to_dict(),
+        }
+        tier = ProcessTier(1, metrics, target=_crash_once)
+        try:
+            result = tier.run(spec)
+        finally:
+            tier.close()
+        assert route_fingerprint(result.route) == route_fingerprint(reference.route)
+        assert tier.restarts == 1
+        snapshot = metrics.snapshot()
+        assert snapshot["worker_restarts"] == 1
+        assert snapshot["job_retries"] == 1
+
+    def test_second_crash_fails_the_job(self):
+        metrics = ServiceMetrics()
+        tier = ProcessTier(1, metrics, target=_always_crash)
+        try:
+            with pytest.raises(ServiceError, match="crashed twice"):
+                tier.run({"kind": "route"})
+        finally:
+            tier.close()
+        assert metrics.snapshot()["job_retries"] == 1
+        assert tier.restarts == 2
+
+    def test_crash_surfaces_as_failed_job_not_hang(self, tmp_path):
+        """Through the full service: a doomed job terminates as failed."""
+        service = RoutingService(workers=1, executor="process")
+        service._tier.target = _always_crash
+        try:
+            job = service.submit(RouteRequest(layout=small_layout(4)))
+            finished = service.wait(job.id, timeout=120)
+            assert finished.state == "failed"
+            assert "crashed twice" in finished.error
+            assert service.snapshot()["failed"] == 1
+        finally:
+            service._tier.target = execute_spec
+            service.close()
