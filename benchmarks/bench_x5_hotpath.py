@@ -4,17 +4,23 @@ Three changes landed together: the epoch-cached ray tracer
 (:class:`~repro.geometry.raytrace.ObstacleSet` memoizes ``first_hit``
 per mutation epoch), the flattened cost-model inner loops
 (:class:`~repro.core.costs.CongestionPenaltyCost`), and the lean
-OPEN/CLOSED core (flat heap tuples, slotted nodes).  This bench pins
-the two claims the overhaul makes:
+OPEN/CLOSED core (flat heap tuples, slotted nodes).  PR 9 added the
+batched search engines (``scalar`` | ``vectorized`` | ``native``) and
+this harness grew an engine matrix alongside the original cache A/B.
+The claims the bench pins:
 
 * **identity** — routed results are byte-identical with the ray cache
-  on and off: same paths, same costs, same failed nets, same
-  per-iteration overflow trajectory.  The cache may only change how
-  fast answers arrive, never the answers.
+  on and off, across every search engine, and through the single-pass
+  strategy's memo-population skip: same paths, same costs, same failed
+  nets, same per-iteration overflow trajectory.  Performance knobs may
+  only change how fast answers arrive, never the answers.
 * **speed** — the negotiated multi-iteration workload (the rip-up
   loop re-searches the same static obstacle set every iteration, so
-  cache hit rates are high) runs measurably faster; BENCH_hotpath.json
-  tracks the trajectory PR over PR via ``benchmarks/run_suite.py``.
+  cache hit rates are high) runs measurably faster with the cache, and
+  the scaled engine workload (``negotiated_scaled_200``) runs at least
+  :data:`ENGINE_SPEEDUP_FLOOR` times more expansions per second on the
+  vectorized engine than on scalar; BENCH_hotpath.json tracks the
+  trajectory PR over PR via ``benchmarks/run_suite.py``.
 
 Run standalone via ``pytest benchmarks/bench_x5_hotpath.py
 --benchmark-only`` or through the suite driver (which also emits the
@@ -30,13 +36,21 @@ import time
 from repro.core.negotiate import NegotiatedRouter, NegotiationConfig
 from repro.core.router import GlobalRouter, RouterConfig
 from repro.analysis.tables import format_table
+from repro.search.native import NATIVE_AVAILABLE
 
-from benchmarks.workloads import congested_layout, netted_layout, report
+from benchmarks.workloads import (
+    congested_layout,
+    netted_layout,
+    report,
+    scaled_congested_layout,
+)
 
 #: Workload definitions, smallest first.  ``run_suite.py --quick`` runs
 #: the names in :data:`QUICK_WORKLOADS`; the committed baseline
 #: (BENCH_hotpath.json) records the full set so quick CI runs can still
-#: compare against it by name.
+#: compare against it by name.  ``engine_matrix_only`` workloads skip
+#: the cache A/B (their point is the engine comparison; a scalar run at
+#: this size is already minutes of wall clock).
 WORKLOADS: dict[str, dict] = {
     "negotiated_grid_16": {
         "kind": "negotiated",
@@ -58,9 +72,34 @@ WORKLOADS: dict[str, dict] = {
         "nets": 28,
         "seed": 11,
     },
+    "negotiated_scaled_200": {
+        "kind": "negotiated",
+        "scaled": True,
+        "nets": 200,
+        "seed": 7,
+        "max_iterations": 4,
+        "engine_matrix_only": True,
+        # The ENGINE_SPEEDUP_FLOOR gate rides on this workload, so its
+        # engine walls are min-of-2 (same repeat count for every
+        # engine) to keep a single noisy draw from deciding the ratio.
+        "engine_repeats": 2,
+    },
 }
 
-QUICK_WORKLOADS = ("negotiated_grid_16",)
+#: The CI smoke subset: the small negotiated loop (cache + engine
+#: matrix) plus the single-pass workload (strategy memo-skip gate).
+QUICK_WORKLOADS = ("negotiated_grid_16", "single_pass_dense")
+
+#: Engines the matrix measures.  ``native`` degrades to the vectorized
+#: numpy path when numba is absent (the artifact records which via
+#: ``native_is_jitted``), so the matrix is runnable everywhere.
+ENGINES_MEASURED = ("scalar", "vectorized", "native")
+
+#: The acceptance floor for the tentpole claim: vectorized must route
+#: the scaled workload at >= this many times scalar's expansions per
+#: second.  Asserted by the pytest benchmark entry point, not the JSON
+#: emitter, so a slow CI box can still record an artifact.
+ENGINE_SPEEDUP_FLOOR = 5.0
 
 #: One-off reference measurements of the pre-overhaul code path
 #: (commit 45ed25b, the last commit before this harness landed),
@@ -78,13 +117,18 @@ PRE_OVERHAUL_REFERENCE = {
 }
 
 
-def _route(spec: dict, *, ray_cache: bool):
+def _route(spec: dict, *, ray_cache: bool, engine: str = "scalar"):
     """Route one workload; returns (wall_seconds, fingerprint, stats, extra)."""
     if spec["kind"] == "negotiated":
-        layout = congested_layout(n_nets=spec["nets"], seed=spec["seed"], gap=spec["gap"])
+        if spec.get("scaled"):
+            layout = scaled_congested_layout(n_nets=spec["nets"], seed=spec["seed"])
+        else:
+            layout = congested_layout(
+                n_nets=spec["nets"], seed=spec["seed"], gap=spec["gap"]
+            )
         router = NegotiatedRouter(
             layout,
-            RouterConfig(ray_cache=ray_cache),
+            RouterConfig(ray_cache=ray_cache, engine=engine),
             negotiation=NegotiationConfig(max_iterations=spec["max_iterations"]),
         )
         started = time.perf_counter()
@@ -109,7 +153,7 @@ def _route(spec: dict, *, ray_cache: bool):
             "wirelength": result.final.total_length,
         }
     layout = netted_layout(spec["cells"], spec["nets"], seed=spec["seed"])
-    router = GlobalRouter(layout, RouterConfig(ray_cache=ray_cache))
+    router = GlobalRouter(layout, RouterConfig(ray_cache=ray_cache, engine=engine))
     started = time.perf_counter()
     route = router.route_all(on_unroutable="skip")
     wall = time.perf_counter() - started
@@ -118,6 +162,40 @@ def _route(spec: dict, *, ray_cache: bool):
         "failed": sorted(route.failed_nets),
     }
     return wall, fingerprint, route.stats, {"wirelength": route.total_length}
+
+
+def _route_single_strategy(spec: dict):
+    """Route the single-pass workload through the pipeline's strategy.
+
+    ``SingleStrategy`` skips ray-memo population — one pass never
+    re-queries a ray often enough to pay the memo back — so even with
+    ``ray_cache=True`` in the config the run must record *zero* cache
+    lookups, and must still route byte-identically to the direct
+    ``route_all`` measurements.  Returns (wall_seconds, fingerprint,
+    ray_lookups).
+    """
+    from repro.api.pipeline import RoutingPipeline
+    from repro.api.request import RouteRequest
+
+    layout = netted_layout(spec["cells"], spec["nets"], seed=spec["seed"])
+    request = RouteRequest(
+        layout=layout,
+        config=RouterConfig(ray_cache=True),
+        strategy="single",
+        on_unroutable="skip",
+        verify=False,
+    )
+    started = time.perf_counter()
+    result = RoutingPipeline().run(request)
+    wall = time.perf_counter() - started
+    fingerprint = {
+        "trees": _tree_fingerprint(result.route),
+        "failed": sorted(result.route.failed_nets),
+    }
+    lookups = int(
+        result.timings["ray_cache_hits"] + result.timings["ray_cache_misses"]
+    )
+    return wall, fingerprint, lookups
 
 
 def _tree_fingerprint(route) -> dict:
@@ -133,26 +211,77 @@ def _tree_fingerprint(route) -> dict:
 
 
 def run_workload(name: str, spec: dict) -> dict:
-    """Measure one workload cache-off vs cache-on; assert byte-identity."""
-    wall_off, fp_off, _stats_off, _ = _route(spec, ray_cache=False)
-    wall_on, fp_on, stats_on, extra = _route(spec, ray_cache=True)
-    identical = fp_off == fp_on
-    lookups = stats_on.cache_hits + stats_on.cache_misses
-    entry = {
-        "kind": spec["kind"],
-        "wall_seconds_cache_off": round(wall_off, 4),
-        "wall_seconds_cache_on": round(wall_on, 4),
-        "speedup_cache": round(wall_off / wall_on, 3) if wall_on > 0 else None,
-        "nodes_expanded": stats_on.nodes_expanded,
-        "expansions_per_second": round(stats_on.nodes_expanded / wall_on, 1)
-        if wall_on > 0
-        else None,
-        "ray_cache_hits": stats_on.cache_hits,
-        "ray_cache_misses": stats_on.cache_misses,
-        "ray_cache_hit_rate": round(stats_on.cache_hit_rate, 4) if lookups else 0.0,
-        "identical_cache_on_off": identical,
-    }
-    entry.update(extra)
+    """Measure one workload: cache A/B plus the engine matrix.
+
+    Every measured knob carries a byte-identity verdict next to its
+    timing; ``engine_matrix_only`` workloads skip the cache A/B and the
+    per-kind extras come from their scalar engine run instead.
+    """
+    entry: dict = {"kind": spec["kind"]}
+    scalar_wall = scalar_fp = scalar_stats = None
+    if not spec.get("engine_matrix_only"):
+        wall_off, fp_off, _stats_off, _ = _route(spec, ray_cache=False)
+        wall_on, fp_on, stats_on, extra = _route(spec, ray_cache=True)
+        lookups = stats_on.cache_hits + stats_on.cache_misses
+        entry.update(
+            {
+                "wall_seconds_cache_off": round(wall_off, 4),
+                "wall_seconds_cache_on": round(wall_on, 4),
+                "speedup_cache": round(wall_off / wall_on, 3) if wall_on > 0 else None,
+                "nodes_expanded": stats_on.nodes_expanded,
+                "expansions_per_second": round(stats_on.nodes_expanded / wall_on, 1)
+                if wall_on > 0
+                else None,
+                "ray_cache_hits": stats_on.cache_hits,
+                "ray_cache_misses": stats_on.cache_misses,
+                "ray_cache_hit_rate": round(stats_on.cache_hit_rate, 4)
+                if lookups
+                else 0.0,
+                "identical_cache_on_off": fp_off == fp_on,
+            }
+        )
+        entry.update(extra)
+        # The cache-on run *is* the scalar engine measurement.
+        scalar_wall, scalar_fp, scalar_stats = wall_on, fp_on, stats_on
+        if spec["kind"] == "single":
+            strategy_wall, strategy_fp, strategy_lookups = _route_single_strategy(spec)
+            entry["strategy_wall_seconds"] = round(strategy_wall, 4)
+            entry["strategy_ray_lookups"] = strategy_lookups
+            entry["identical_strategy_skip"] = strategy_fp == fp_on
+
+    engines: dict[str, dict] = {}
+    repeats = spec.get("engine_repeats", 1)
+    for engine in ENGINES_MEASURED:
+        if engine == "scalar" and scalar_stats is not None:
+            wall, fp, stats = scalar_wall, scalar_fp, scalar_stats
+        else:
+            wall, fp, stats, extra = _route(spec, ray_cache=True, engine=engine)
+            # Min-of-N wall per engine (every engine gets the same
+            # repeat count, so the speedup ratio stays honest); routed
+            # results are deterministic, so the identity verdict uses
+            # the first run's fingerprint.
+            for _ in range(repeats - 1):
+                wall_r, _fp_r, stats_r, _extra_r = _route(
+                    spec, ray_cache=True, engine=engine
+                )
+                if wall_r < wall:
+                    wall, stats = wall_r, stats_r
+            if engine == "scalar":
+                scalar_wall, scalar_fp, scalar_stats = wall, fp, stats
+                entry["nodes_expanded"] = stats.nodes_expanded
+                entry.update(extra)
+        engines[engine] = {
+            "wall_seconds": round(wall, 4),
+            "nodes_expanded": stats.nodes_expanded,
+            "expansions_per_second": round(stats.nodes_expanded / wall, 1)
+            if wall > 0
+            else None,
+            "speedup_vs_scalar": round(scalar_wall / wall, 3) if wall > 0 else None,
+            "identical_to_scalar": fp == scalar_fp,
+        }
+    entry["engines"] = engines
+    entry["engine_repeats"] = repeats
+    entry["native_is_jitted"] = NATIVE_AVAILABLE
     return entry
 
 
@@ -165,6 +294,10 @@ def run_suite(quick: bool = False) -> dict[str, dict]:
 def bench_x5_hotpath(benchmark):
     results = run_suite(quick=False)
 
+    cache_results = {
+        name: entry for name, entry in results.items()
+        if "identical_cache_on_off" in entry
+    }
     rows = [
         [
             name,
@@ -176,7 +309,7 @@ def bench_x5_hotpath(benchmark):
             f"{entry['expansions_per_second']:.0f}",
             "yes" if entry["identical_cache_on_off"] else "NO",
         ]
-        for name, entry in results.items()
+        for name, entry in cache_results.items()
     ]
     table = format_table(
         ["workload", "kind", "no-cache ms", "cache ms", "speedup",
@@ -186,18 +319,64 @@ def bench_x5_hotpath(benchmark):
     )
     report("x5_hotpath", table)
 
+    engine_rows = [
+        [
+            name,
+            engine,
+            f"{stats['wall_seconds'] * 1e3:.0f}",
+            f"{stats['expansions_per_second']:.0f}",
+            f"{stats['speedup_vs_scalar']:.2f}x",
+            "yes" if stats["identical_to_scalar"] else "NO",
+        ]
+        for name, entry in results.items()
+        for engine, stats in entry["engines"].items()
+    ]
+    engine_table = format_table(
+        ["workload", "engine", "wall ms", "expand/s", "vs scalar", "identical"],
+        engine_rows,
+        title=(
+            "X5: search engine matrix "
+            f"(native {'jitted' if NATIVE_AVAILABLE else 'numpy fallback'})"
+        ),
+    )
+    report("x5_engines", engine_table)
+
     # The cache must never change routed results...
-    assert all(e["identical_cache_on_off"] for e in results.values()), (
+    assert all(e["identical_cache_on_off"] for e in cache_results.values()), (
         "ray cache changed routed results"
     )
     # ...and on the negotiated multi-iteration workloads (static
     # obstacles re-queried every iteration) it must actually hit.
-    for name, entry in results.items():
+    for name, entry in cache_results.items():
         if entry["kind"] == "negotiated":
             assert entry["ray_cache_hit_rate"] > 0.5, (
                 f"{name}: ray cache hit rate {entry['ray_cache_hit_rate']} "
                 "suspiciously low on a static-obstacle loop"
             )
+
+    # No engine may ever change routed results.
+    for name, entry in results.items():
+        for engine, stats in entry["engines"].items():
+            assert stats["identical_to_scalar"], (
+                f"{name}: engine {engine} changed routed results"
+            )
+    # The single-pass strategy skips memo population without changing
+    # the route.
+    single = results["single_pass_dense"]
+    assert single["identical_strategy_skip"], (
+        "single-pass strategy changed the route"
+    )
+    assert single["strategy_ray_lookups"] == 0, (
+        f"single-pass strategy still touched the ray memo "
+        f"({single['strategy_ray_lookups']} lookups)"
+    )
+    # The tentpole claim: vectorized beats scalar by the recorded floor
+    # on the scaled workload (where batch sizes amortize the overhead).
+    scaled = results["negotiated_scaled_200"]["engines"]["vectorized"]
+    assert scaled["speedup_vs_scalar"] >= ENGINE_SPEEDUP_FLOOR, (
+        f"vectorized speedup {scaled['speedup_vs_scalar']}x below the "
+        f"{ENGINE_SPEEDUP_FLOOR}x floor on negotiated_scaled_200"
+    )
 
     # Timed reference for the pytest-benchmark trend: the quick
     # negotiated workload with the cache on (the shipping default).

@@ -24,8 +24,11 @@ Usage (from the repository root)::
 
 The hotpath artifact records, per workload: wall time with the ray
 cache off and on, the cache speedup, nodes expanded, expansions per
-second, cache hit rate, and the byte-identity verdict (cache on vs
-off).  See ``docs/performance.md`` for how to read it.
+second, cache hit rate, the byte-identity verdict (cache on vs off),
+and an ``engines`` block comparing the scalar / vectorized / native
+search engines (wall, expansions per second, speedup vs scalar, and a
+per-engine byte-identity verdict).  See ``docs/performance.md`` for
+how to read it.
 
 With ``--check BASELINE``, workloads present in both the baseline and
 the current run are compared; the driver exits non-zero when any
@@ -119,6 +122,25 @@ def _check_regressions(
                     f"{name}: {node_ratio:.2f}x node expansions over baseline "
                     f"(limit {NODE_REGRESSION_LIMIT:.1f}x)"
                 )
+        # Per-engine wall gate, same generous ratio: catches one engine
+        # regressing while the headline cache-on number stays healthy.
+        for engine, stats in entry.get("engines", {}).items():
+            base_engine = base_entry.get("engines", {}).get(engine, {})
+            base_wall = base_engine.get("wall_seconds")
+            new_wall = stats.get("wall_seconds")
+            if not (base_wall and new_wall):
+                continue
+            ratio = new_wall / base_wall
+            verdict = "REGRESSED" if ratio > max_regression else "ok"
+            print(
+                f"  {name}[{engine}]: wall {base_wall:.3f}s -> {new_wall:.3f}s "
+                f"({ratio:.2f}x, limit {max_regression:.1f}x) {verdict}"
+            )
+            if ratio > max_regression:
+                failures.append(
+                    f"{name}[{engine}]: wall {ratio:.2f}x over baseline "
+                    f"(limit {max_regression:.1f}x)"
+                )
     return failures
 
 
@@ -180,18 +202,53 @@ def main(argv: list[str] | None = None) -> int:
     print(f"run_suite: hotpath suite ({mode}) ...")
     results = run_suite(quick=args.quick)
     for name, entry in results.items():
-        print(
-            f"  {name}: {entry['wall_seconds_cache_off']:.3f}s -> "
-            f"{entry['wall_seconds_cache_on']:.3f}s with cache "
-            f"({entry['speedup_cache']:.2f}x, hit rate "
-            f"{entry['ray_cache_hit_rate'] * 100:.1f}%, "
-            f"{entry['expansions_per_second']:.0f} expand/s, "
-            f"identical={entry['identical_cache_on_off']})"
-        )
+        if "identical_cache_on_off" in entry:
+            print(
+                f"  {name}: {entry['wall_seconds_cache_off']:.3f}s -> "
+                f"{entry['wall_seconds_cache_on']:.3f}s with cache "
+                f"({entry['speedup_cache']:.2f}x, hit rate "
+                f"{entry['ray_cache_hit_rate'] * 100:.1f}%, "
+                f"{entry['expansions_per_second']:.0f} expand/s, "
+                f"identical={entry['identical_cache_on_off']})"
+            )
+        for engine, stats in entry.get("engines", {}).items():
+            print(
+                f"  {name}[{engine}]: {stats['wall_seconds']:.3f}s "
+                f"({stats['expansions_per_second']:.0f} expand/s, "
+                f"{stats['speedup_vs_scalar']:.2f}x vs scalar, "
+                f"identical={stats['identical_to_scalar']})"
+            )
 
-    broken = [n for n, e in results.items() if not e["identical_cache_on_off"]]
+    broken = [
+        n for n, e in results.items() if not e.get("identical_cache_on_off", True)
+    ]
     if broken:
         print(f"run_suite: cache changed routed results on: {broken}", file=sys.stderr)
+        return 1
+    engine_broken = [
+        f"{name}[{engine}]"
+        for name, entry in results.items()
+        for engine, stats in entry.get("engines", {}).items()
+        if not stats["identical_to_scalar"]
+    ]
+    if engine_broken:
+        print(
+            f"run_suite: engine changed routed results on: {engine_broken}",
+            file=sys.stderr,
+        )
+        return 1
+    skip_broken = [
+        n
+        for n, e in results.items()
+        if "identical_strategy_skip" in e
+        and not (e["identical_strategy_skip"] and e["strategy_ray_lookups"] == 0)
+    ]
+    if skip_broken:
+        print(
+            "run_suite: single-pass memo skip not byte-identical / not skipped "
+            f"on: {skip_broken}",
+            file=sys.stderr,
+        )
         return 1
 
     payload = {

@@ -175,6 +175,30 @@ class RoutingPipeline:
             timings["detail"] = time.perf_counter() - detail_started
             detail_summary = DetailSummary.from_detailed(detailed)
 
+        # Non-convergence used to be reported only through the
+        # `converged` flag, which callers routinely ignored — capped
+        # negotiated runs shipped overflowing routes without a peep.
+        # Surface it as a structured warning on the result instead.
+        warnings: list[dict] = []
+        if outcome.converged is False:
+            overflow = (
+                outcome.congestion_after.total_overflow
+                if outcome.congestion_after is not None
+                else None
+            )
+            iterations_run = max(0, len(outcome.iterations) - 1)
+            warnings.append(
+                {
+                    "kind": "non-convergence",
+                    "message": (
+                        f"strategy {request.strategy!r} stopped after "
+                        f"{iterations_run} iteration(s) with overflow remaining"
+                    ),
+                    "iterations": iterations_run,
+                    "total_overflow": overflow,
+                }
+            )
+
         timings["total"] = time.perf_counter() - total_started
         return RouteResult(
             strategy=request.strategy,
@@ -194,6 +218,7 @@ class RoutingPipeline:
             rerouted_nets=tuple(outcome.rerouted_nets),
             converged=outcome.converged,
             timings=timings,
+            warnings=warnings,
             violations=violations,
             verified=request.verify,
             detail_summary=detail_summary,

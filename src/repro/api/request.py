@@ -46,6 +46,7 @@ def config_to_dict(config: RouterConfig) -> dict[str, Any]:
         "node_limit": config.node_limit,
         "trace": config.trace,
         "ray_cache": config.ray_cache,
+        "engine": config.engine,
         "prune_clean_nets": config.prune_clean_nets,
         "workers": config.workers,
         "executor": config.executor,
@@ -78,6 +79,7 @@ def config_from_dict(data: Mapping[str, Any]) -> RouterConfig:
             node_limit=None if node_limit is None else int(node_limit),
             trace=bool(data.get("trace", defaults.trace)),
             ray_cache=bool(data.get("ray_cache", defaults.ray_cache)),
+            engine=str(data.get("engine", defaults.engine)),
             prune_clean_nets=bool(
                 data.get("prune_clean_nets", defaults.prune_clean_nets)
             ),

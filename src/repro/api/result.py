@@ -150,6 +150,14 @@ class RouteResult:
         ``ray_cache_hit_rate`` — see
         :class:`~repro.geometry.raytrace.ObstacleSet` and
         ``docs/performance.md``).
+    warnings:
+        Structured non-fatal findings about the run.  Each entry is a
+        dict with at least ``kind`` and ``message``; the only built-in
+        kind today is ``"non-convergence"`` (an iterative strategy
+        stopped at its iteration cap with overflow remaining), which
+        additionally carries ``iterations`` and ``total_overflow``.
+        Results used to report this only through ``converged`` — easy
+        to miss, so capped runs shipped silently overflowing routes.
     violations:
         Independent verification report per net name (empty when clean
         or when ``verify`` was off).
@@ -171,6 +179,7 @@ class RouteResult:
     rerouted_nets: tuple[str, ...] = ()
     converged: Optional[bool] = None
     timings: dict[str, float] = field(default_factory=dict)
+    warnings: list[dict[str, Any]] = field(default_factory=list)
     violations: dict[str, list[str]] = field(default_factory=dict)
     verified: bool = False
     detail_summary: Optional[DetailSummary] = None
@@ -219,6 +228,7 @@ class RouteResult:
             "rerouted_nets": list(self.rerouted_nets),
             "converged": self.converged,
             "timings": dict(self.timings),
+            "warnings": [dict(w) for w in self.warnings],
             "violations": {name: list(v) for name, v in self.violations.items()},
             "verified": self.verified,
             "detail_summary": (
@@ -252,6 +262,7 @@ class RouteResult:
                 rerouted_nets=tuple(data.get("rerouted_nets", ())),
                 converged=data.get("converged"),
                 timings=dict(data.get("timings", {})),
+                warnings=[dict(w) for w in data.get("warnings", ())],
                 violations={
                     name: list(v) for name, v in data.get("violations", {}).items()
                 },

@@ -75,7 +75,18 @@ class SingleStrategy:
 
     def run(self, router: "GlobalRouter", request: "RouteRequest") -> StrategyOutcome:
         """One independent pass, plus a diagnostic congestion measurement."""
-        route = router.route_all(on_unroutable=request.on_unroutable)
+        # A single pass never re-queries a ray often enough to pay the
+        # memo back — the committed bench showed cache-on *losing* to
+        # cache-off on single_pass_dense — so skip populating it.
+        # Memoization never changes answers, only wall clock, and the
+        # bench's identity gate pins that.  Restore the caller's
+        # setting afterwards: the router object may outlive this run.
+        was_enabled = router.obstacles.ray_cache_enabled
+        router.obstacles.ray_cache_enabled = False
+        try:
+            route = router.route_all(on_unroutable=request.on_unroutable)
+        finally:
+            router.obstacles.ray_cache_enabled = was_enabled
         if not self.measure:
             return StrategyOutcome(route=route, first=route)
         congestion = measure_congestion(

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.core.route import GlobalRoute
 from repro.geometry.point import Axis
 from repro.geometry.rect import Rect
@@ -341,11 +343,59 @@ class CongestionHistory:
 
 
 def measure_congestion(passages: Iterable[Passage], route: GlobalRoute) -> CongestionMap:
-    """Count, per passage, the distinct nets flowing through it."""
+    """Count, per passage, the distinct nets flowing through it.
+
+    Column-batched form of the naive ``passage.carries(seg)`` double
+    loop: segment endpoints go into int64 columns once, then each
+    passage's carry test is a handful of elementwise comparisons.  The
+    membership math is integer-exact and ``nets`` is a set, so the
+    result is identical to the scalar loop for any input.
+    """
     entries = [PassageUsage(p) for p in passages]
     tagged = route.all_segments()
+    if not entries or not tagged:
+        return CongestionMap(entries)
+
+    n = len(tagged)
+    ax = np.empty(n, dtype=np.int64)
+    ay = np.empty(n, dtype=np.int64)
+    bx = np.empty(n, dtype=np.int64)
+    by = np.empty(n, dtype=np.int64)
+    for i, (_, seg) in enumerate(tagged):
+        ax[i] = seg.a.x
+        ay[i] = seg.a.y
+        bx[i] = seg.b.x
+        by[i] = seg.b.y
+    # Degenerate segments are in neither class (carries() ignores
+    # them); non-rectilinear ones would be in neither either.
+    vertical = (ax == bx) & (ay != by)
+    horizontal = (ay == by) & (ax != bx)
+    v_lo = np.minimum(ay, by)
+    v_hi = np.maximum(ay, by)
+    h_lo = np.minimum(ax, bx)
+    h_hi = np.maximum(ax, bx)
+    names = [name for name, _ in tagged]
+
     for entry in entries:
-        for net_name, seg in tagged:
-            if net_name not in entry.nets and entry.passage.carries(seg):
-                entry.nets.add(net_name)
+        region = entry.passage.region
+        if entry.passage.flow is Axis.Y:
+            # Vertical segments crossing the corridor: on a track
+            # inside the closed x span, overlapping the y span with
+            # positive length.
+            mask = (
+                vertical
+                & (region.x0 <= ax)
+                & (ax <= region.x1)
+                & (v_lo < region.y1)
+                & (region.y0 < v_hi)
+            )
+        else:
+            mask = (
+                horizontal
+                & (region.y0 <= ay)
+                & (ay <= region.y1)
+                & (h_lo < region.x1)
+                & (region.x0 < h_hi)
+            )
+        entry.nets.update(names[i] for i in np.flatnonzero(mask).tolist())
     return CongestionMap(entries)

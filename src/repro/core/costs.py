@@ -25,6 +25,7 @@ from repro.geometry.point import Direction, Point
 from repro.geometry.raytrace import ObstacleSet
 from repro.geometry.rect import Rect
 from repro.geometry.segment import Segment
+from repro.search import native as native_kernels
 
 
 class CostModel:
@@ -44,6 +45,59 @@ class CostModel:
     def bend_cost(self, at: Point, incoming: Direction, outgoing: Direction) -> float:
         """Extra cost for turning at *at*.  Must be >= 0."""
         return 0.0
+
+    @property
+    def supports_batched_costs(self) -> bool:
+        """Whether :meth:`segment_costs_from` prices exactly like
+        :meth:`segment_cost`.
+
+        Only models that are known (and tested) to produce bit-identical
+        batched costs opt in; unknown subclasses default to ``False`` so
+        the vectorized engine falls back to the scalar oracle rather
+        than silently mispricing an overridden :meth:`segment_cost`.
+        """
+        return type(self) in (CostModel, WirelengthCost)
+
+    def segment_costs_from(
+        self, x: int, y: int, coords: np.ndarray, horizontal: bool, *, native: bool = False
+    ) -> np.ndarray:
+        """Batched :meth:`segment_cost` for same-axis segments.
+
+        Successor ``j`` is the segment from ``(x, y)`` to
+        ``(coords[j], y)`` when *horizontal*, else to ``(x, coords[j])``.
+        Returns a fresh float64 array; values equal the scalar method's
+        exactly (int64 length cast to float64).
+        """
+        origin = x if horizontal else y
+        return np.abs(coords - origin).astype(np.float64)
+
+    def expansion_costs(
+        self, x: int, y: int, hx: np.ndarray, vy: np.ndarray, *, native: bool = False
+    ) -> np.ndarray:
+        """Both axes of one expansion priced into a single array.
+
+        The fused form of two :meth:`segment_costs_from` calls —
+        horizontal successors ``(hx[j], y)`` first, then vertical
+        successors ``(x, vy[j])`` — writing straight into one float64
+        output.  Values are identical to the per-axis calls (integer
+        coordinates are exact in float64, so casting before or after
+        the subtraction cannot change them); only the call count and
+        allocations shrink, which is what the small per-expansion
+        batches are dominated by.
+        """
+        nh = hx.shape[0]
+        out = np.empty(nh + vy.shape[0], dtype=np.float64)
+        if nh:
+            head = out[:nh]
+            head[...] = hx
+            np.subtract(head, x, out=head)
+            np.abs(head, out=head)
+        if vy.shape[0]:
+            tail = out[nh:]
+            tail[...] = vy
+            np.subtract(tail, y, out=tail)
+            np.abs(tail, out=tail)
+        return out
 
 
 class WirelengthCost(CostModel):
@@ -125,6 +179,16 @@ class InvertedCornerCost(CostModel):
         return inherited + self.epsilon
 
 
+#: Coordinate offset separating the two axes of a fused expansion
+#: surcharge.  Vertical successors and vertical-track regions are
+#: shifted here so that a cross-axis (region, successor) pair can never
+#: overlap: one operand stays in ordinary coordinate range, the other
+#: sits beyond it, so the clamped interval is empty and the
+#: contribution is exactly ``0.0``.  Same-axis pairs are unaffected —
+#: the offset cancels in the interval subtraction (exact int64).
+_FUSE_OFFSET = 1 << 40
+
+
 class CongestionPenaltyCost(CostModel):
     """Per-unit-length surcharge inside congested regions.
 
@@ -161,6 +225,9 @@ class CongestionPenaltyCost(CostModel):
         self.direction_sensitive = self.base.direction_sensitive
         self._bounds = [(r.x0, r.y0, r.x1, r.y1, w) for r, w in self.regions]
         self._vectorized = len(self.regions) >= self.VECTOR_THRESHOLD
+        self._batch_columns: Optional[tuple[np.ndarray, ...]] = None
+        self._track_regions: dict[tuple[bool, int], Optional[tuple[np.ndarray, ...]]] = {}
+        self._pair_spans_cache: dict[tuple[int, int], Optional[tuple[np.ndarray, ...]]] = {}
         if self._vectorized:
             self._rx0 = np.array([r.x0 for r, _ in self.regions], dtype=np.int64)
             self._ry0 = np.array([r.y0 for r, _ in self.regions], dtype=np.int64)
@@ -206,6 +273,253 @@ class CongestionPenaltyCost(CostModel):
 
     def bend_cost(self, at: Point, incoming: Direction, outgoing: Direction) -> float:
         return self.base.bend_cost(at, incoming, outgoing)
+
+    @property
+    def supports_batched_costs(self) -> bool:
+        return (
+            type(self) in (CongestionPenaltyCost, NegotiatedCongestionCost)
+            and self.base.supports_batched_costs
+        )
+
+    def _region_columns(self) -> tuple[np.ndarray, ...]:
+        """Region bounds as int64/float64 columns, in declaration order."""
+        if self._vectorized:
+            return self._rx0, self._ry0, self._rx1, self._ry1, self._weights
+        if self._batch_columns is None:
+            self._batch_columns = (
+                np.array([b[0] for b in self._bounds], dtype=np.int64),
+                np.array([b[1] for b in self._bounds], dtype=np.int64),
+                np.array([b[2] for b in self._bounds], dtype=np.int64),
+                np.array([b[3] for b in self._bounds], dtype=np.int64),
+                np.array([b[4] for b in self._bounds], dtype=np.float64),
+            )
+        return self._batch_columns
+
+    def _regions_on_track(self, horizontal: bool, fixed: int) -> Optional[tuple[np.ndarray, ...]]:
+        """Region columns whose perpendicular span contains *fixed*.
+
+        The model is frozen for a whole routing pass and searches
+        revisit the same tracks constantly, so the per-track selection
+        (in declaration order) is cached; ``None`` marks tracks no
+        region touches, which lets most batch calls exit immediately.
+        """
+        key = (horizontal, fixed)
+        try:
+            return self._track_regions[key]
+        except KeyError:
+            pass
+        rx0, ry0, rx1, ry1, weights = self._region_columns()
+        if horizontal:
+            perp_lo, perp_hi = ry0, ry1
+            span_lo, span_hi = rx0, rx1
+        else:
+            perp_lo, perp_hi = rx0, rx1
+            span_lo, span_hi = ry0, ry1
+        inside = np.flatnonzero((perp_lo <= fixed) & (fixed <= perp_hi))
+        selection: Optional[tuple[np.ndarray, ...]]
+        if inside.size:
+            selection = (span_lo[inside], span_hi[inside], weights[inside])
+        else:
+            selection = None
+        self._track_regions[key] = selection
+        return selection
+
+    def _surcharge_into(
+        self,
+        costs: np.ndarray,
+        coords: np.ndarray,
+        origin: int,
+        horizontal: bool,
+        fixed: int,
+        native: bool,
+    ) -> None:
+        """Add this track's congestion surcharges to *costs* in place."""
+        selection = self._regions_on_track(horizontal, fixed)
+        if selection is None:
+            return
+        span_lo, span_hi, weights = selection
+        a = np.minimum(coords, origin)
+        b = np.maximum(coords, origin)
+        if native and native_kernels.NATIVE_AVAILABLE:
+            native_kernels.congestion_surcharge_on_track(
+                a, b, span_lo, span_hi, weights, costs
+            )
+            return
+        lo = np.maximum(span_lo[:, None], a[None, :])
+        hi = np.minimum(span_hi[:, None], b[None, :])
+        np.subtract(hi, lo, out=hi)
+        np.maximum(hi, 0, out=hi)
+        self._fold_contributions(costs, hi, weights)
+
+    @staticmethod
+    def _fold_contributions(
+        costs: np.ndarray, hi: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """``costs[j] += sum_r weights[r] * hi[r, j]`` in row order.
+
+        Accumulates contributions per successor in region declaration
+        order — the exact accumulation order of the scalar path
+        (including its zero terms: ``x + 0.0 == x`` for the positive
+        finite costs here, so skipped-vs-added zeros cannot differ).
+        """
+        n = costs.shape[0]
+        if n == 1:
+            # Degenerate batch: a (R, 1) column is contiguous, where
+            # numpy reductions switch to pairwise summation and can
+            # drift by an ULP.  Accumulate with Python floats instead.
+            acc = costs[0]
+            for overlap, weight in zip(hi[:, 0].tolist(), weights.tolist()):
+                acc += weight * overlap
+            costs[0] = acc
+        else:
+            # Row 0 is the running total, each later row one region's
+            # weighted overlap (multiplied straight into the buffer —
+            # no intermediate contribution matrix).  An axis-0 reduce
+            # over a C-contiguous matrix with a non-trivial inner axis
+            # folds rows top-down sequentially (pairwise summation
+            # only applies along a contiguous reduction axis) — i.e.
+            # ``((base + c0) + c1) + ...`` per successor,
+            # bit-identical to the scalar loop.  The parity suite and
+            # an adversarial unit test pin this.
+            stacked = np.empty((hi.shape[0] + 1, n), dtype=np.float64)
+            stacked[0] = costs
+            np.multiply(hi, weights[:, None], out=stacked[1:])
+            np.add.reduce(stacked, axis=0, out=costs)
+
+    def _pair_spans(self, y: int, x: int) -> Optional[tuple[np.ndarray, ...]]:
+        """Region spans of both expansion tracks, fused into one set.
+
+        The horizontal track ``y`` contributes its regions' x spans
+        as-is; the vertical track ``x`` contributes its regions' y
+        spans shifted by :data:`_FUSE_OFFSET` so they can only ever
+        overlap (equally shifted) vertical successors.  Cached per
+        ``(y, x)`` origin: searches re-expand the same origins across
+        nets and iterations while the model is frozen.
+        """
+        key = (y, x)
+        try:
+            return self._pair_spans_cache[key]
+        except KeyError:
+            pass
+        sel_h = self._regions_on_track(True, y)
+        sel_v = self._regions_on_track(False, x)
+        combined: Optional[tuple[np.ndarray, ...]]
+        if sel_v is None:
+            combined = sel_h
+        elif sel_h is None:
+            lo_v, hi_v, w_v = sel_v
+            combined = (lo_v + _FUSE_OFFSET, hi_v + _FUSE_OFFSET, w_v)
+        else:
+            lo_h, hi_h, w_h = sel_h
+            lo_v, hi_v, w_v = sel_v
+            combined = (
+                np.concatenate((lo_h, lo_v + _FUSE_OFFSET)),
+                np.concatenate((hi_h, hi_v + _FUSE_OFFSET)),
+                np.concatenate((w_h, w_v)),
+            )
+        self._pair_spans_cache[key] = combined
+        return combined
+
+    def _surcharge_expansion(
+        self,
+        costs: np.ndarray,
+        hx: np.ndarray,
+        x: int,
+        vy: np.ndarray,
+        y: int,
+        native: bool,
+    ) -> None:
+        """Both axes' congestion surcharges in one fused pass.
+
+        Equivalent to one :meth:`_surcharge_into` call per axis, but
+        with a single clamp/fold over the combined region set: each
+        successor's column folds its own track's regions (same values,
+        same declaration order as the per-axis call) plus the other
+        track's regions, whose clamped overlaps are exactly zero by the
+        :data:`_FUSE_OFFSET` construction — and ``x + 0.0 == x`` for
+        these positive costs, so interleaving the zero terms cannot
+        change a single bit.  The parity suite pins this.
+        """
+        combined = self._pair_spans(y, x)
+        if combined is None:
+            return
+        span_lo, span_hi, weights = combined
+        nh = hx.shape[0]
+        n = costs.shape[0]
+        a = np.empty(n, dtype=np.int64)
+        b = np.empty(n, dtype=np.int64)
+        np.minimum(hx, x, out=a[:nh])
+        np.maximum(hx, x, out=b[:nh])
+        if n > nh:
+            av = a[nh:]
+            bv = b[nh:]
+            np.minimum(vy, y, out=av)
+            np.maximum(vy, y, out=bv)
+            av += _FUSE_OFFSET
+            bv += _FUSE_OFFSET
+        if native and native_kernels.NATIVE_AVAILABLE:
+            native_kernels.congestion_surcharge_on_track(
+                a, b, span_lo, span_hi, weights, costs
+            )
+            return
+        lo = np.maximum(span_lo[:, None], a[None, :])
+        hi = np.minimum(span_hi[:, None], b[None, :])
+        np.subtract(hi, lo, out=hi)
+        np.maximum(hi, 0, out=hi)
+        self._fold_contributions(costs, hi, weights)
+
+    def segment_costs_from(
+        self, x: int, y: int, coords: np.ndarray, horizontal: bool, *, native: bool = False
+    ) -> np.ndarray:
+        costs = self.base.segment_costs_from(x, y, coords, horizontal, native=native)
+        if not self._bounds or not coords.size:
+            return costs
+        origin = x if horizontal else y
+        fixed = y if horizontal else x
+        self._surcharge_into(costs, coords, origin, horizontal, fixed, native)
+        return costs
+
+    def expansion_costs(
+        self, x: int, y: int, hx: np.ndarray, vy: np.ndarray, *, native: bool = False
+    ) -> np.ndarray:
+        if not self._bounds or type(self.base) not in (CostModel, WirelengthCost):
+            costs = self.base.expansion_costs(x, y, hx, vy, native=native)
+            if self._bounds and costs.size:
+                self._surcharge_expansion(costs, hx, x, vy, y, native)
+            return costs
+        # Plain-wirelength base: the surcharge clamp needs the
+        # normalized endpoints ``a = min(c, origin)``/``b = max`` of
+        # every successor segment anyway, and the base cost is exactly
+        # ``b - a`` (integer lengths are exact in float64, same value
+        # as ``|c - origin|``), so one fused pass computes both.
+        nh = hx.shape[0]
+        n = nh + vy.shape[0]
+        if not n:
+            return np.empty(0, dtype=np.float64)
+        a = np.empty(n, dtype=np.int64)
+        b = np.empty(n, dtype=np.int64)
+        np.minimum(hx, x, out=a[:nh])
+        np.maximum(hx, x, out=b[:nh])
+        np.minimum(vy, y, out=a[nh:])
+        np.maximum(vy, y, out=b[nh:])
+        costs = (b - a).astype(np.float64)
+        combined = self._pair_spans(y, x)
+        if combined is None:
+            return costs
+        a[nh:] += _FUSE_OFFSET
+        b[nh:] += _FUSE_OFFSET
+        span_lo, span_hi, weights = combined
+        if native and native_kernels.NATIVE_AVAILABLE:
+            native_kernels.congestion_surcharge_on_track(
+                a, b, span_lo, span_hi, weights, costs
+            )
+            return costs
+        lo = np.maximum(span_lo[:, None], a[None, :])
+        hi = np.minimum(span_hi[:, None], b[None, :])
+        np.subtract(hi, lo, out=hi)
+        np.maximum(hi, 0, out=hi)
+        self._fold_contributions(costs, hi, weights)
+        return costs
 
 
 class NegotiatedCongestionCost(CongestionPenaltyCost):

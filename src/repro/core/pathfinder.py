@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.errors import UnroutableError
 from repro.core.costs import CostModel, WirelengthCost
 from repro.core.escape import EscapeMode, escape_moves
@@ -26,6 +28,20 @@ from repro.geometry.segment import Segment
 from repro.search.engine import Order, SearchResult, search
 from repro.search.problem import SearchProblem
 from repro.search.stats import ExpansionTrace, SearchStats
+from repro.search.vector import VectorSearchProblem, search_vectorized
+
+#: Recognized search engines.  ``scalar`` is the conformance oracle;
+#: ``vectorized`` batches successor pricing over numpy arrays;
+#: ``native`` additionally runs the batch kernels under numba when it
+#: is importable (and is otherwise identical to ``vectorized``).  All
+#: three produce byte-identical routes — the parity suite pins it.
+ENGINES = ("scalar", "vectorized", "native")
+
+#: Largest flat key space (in states) the batched problem will mirror
+#: into the engine's dense g array — 4M states is 32 MB of float64,
+#: comfortably covering every corpus surface; anything larger uses the
+#: generic dict-only path with identical results.
+_DENSE_KEY_LIMIT = 1 << 22
 
 
 @dataclass
@@ -52,6 +68,12 @@ class PathRequest:
         Optional expansion budget.
     trace:
         Record expansion order for rendering.
+    engine:
+        Search engine (one of :data:`ENGINES`).  Non-scalar engines
+        apply only where the batched problem is available (FULL escape
+        mode, cost-ordered order, direction-insensitive batch-capable
+        cost model); other searches silently use the scalar oracle,
+        which is always result-identical anyway.
     """
 
     obstacles: ObstacleSet
@@ -62,6 +84,7 @@ class PathRequest:
     order: Order = Order.A_STAR
     node_limit: Optional[int] = None
     trace: bool = False
+    engine: str = "scalar"
 
 
 @dataclass
@@ -137,6 +160,182 @@ class _DirectedProblem(SearchProblem):
         return float(self._req.targets.distance_to(state[0]))
 
 
+class _BatchedPointProblem(VectorSearchProblem):
+    """FULL-mode escape search over bare ``(x, y)`` tuples, batched.
+
+    One :meth:`expand` call prices a whole expansion: the four clear
+    rays are traced through the shared (cached) ``first_hit`` exactly
+    as in :func:`~repro.core.escape.escape_moves`, but the stop
+    coordinates along each ray come from ``searchsorted`` slices of
+    pre-snapshotted edge/extra columns, and segment costs plus the
+    target-distance heuristic are evaluated per batch.  Successor
+    order — EAST, WEST, NORTH, SOUTH, each ray's stops ascending — and
+    every float match the scalar :class:`_PointProblem` bit for bit.
+
+    States are plain int tuples rather than :class:`Point` objects;
+    equality and hashing coincide, and :func:`find_path` converts back
+    at the boundary.
+    """
+
+    def __init__(
+        self,
+        request: PathRequest,
+        extra_xs: list[int],
+        extra_ys: list[int],
+        *,
+        native: bool = False,
+    ):
+        self._req = request
+        self._obstacles = request.obstacles
+        self._model = request.cost_model
+        self._targets = request.targets
+        self._native = native
+        # Stop coordinates are drawn from the union of edge and extra
+        # columns; both are fixed for the whole search, so merge once
+        # and slice per ray instead of deduplicating per ray.
+        self._stops_x = np.union1d(
+            request.obstacles.edge_xs.as_array(), np.asarray(extra_xs, dtype=np.int64)
+        )
+        self._stops_y = np.union1d(
+            request.obstacles.edge_ys.as_array(), np.asarray(extra_ys, dtype=np.int64)
+        )
+        # Dense-key layout for the engine's batched g prefilter: every
+        # reachable state lies inside the closed routing bound, so
+        # (x, y) flattens to (x - x0) * stride + (y - y0).  Surfaces
+        # large enough to make the flat array a memory concern fall
+        # back to the generic dict-only path.
+        bound = request.obstacles.bound
+        self._key_stride = bound.y1 - bound.y0 + 1
+        self._key_base_x = bound.x0
+        self._key_base_y = bound.y0
+        size = (bound.x1 - bound.x0 + 1) * self._key_stride
+        self._dense = size if size <= _DENSE_KEY_LIMIT else None
+
+    def start_states(self) -> list[tuple[tuple[int, int], float]]:
+        return [((p.x, p.y), g0) for p, g0 in self._req.sources]
+
+    def is_goal(self, state: tuple[int, int]) -> bool:
+        return self._targets.contains_xy(state[0], state[1])
+
+    def heuristic(self, state: tuple[int, int]) -> float:
+        return float(self._targets.distance_to(Point(state[0], state[1])))
+
+    @staticmethod
+    def _axis_stops(origin: int, fwd_reach: int, back_reach: int, merged: np.ndarray) -> np.ndarray:
+        """Stop coordinates of both rays on one axis, in one array.
+
+        Forward (east/north) stops first — ascending, reach last —
+        then backward (west/south) stops — reach first, then ascending.
+        This is the exact successor order of ``escape_moves`` plus
+        ``_stops_for_ray``: each ray contributes every merged
+        edge/extra coordinate strictly inside its span (the
+        open-interval ``searchsorted`` slice excludes both span ends,
+        so the origin never appears) plus its reach, already sorted
+        and distinct without any per-ray dedup.
+        """
+        searchsorted = merged.searchsorted
+        if fwd_reach != origin:
+            f0 = searchsorted(origin, side="right")
+            f1 = searchsorted(fwd_reach, side="left")
+            n_fwd = f1 - f0 + 1
+        else:
+            f0 = f1 = n_fwd = 0
+        if back_reach != origin:
+            b0 = searchsorted(back_reach, side="right")
+            b1 = searchsorted(origin, side="left")
+            n_back = b1 - b0 + 1
+        else:
+            b0 = b1 = n_back = 0
+        out = np.empty(n_fwd + n_back, dtype=np.int64)
+        if n_fwd:
+            out[: n_fwd - 1] = merged[f0:f1]
+            out[n_fwd - 1] = fwd_reach
+        if n_back:
+            out[n_fwd] = back_reach
+            out[n_fwd + 1:] = merged[b0:b1]
+        return out
+
+    def _rays(self, x: int, y: int) -> tuple[np.ndarray, np.ndarray]:
+        """Stop columns (``hx``) and rows (``vy``) of the four rays."""
+        east, west, north, south = self._obstacles.reaches(x, y)
+        return (
+            self._axis_stops(x, east, west, self._stops_x),
+            self._axis_stops(y, north, south, self._stops_y),
+        )
+
+    def expand(
+        self, state: tuple[int, int], with_h: bool
+    ) -> tuple[list[tuple[int, int]], np.ndarray, Optional[np.ndarray]]:
+        x, y = state
+        hx, vy = self._rays(x, y)
+        native = self._native
+        states = [(cx, y) for cx in hx.tolist()]
+        states.extend((x, cy) for cy in vy.tolist())
+        costs = self._model.expansion_costs(x, y, hx, vy, native=native)
+        if not with_h:
+            return states, costs, None
+        hs = self._targets.distances_expansion(hx, y, vy, x, native=native)
+        return states, costs, hs
+
+    def dense_size(self) -> Optional[int]:
+        return self._dense
+
+    def dense_key(self, state: tuple[int, int]) -> int:
+        return (state[0] - self._key_base_x) * self._key_stride + (
+            state[1] - self._key_base_y
+        )
+
+    def expand_dense(self, state: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        x, y = state
+        hx, vy = self._rays(x, y)
+        stride = self._key_stride
+        nh = hx.shape[0]
+        keys = np.empty(nh + vy.shape[0], dtype=np.int64)
+        np.multiply(hx, stride, out=keys[:nh])
+        keys[:nh] += y - self._key_base_y - self._key_base_x * stride
+        keys[nh:] = vy
+        keys[nh:] += (x - self._key_base_x) * stride - self._key_base_y
+        costs = self._model.expansion_costs(x, y, hx, vy, native=self._native)
+        self._last_batch = (x, y, hx, vy, nh)
+        return keys, costs
+
+    def dense_winners(
+        self, winners: np.ndarray, with_h: bool
+    ) -> tuple[list[tuple[int, int]], Optional[np.ndarray]]:
+        x, y, hx, vy, nh = self._last_batch
+        split = int(winners.searchsorted(nh))
+        hx_w = hx[winners[:split]]
+        vy_w = vy[winners[split:] - nh]
+        states = [(cx, y) for cx in hx_w.tolist()]
+        states.extend((x, cy) for cy in vy_w.tolist())
+        if not with_h:
+            return states, None
+        # Per-point distances: each batch column is an independent
+        # min-over-targets, so the subset evaluates bit-identically to
+        # slicing the full batch.
+        hs = self._targets.distances_expansion(hx_w, y, vy_w, x, native=self._native)
+        return states, hs
+
+
+def _use_batched_engine(request: PathRequest) -> bool:
+    """Whether the non-scalar engines can serve *request*.
+
+    The batched problem covers the paper's primary configuration: FULL
+    escape mode, a cost-ordered OPEN list, and a direction-insensitive
+    cost model that prices batches bit-identically.  Everything else
+    (AGGRESSIVE mode, blind orders, bend-priced models, unknown cost
+    subclasses) falls back to the scalar oracle — results are
+    identical by construction, only the wall clock differs.
+    """
+    return (
+        request.engine != "scalar"
+        and request.mode is EscapeMode.FULL
+        and request.order.is_cost_ordered
+        and not request.cost_model.direction_sensitive
+        and request.cost_model.supports_batched_costs
+    )
+
+
 def find_path(request: PathRequest) -> PathSearchResult:
     """Route one connection.
 
@@ -155,11 +354,7 @@ def find_path(request: PathRequest) -> PathSearchResult:
     extra_xs = sorted(request.targets.escape_xs() | {p.x for p, _ in request.sources})
     extra_ys = sorted(request.targets.escape_ys() | {p.y for p, _ in request.sources})
 
-    problem: SearchProblem
-    if request.cost_model.direction_sensitive:
-        problem = _DirectedProblem(request, extra_xs, extra_ys)
-    else:
-        problem = _PointProblem(request, extra_xs, extra_ys)
+    batched = _use_batched_engine(request)
 
     # Ray-cache traffic attributable to this search: delta of the
     # obstacle set's counters around the search (the set is shared
@@ -167,12 +362,29 @@ def find_path(request: PathRequest) -> PathSearchResult:
     obstacles = request.obstacles
     hits_before = obstacles.ray_cache_hits
     misses_before = obstacles.ray_cache_misses
-    result: SearchResult = search(
-        problem,
-        request.order,
-        node_limit=request.node_limit,
-        trace=request.trace,
-    )
+    result: SearchResult
+    if batched:
+        vproblem = _BatchedPointProblem(
+            request, extra_xs, extra_ys, native=request.engine == "native"
+        )
+        result = search_vectorized(
+            vproblem,
+            request.order,
+            node_limit=request.node_limit,
+            trace=request.trace,
+        )
+    else:
+        problem: SearchProblem
+        if request.cost_model.direction_sensitive:
+            problem = _DirectedProblem(request, extra_xs, extra_ys)
+        else:
+            problem = _PointProblem(request, extra_xs, extra_ys)
+        result = search(
+            problem,
+            request.order,
+            node_limit=request.node_limit,
+            trace=request.trace,
+        )
     result.stats.cache_hits = obstacles.ray_cache_hits - hits_before
     result.stats.cache_misses = obstacles.ray_cache_misses - misses_before
     if not result.found:
@@ -184,12 +396,17 @@ def find_path(request: PathRequest) -> PathSearchResult:
         )
 
     raw_states = result.path
-    if request.cost_model.direction_sensitive:
+    if batched:
+        points = [Point(sx, sy) for sx, sy in raw_states]
+    elif request.cost_model.direction_sensitive:
         points = [state[0] for state in raw_states]
     else:
         points = list(raw_states)
     path = RoutePath(tuple(_compress_collinear(points)), cost=result.cost)
-    trace = _strip_trace(result.trace, request.cost_model.direction_sensitive)
+    if batched:
+        trace = _point_trace(result.trace)
+    else:
+        trace = _strip_trace(result.trace, request.cost_model.direction_sensitive)
     return PathSearchResult(path, result.stats, trace)
 
 
@@ -231,3 +448,16 @@ def _strip_trace(
     for state, parent in trace.entries:
         stripped.record(state[0], parent[0] if parent is not None else None)
     return stripped
+
+
+def _point_trace(trace: Optional[ExpansionTrace]) -> Optional[ExpansionTrace]:
+    """Convert the batched engine's tuple-state trace to points."""
+    if trace is None:
+        return trace
+    converted = ExpansionTrace()
+    for state, parent in trace.entries:
+        converted.record(
+            Point(state[0], state[1]),
+            Point(parent[0], parent[1]) if parent is not None else None,
+        )
+    return converted

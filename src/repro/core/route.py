@@ -13,11 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.errors import RoutingError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect, bounding_rect
 from repro.geometry.segment import Segment, path_bends, path_length, path_segments
 from repro.search.stats import ExpansionTrace, SearchStats
+
+_I64_MAX = np.iinfo(np.int64).max
 
 
 @dataclass(frozen=True)
@@ -177,12 +181,28 @@ class TargetSet:
         if not self.points and not self.segments:
             raise RoutingError("target set is empty")
         self._point_set = set(self.points)
+        self._xy_set = {(p.x, p.y) for p in self.points}
+        self._columns: Optional[tuple[np.ndarray, ...]] = None
+        self._track_terms_cache: dict[tuple[bool, int], tuple[np.ndarray, ...]] = {}
 
     def contains(self, p: Point) -> bool:
         """Goal test: *p* coincides with a target point or lies on a segment."""
         if p in self._point_set:
             return True
         return any(seg.contains_point(p) for seg in self.segments)
+
+    def contains_xy(self, x: int, y: int) -> bool:
+        """:meth:`contains` over bare coordinates (vectorized engine)."""
+        if (x, y) in self._xy_set:
+            return True
+        for seg in self.segments:
+            a, b = seg.a, seg.b  # normalized: a <= b
+            if a.y == b.y:
+                if y == a.y and a.x <= x <= b.x:
+                    return True
+            elif x == a.x and a.y <= y <= b.y:
+                return True
+        return False
 
     def distance_to(self, p: Point) -> int:
         """Minimum rectilinear distance from *p* to any target.
@@ -201,6 +221,150 @@ class TargetSet:
                 best = d
         assert best is not None
         return best
+
+    def _target_columns(self) -> tuple[np.ndarray, ...]:
+        """Lazily built int64 columns for the batched heuristic."""
+        if self._columns is None:
+            horizontal = [s for s in self.segments if s.is_horizontal]
+            vertical = [s for s in self.segments if not s.is_horizontal]
+            self._columns = (
+                np.array([p.x for p in self.points], dtype=np.int64),
+                np.array([p.y for p in self.points], dtype=np.int64),
+                np.array([s.a.y for s in horizontal], dtype=np.int64),
+                np.array([s.a.x for s in horizontal], dtype=np.int64),
+                np.array([s.b.x for s in horizontal], dtype=np.int64),
+                np.array([s.a.x for s in vertical], dtype=np.int64),
+                np.array([s.a.y for s in vertical], dtype=np.int64),
+                np.array([s.b.y for s in vertical], dtype=np.int64),
+            )
+        return self._columns
+
+    def distances_to_many(self, xs: np.ndarray, ys: np.ndarray, *, native: bool = False) -> np.ndarray:
+        """:meth:`distance_to` for a whole successor batch at once.
+
+        Pure int64 arithmetic, so the values equal the scalar loop's
+        exactly.  With ``native=True`` and numba importable the
+        distance kernel runs jitted; otherwise numpy broadcasting.
+        """
+        from repro.search import native as native_kernels
+
+        px, py, hy, hx0, hx1, vx, vy0, vy1 = self._target_columns()
+        if native and native_kernels.NATIVE_AVAILABLE:
+            out = np.empty(xs.shape[0], dtype=np.int64)
+            native_kernels.min_target_distance(xs, ys, px, py, hy, hx0, hx1, vx, vy0, vy1, out)
+            return out
+        best = np.full(xs.shape[0], _I64_MAX, dtype=np.int64)
+        if px.size:
+            d = np.abs(px[:, None] - xs[None, :]) + np.abs(py[:, None] - ys[None, :])
+            np.minimum(best, d.min(axis=0), out=best)
+        if hy.size:
+            # Nearest point on a horizontal segment clamps x to the span.
+            dx = np.maximum(np.maximum(hx0[:, None] - xs[None, :], xs[None, :] - hx1[:, None]), 0)
+            np.minimum(best, (dx + np.abs(hy[:, None] - ys[None, :])).min(axis=0), out=best)
+        if vx.size:
+            dy = np.maximum(np.maximum(vy0[:, None] - ys[None, :], ys[None, :] - vy1[:, None]), 0)
+            np.minimum(best, (dy + np.abs(vx[:, None] - xs[None, :])).min(axis=0), out=best)
+        return best
+
+    def _track_terms(self, horizontal: bool, fixed: int) -> tuple[np.ndarray, ...]:
+        """Targets collapsed against one track, for :meth:`distances_along`.
+
+        For successors varying along one axis with the other pinned to
+        *fixed*, each target's distance is either ``|t - c| + k``
+        (points, and segments perpendicular to the travel axis — their
+        clamp term depends only on *fixed*) or ``clamp(c, lo, hi) + k``
+        (segments parallel to the travel axis).  The constant parts
+        are precomputed and cached per track: searches expand many
+        states on the same track, and the target set is frozen for the
+        whole connection.
+        """
+        key = (horizontal, fixed)
+        cached = self._track_terms_cache.get(key)
+        if cached is not None:
+            return cached
+        px, py, hy, hx0, hx1, vx, vy0, vy1 = self._target_columns()
+        if horizontal:
+            t = np.concatenate((px, vx))
+            k = np.concatenate((
+                np.abs(py - fixed),
+                np.maximum(np.maximum(vy0 - fixed, fixed - vy1), 0),
+            ))
+            lo, hi, kseg = hx0, hx1, np.abs(hy - fixed)
+        else:
+            t = np.concatenate((py, hy))
+            k = np.concatenate((
+                np.abs(px - fixed),
+                np.maximum(np.maximum(hx0 - fixed, fixed - hx1), 0),
+            ))
+            lo, hi, kseg = vy0, vy1, np.abs(vx - fixed)
+        cached = (t, k, lo, hi, kseg)
+        self._track_terms_cache[key] = cached
+        return cached
+
+    def distances_along(self, coords: np.ndarray, fixed: int, horizontal: bool) -> np.ndarray:
+        """:meth:`distances_to_many` for an axis-aligned batch.
+
+        Successor ``j`` sits at ``(coords[j], fixed)`` when
+        *horizontal*, else at ``(fixed, coords[j])``.  All arithmetic
+        is int64, and an integer minimum is exact regardless of
+        evaluation order, so the values equal the scalar
+        :meth:`distance_to` loop's exactly.
+        """
+        t, k, lo, hi, kseg = self._track_terms(horizontal, fixed)
+        if not lo.size and t.size == 1:
+            # Single point target (the common late-tree case): the
+            # minimum over one row is that row, no broadcast needed.
+            d1 = np.abs(coords - t[0])
+            d1 += k[0]
+            return d1
+        best: Optional[np.ndarray] = None
+        if t.size:
+            d = np.abs(t[:, None] - coords[None, :])
+            d += k[:, None]
+            best = d.min(axis=0)
+        if lo.size:
+            d2 = np.maximum(np.maximum(lo[:, None] - coords, coords - hi[:, None]), 0)
+            d2 += kseg[:, None]
+            if best is None:
+                best = d2.min(axis=0)
+            else:
+                np.minimum(best, d2.min(axis=0), out=best)
+        assert best is not None  # the target set is never empty
+        return best
+
+    def distances_expansion(
+        self, hx: np.ndarray, y: int, vy: np.ndarray, x: int, *, native: bool = False
+    ) -> np.ndarray:
+        """Heuristics for a whole expansion as one float64 array.
+
+        Fuses the two per-axis :meth:`distances_along` calls —
+        horizontal successors ``(hx[j], y)`` first, then vertical
+        successors ``(x, vy[j])`` — casting the exact int64 distances
+        into a single output (integers are exact in float64).
+        """
+        from repro.search import native as native_kernels
+
+        nh = hx.shape[0]
+        n = nh + vy.shape[0]
+        if native and native_kernels.NATIVE_AVAILABLE:
+            px, py, hy, hx0, hx1, vx, vy0, vy1 = self._target_columns()
+            xs = np.empty(n, dtype=np.int64)
+            ys = np.empty(n, dtype=np.int64)
+            xs[:nh] = hx
+            xs[nh:] = x
+            ys[:nh] = y
+            ys[nh:] = vy
+            out_i = np.empty(n, dtype=np.int64)
+            native_kernels.min_target_distance(
+                xs, ys, px, py, hy, hx0, hx1, vx, vy0, vy1, out_i
+            )
+            return out_i.astype(np.float64)
+        out = np.empty(n, dtype=np.float64)
+        if nh:
+            out[:nh] = self.distances_along(hx, y, True)
+        if vy.shape[0]:
+            out[nh:] = self.distances_along(vy, x, False)
+        return out
 
     def nearest_point_to(self, p: Point) -> Point:
         """The concrete target point nearest to *p* (for diagnostics)."""

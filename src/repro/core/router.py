@@ -91,6 +91,14 @@ class RouterConfig:
         Pool flavour for ``workers > 1``: ``"process"`` (scales with
         cores) or ``"thread"`` (GIL-bound fallback for unpicklable
         layouts/cost models).
+    engine:
+        Search-core implementation: ``"scalar"`` (the pure-Python
+        conformance oracle), ``"vectorized"`` (numpy-batched frontier
+        expansion), or ``"native"`` (the batched loop with
+        numba-jitted kernels, falling back to ``"vectorized"``
+        behaviour when numba is not installed).  All engines produce
+        byte-identical routes — the parity suite and the conformance
+        matrix pin it — so this knob only trades wall clock.
     """
 
     mode: EscapeMode = EscapeMode.FULL
@@ -106,6 +114,7 @@ class RouterConfig:
     prune_clean_nets: bool = True
     workers: int = 1
     executor: str = "process"
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         """Reject malformed configs at construction time.
@@ -130,6 +139,12 @@ class RouterConfig:
             )
         if self.node_limit is not None and self.node_limit < 1:
             raise RoutingError(f"node_limit must be >= 1, got {self.node_limit}")
+        from repro.core.pathfinder import ENGINES
+
+        if self.engine not in ENGINES:
+            raise RoutingError(
+                f"engine must be one of {ENGINES}, not {self.engine!r}"
+            )
 
 
 @dataclass
@@ -206,6 +221,7 @@ class GlobalRouter:
             exact_order=self.config.exact_steiner_order,
             node_limit=self.config.node_limit,
             trace=self.config.trace,
+            engine=self.config.engine,
         )
         if self.config.refine:
             from repro.core.refine import refine_tree
@@ -217,6 +233,7 @@ class GlobalRouter:
                 cost_model=model,
                 mode=self.config.mode,
                 order=self.config.order,
+                engine=self.config.engine,
             )
         return tree
 

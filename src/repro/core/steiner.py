@@ -44,6 +44,7 @@ def route_net(
     exact_order: bool = False,
     node_limit: Optional[int] = None,
     trace: bool = False,
+    engine: str = "scalar",
 ) -> RouteTree:
     """Route *net* as an approximate Steiner tree.
 
@@ -68,7 +69,7 @@ def route_net(
     while remaining:
         if exact_order:
             terminal, outcome = _cheapest_connection(
-                remaining, connected, obstacles, model, mode, order, node_limit, trace
+                remaining, connected, obstacles, model, mode, order, node_limit, trace, engine
             )
         else:
             terminal = min(
@@ -76,7 +77,8 @@ def route_net(
                 key=lambda t: (min(connected.distance_to(loc) for loc in t.locations), t.name),
             )
             outcome = _connect(
-                terminal, connected, obstacles, model, mode, order, node_limit, trace, tree
+                terminal, connected, obstacles, model, mode, order, node_limit, trace, tree,
+                engine,
             )
         remaining.remove(terminal)
 
@@ -118,6 +120,7 @@ def _connect(
     node_limit: Optional[int],
     trace: bool,
     tree: RouteTree,
+    engine: str = "scalar",
 ) -> PathSearchResult:
     """One multi-source connection from *terminal* to the tree."""
     request = PathRequest(
@@ -129,6 +132,7 @@ def _connect(
         order=order,
         node_limit=node_limit,
         trace=trace,
+        engine=engine,
     )
     try:
         return find_path(request)
@@ -148,6 +152,7 @@ def _cheapest_connection(
     order: Order,
     node_limit: Optional[int],
     trace: bool,
+    engine: str = "scalar",
 ) -> tuple[Terminal, PathSearchResult]:
     """Exact Prim step: search every remaining terminal, keep the cheapest.
 
@@ -166,6 +171,7 @@ def _cheapest_connection(
             order=order,
             node_limit=node_limit,
             trace=trace,
+            engine=engine,
         )
         try:
             outcome = find_path(request)

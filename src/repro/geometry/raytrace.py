@@ -126,6 +126,7 @@ class ObstacleSet:
         self._epoch = 0
         self.ray_cache_enabled = ray_cache
         self._ray_cache: dict[tuple[int, int, Direction], Hit] = {}
+        self._reach_cache: dict[tuple[int, int], tuple[int, int, int, int]] = {}
         self.ray_cache_hits = 0
         self.ray_cache_misses = 0
         self._sync_views()
@@ -240,6 +241,8 @@ class ObstacleSet:
         self._epoch += 1
         if self._ray_cache:
             self._ray_cache.clear()
+        if self._reach_cache:
+            self._reach_cache.clear()
 
     # ------------------------------------------------------------------
     # Escape coordinates
@@ -367,6 +370,37 @@ class ObstacleSet:
             cache[key] = hit
             return hit
         return self._trace(origin, direction)
+
+    def reaches(self, x: int, y: int) -> tuple[int, int, int, int]:
+        """All four ray reaches from ``(x, y)`` in one probe.
+
+        Returns ``(east_x, west_x, north_y, south_y)``.  The batched
+        search engine asks for all four directions of every expanded
+        state, so the combined answer gets its own per-epoch memo — one
+        dict probe instead of four — with the same invalidation rules
+        (and the same telemetry: a combined hit counts as four ray
+        hits) as :meth:`first_hit`.
+        """
+        if self.ray_cache_enabled:
+            key = (x, y)
+            cached = self._reach_cache.get(key)
+            if cached is not None:
+                self.ray_cache_hits += 4
+                return cached
+        origin = Point(x, y)
+        first_hit = self.first_hit
+        result = (
+            first_hit(origin, Direction.EAST).reach.x,
+            first_hit(origin, Direction.WEST).reach.x,
+            first_hit(origin, Direction.NORTH).reach.y,
+            first_hit(origin, Direction.SOUTH).reach.y,
+        )
+        if self.ray_cache_enabled:
+            cache = self._reach_cache
+            if len(cache) >= RAY_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = result
+        return result
 
     def _trace(self, origin: Point, direction: Direction) -> Hit:
         """The uncached ray trace behind :meth:`first_hit`."""

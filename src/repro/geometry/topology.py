@@ -22,6 +22,8 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Iterator, Optional
 
+import numpy as np
+
 from repro.errors import GeometryError
 from repro.geometry.point import Point
 
@@ -36,6 +38,7 @@ class CoordIndex:
     def __init__(self, values: Iterable[int] = ()):
         self._counts: dict[int, int] = {}
         self._sorted: list[int] = []
+        self._array: Optional[np.ndarray] = None
         for value in values:
             self.add(value)
 
@@ -46,6 +49,7 @@ class CoordIndex:
         else:
             self._counts[value] = 1
             bisect.insort(self._sorted, value)
+            self._array = None
 
     def remove(self, value: int) -> None:
         """Remove one occurrence of *value*.
@@ -59,6 +63,19 @@ class CoordIndex:
             del self._counts[value]
             index = bisect.bisect_left(self._sorted, value)
             self._sorted.pop(index)
+            self._array = None
+
+    def as_array(self) -> np.ndarray:
+        """Sorted distinct values as an int64 numpy snapshot.
+
+        Cached until the distinct-value set changes; callers must not
+        mutate the returned array.  The vectorized engine slices this
+        with ``searchsorted`` instead of calling :meth:`between` per
+        ray.
+        """
+        if self._array is None:
+            self._array = np.asarray(self._sorted, dtype=np.int64)
+        return self._array
 
     def __contains__(self, value: int) -> bool:
         return value in self._counts

@@ -2,15 +2,17 @@
 
 The runner routes each corpus scenario through every registered
 strategy under the full PR-3 config-toggle matrix (``ray_cache``
-on/off, serial vs parallel net fan-out, ``prune_clean_nets`` on/off)
-and checks three kinds of promises:
+on/off, serial vs parallel net fan-out, ``prune_clean_nets`` on/off,
+plus the PR-9 search ``engine`` axis) and checks three kinds of
+promises:
 
 1. **Oracle validity** — every routed result must come back clean from
    the independent checker (:func:`repro.analysis.verify.verify_global_route`)
    with no failed nets.
-2. **Byte identity where guaranteed** — ``ray_cache`` and ``workers``
-   are documented as result-preserving, so every config that differs
-   only in those knobs must produce the identical route fingerprint.
+2. **Byte identity where guaranteed** — ``ray_cache``, ``workers``,
+   and ``engine`` are documented as result-preserving, so every config
+   that differs only in those knobs must produce the identical route
+   fingerprint.
    ``prune_clean_nets`` changes which nets the negotiation loop rips
    up, so for the ``negotiated`` strategy identity is asserted per
    pruning flag; for the others the flag is inert and all configs must
@@ -86,6 +88,7 @@ class MatrixPoint:
     ray_cache: bool = True
     workers: int = 1
     prune_clean_nets: bool = True
+    engine: str = "scalar"
 
     def to_config(self) -> RouterConfig:
         """The :class:`RouterConfig` this point routes under.
@@ -99,10 +102,17 @@ class MatrixPoint:
             workers=self.workers,
             executor="thread",
             prune_clean_nets=self.prune_clean_nets,
+            engine=self.engine,
         )
 
 
-#: All eight toggle combinations.
+#: All eight toggle combinations, plus one flip per non-scalar search
+#: engine.  Engine points deliberately share identity groups with the
+#: scalar points (``_identity_key`` ignores the engine): the batched
+#: engines promise byte-identical routes, and this matrix is where that
+#: promise is differentially pinned across the whole corpus.  ``native``
+#: silently degrades to the vectorized numpy path when numba is absent,
+#: so the point is safe to run everywhere.
 FULL_MATRIX: tuple[MatrixPoint, ...] = tuple(
     MatrixPoint(
         name=(
@@ -117,6 +127,9 @@ FULL_MATRIX: tuple[MatrixPoint, ...] = tuple(
     for cache in (True, False)
     for workers in (1, 2)
     for prune in (True, False)
+) + tuple(
+    MatrixPoint(name=f"engine={engine}", engine=engine)
+    for engine in ("vectorized", "native")
 )
 
 #: Baseline plus one flip per toggle — every identity promise is still
@@ -126,6 +139,7 @@ QUICK_MATRIX: tuple[MatrixPoint, ...] = (
     MatrixPoint(name="cache=off", ray_cache=False),
     MatrixPoint(name="workers=2", workers=2),
     MatrixPoint(name="prune=off", prune_clean_nets=False),
+    MatrixPoint(name="engine=vectorized", engine="vectorized"),
 )
 
 
@@ -171,7 +185,7 @@ class CaseRecord:
 class CheckRecord:
     """One conformance assertion's outcome (identity or tolerance)."""
 
-    kind: str  # "validity" | "identity" | "wirelength-band" | "overflow"
+    kind: str  # "validity" | "identity" | "warning-contract" | "wirelength-band" | "overflow"
     scenario: str
     strategy: str
     ok: bool
@@ -230,8 +244,10 @@ def _identity_key(strategy: str, point: MatrixPoint) -> tuple:
     """Configs mapping to the same key must route byte-identically.
 
     Only the negotiation loop reads ``prune_clean_nets``, so it splits
-    identity groups for ``negotiated`` alone; ``ray_cache`` and
-    ``workers`` are documented result-preserving everywhere.
+    identity groups for ``negotiated`` alone; ``ray_cache``,
+    ``workers``, and ``engine`` are documented result-preserving
+    everywhere — the engine deliberately does *not* split groups, which
+    is exactly what makes this matrix the cross-engine parity gate.
     """
     if strategy == "negotiated":
         return (strategy, point.prune_clean_nets)
@@ -287,6 +303,7 @@ def run_conformance(
                 case, result = routed
                 report.cases.append(case)
                 report.checks.append(_validity_check(case))
+                report.checks.append(_warning_contract_check(case, result))
                 groups.setdefault(_identity_key(strategy, point), {})[point.name] = (
                     case.fingerprint
                 )
@@ -391,6 +408,41 @@ def _validity_check(case: CaseRecord) -> CheckRecord:
         ok=not problems,
         detail=(
             f"config {case.config}: " + ("; ".join(problems) if problems else "clean")
+        ),
+    )
+
+
+def _warning_contract_check(case: CaseRecord, result: RouteResult) -> CheckRecord:
+    """Non-convergence must surface as a structured warning — and only then.
+
+    A strategy that stops with ``converged=False`` must attach exactly
+    one ``non-convergence`` warning (with its iteration count and
+    remaining overflow); a converged or convergence-free run must attach
+    none.  This pins the RouteResult warning contract across the whole
+    corpus, not just the unit tests.
+    """
+    flagged = [w for w in result.warnings if w.get("kind") == "non-convergence"]
+    problems = []
+    if result.converged is False:
+        if len(flagged) != 1:
+            problems.append(
+                f"converged=False but {len(flagged)} non-convergence warnings"
+            )
+        elif "message" not in flagged[0] or "total_overflow" not in flagged[0]:
+            problems.append(f"warning missing fields: {sorted(flagged[0])}")
+    elif flagged:
+        problems.append(
+            f"converged={result.converged} yet {len(flagged)} non-convergence warnings"
+        )
+    return CheckRecord(
+        kind="warning-contract",
+        scenario=case.scenario,
+        strategy=case.strategy,
+        ok=not problems,
+        detail=(
+            f"config {case.config}: "
+            + ("; ".join(problems) if problems else
+               f"converged={result.converged}, warnings={len(result.warnings)}")
         ),
     )
 

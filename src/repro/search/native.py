@@ -1,0 +1,97 @@
+"""Optional numba-jitted kernels for the vectorized engine.
+
+``engine="native"`` runs the same batched OPEN/CLOSED loop as
+``engine="vectorized"`` but replaces the two hottest batch evaluations
+— the congestion surcharge and the target-distance heuristic — with
+numba-compiled loops.  The kernels are straight transliterations of
+the scalar accumulation order, so their float64 results are
+bit-identical to both the scalar oracle and the numpy path.
+
+numba is an *optional* dependency: when it is not importable,
+:data:`NATIVE_AVAILABLE` is ``False`` and every caller falls back to
+the pure-numpy batch path, so ``engine="native"`` degrades cleanly to
+``engine="vectorized"`` behaviour (results are identical either way —
+only the wall clock changes).  The first native call per process pays
+the JIT compilation cost; ``cache=True`` amortises it across runs.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NATIVE_AVAILABLE = True
+except ImportError:  # pragma: no cover - the only path on bare installs
+    NATIVE_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        """Decorator stand-in so the kernels below stay importable."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+@njit(cache=True)
+def congestion_surcharge_on_track(a, b, span_lo, span_hi, weights, costs):
+    """Add per-region congestion surcharges to *costs* in place.
+
+    One batch of same-axis segments: successor ``j`` spans
+    ``[a[j], b[j]]`` along the travel axis; the region columns are
+    already filtered to the segments' track.  Regions are iterated in
+    declaration order per successor — the same accumulation order as
+    the scalar cost model, which is what keeps the float64 sums
+    bit-identical.
+    """
+    n_regions = weights.shape[0]
+    n = a.shape[0]
+    for j in range(n):
+        acc = costs[j]
+        for r in range(n_regions):
+            lo = span_lo[r] if span_lo[r] > a[j] else a[j]
+            hi = span_hi[r] if span_hi[r] < b[j] else b[j]
+            if lo < hi:
+                acc += weights[r] * (hi - lo)
+        costs[j] = acc
+
+
+@njit(cache=True)
+def min_target_distance(xs, ys, px, py, hy, hx0, hx1, vx, vy0, vy1, out):
+    """Minimum rectilinear distance from each ``(xs, ys)`` to any target.
+
+    Pure int64 arithmetic (exact), mirroring
+    :meth:`repro.core.route.TargetSet.distance_to`: point targets by
+    manhattan distance, segment targets by clamping the varying
+    coordinate to the span.  Writes into *out* (int64).
+    """
+    n = xs.shape[0]
+    for j in range(n):
+        x = xs[j]
+        y = ys[j]
+        best = -1
+        for i in range(px.shape[0]):
+            d = abs(px[i] - x) + abs(py[i] - y)
+            if best < 0 or d < best:
+                best = d
+        for i in range(hy.shape[0]):
+            dx = 0
+            if x < hx0[i]:
+                dx = hx0[i] - x
+            elif x > hx1[i]:
+                dx = x - hx1[i]
+            d = dx + abs(hy[i] - y)
+            if best < 0 or d < best:
+                best = d
+        for i in range(vx.shape[0]):
+            dy = 0
+            if y < vy0[i]:
+                dy = vy0[i] - y
+            elif y > vy1[i]:
+                dy = y - vy1[i]
+            d = abs(vx[i] - x) + dy
+            if best < 0 or d < best:
+                best = d
+        out[j] = best

@@ -103,6 +103,14 @@ class Job:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Monotonic-clock twins of the ``*_at`` fields, used for every
+    #: *interval* (queued/route/total, the completion metric).  The
+    #: wall-clock fields above are kept for display only: arithmetic on
+    #: ``time.time()`` goes wrong whenever NTP steps the clock mid-job
+    #: (negative or wildly inflated durations).
+    submitted_mono: float = 0.0
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
     result: Optional[RouteResult] = None
     error: Optional[str] = None
     _done: threading.Event = field(
@@ -115,21 +123,26 @@ class Job:
         return self.state in TERMINAL_STATES
 
     def timings(self) -> dict[str, Optional[float]]:
-        """Queued/route/total wall seconds (``None`` while pending)."""
+        """Queued/route/total wall seconds (``None`` while pending).
+
+        Computed from the monotonic timestamps, so a wall-clock step
+        (NTP correction, DST, manual adjustment) mid-job cannot
+        produce negative or inflated durations.
+        """
         queued = (
             None
-            if self.started_at is None
-            else self.started_at - self.submitted_at
+            if self.started_mono is None
+            else self.started_mono - self.submitted_mono
         )
         route = (
             None
-            if self.started_at is None or self.finished_at is None
-            else self.finished_at - self.started_at
+            if self.started_mono is None or self.finished_mono is None
+            else self.finished_mono - self.started_mono
         )
         total = (
             None
-            if self.finished_at is None
-            else self.finished_at - self.submitted_at
+            if self.finished_mono is None
+            else self.finished_mono - self.submitted_mono
         )
         return {"queued": queued, "route": route, "total": total}
 
@@ -258,6 +271,7 @@ class RoutingService:
         self._running = 0
         self._next_id = 0
         self._started_at = time.time()
+        self._started_mono = time.monotonic()
         self._closed = False
         self._final_snapshot: Optional[dict] = None
         self._recover_pending()
@@ -432,15 +446,18 @@ class RoutingService:
         if self._closed:
             raise ServiceError("service is shut down", status=503)
         now = time.time()
+        mono = time.monotonic()
         cached = self.cache.get(key)
         if cached is not None:
             self.metrics.record_cache(hit=True)
-            job = self._new_job_locked(key, now, job_id=job_id)
+            job = self._new_job_locked(key, now, mono, job_id=job_id)
             job.cache_hit = True
             job.incremental = incremental
             job.state = "done"
             job.started_at = now
             job.finished_at = now
+            job.started_mono = mono
+            job.finished_mono = mono
             job.result = cached
             job._done.set()
             return job
@@ -448,7 +465,7 @@ class RoutingService:
         inflight = self._inflight.get(key)
         if inflight is not None:
             self.metrics.record_coalesced()
-            job = self._new_job_locked(key, now, job_id=job_id)
+            job = self._new_job_locked(key, now, mono, job_id=job_id)
             job.coalesced = True
             job.incremental = inflight.primary.incremental
             inflight.followers.append(job)
@@ -460,7 +477,7 @@ class RoutingService:
                 f"admission window full: {self._pending} routing runs in "
                 f"flight >= limit {self.queue_limit}"
             )
-        job = self._new_job_locked(key, now, job_id=job_id)
+        job = self._new_job_locked(key, now, mono, job_id=job_id)
         job.incremental = incremental
         self._inflight[key] = _Inflight(primary=job)
         self._pending += 1
@@ -482,12 +499,12 @@ class RoutingService:
         )
 
     def _new_job_locked(
-        self, key: str, now: float, *, job_id: Optional[str] = None
+        self, key: str, now: float, mono: float, *, job_id: Optional[str] = None
     ) -> Job:
         if job_id is None or job_id in self._jobs:
             self._next_id += 1
             job_id = f"job-{self._next_id:06d}"
-        job = Job(id=job_id, key=key, submitted_at=now)
+        job = Job(id=job_id, key=key, submitted_at=now, submitted_mono=mono)
         self._jobs[job.id] = job
         self._prune_jobs_locked()
         return job
@@ -583,6 +600,7 @@ class RoutingService:
         with self._lock:
             job.state = "running"
             job.started_at = time.time()
+            job.started_mono = time.monotonic()
             self._running += 1
         self.store.jobs.update(job.id, "running")
         try:
@@ -607,6 +625,7 @@ class RoutingService:
         self, job: Job, key: str, *, result: Optional[RouteResult], error: Optional[str]
     ) -> None:
         now = time.time()
+        mono = time.monotonic()
         with self._lock:
             self._running -= 1
             self._pending -= 1
@@ -614,7 +633,7 @@ class RoutingService:
             followers = inflight.followers if inflight is not None else []
             if result is not None:
                 self.cache.put(key, result)
-                self.metrics.record_completed(now - (job.started_at or now))
+                self.metrics.record_completed(mono - (job.started_mono or mono))
             else:
                 self.metrics.record_failed()
             for member in (job, *followers):
@@ -628,7 +647,9 @@ class RoutingService:
                     # run.  (Backdating to the primary's start would
                     # make queued negative.)
                     member.started_at = member.submitted_at
+                    member.started_mono = member.submitted_mono
                 member.finished_at = now
+                member.finished_mono = mono
                 member._done.set()
         for member in (job, *followers):
             self.store.jobs.delete(member.id)
@@ -702,7 +723,7 @@ class RoutingService:
                 "queue_limit": self.queue_limit,
                 "executor": self.executor,
                 "store_backend": self.store.backend,
-                "uptime_seconds": time.time() - self._started_at,
+                "uptime_seconds": time.monotonic() - self._started_mono,
                 "cache": self.cache.stats(),
             }
         )

@@ -231,3 +231,87 @@ class TestDeprecatedDelegates:
             )
         )
         assert trees_of(serial.route) == trees_of(parallel.route)
+
+
+class TestNonConvergenceWarning:
+    def test_capped_negotiated_run_emits_structured_warning(self):
+        layout = congested_layout()
+        result = RoutingPipeline().run(
+            RouteRequest(
+                layout=layout,
+                strategy="negotiated",
+                strategy_params={"max_iterations": 1},
+            )
+        )
+        assert result.converged is False
+        flagged = [w for w in result.warnings if w["kind"] == "non-convergence"]
+        assert len(flagged) == 1
+        warning = flagged[0]
+        assert "negotiated" in warning["message"]
+        assert warning["iterations"] == 1
+        assert warning["total_overflow"] == result.congestion_after.total_overflow
+        assert warning["total_overflow"] > 0
+
+    def test_converged_run_has_no_warning(self, small_layout):
+        result = RoutingPipeline().run(
+            RouteRequest(
+                layout=small_layout,
+                strategy="negotiated",
+                strategy_params={"max_iterations": 40},
+            )
+        )
+        assert result.converged is True
+        assert result.warnings == []
+
+    def test_single_pass_has_no_warning(self, small_layout):
+        result = RoutingPipeline().run(RouteRequest(layout=small_layout))
+        assert result.converged is not False
+        assert result.warnings == []
+
+    def test_warning_survives_json_round_trip(self):
+        layout = congested_layout()
+        result = RoutingPipeline().run(
+            RouteRequest(
+                layout=layout,
+                strategy="negotiated",
+                strategy_params={"max_iterations": 1},
+            )
+        )
+        revived = RouteResult.from_dict(result.to_dict())
+        assert revived.warnings == result.warnings
+        assert revived.warnings[0]["kind"] == "non-convergence"
+
+
+class TestSinglePassCacheSkip:
+    def test_single_pass_never_touches_the_ray_memo(self):
+        # The memo can't pay for itself in one pass, so the single
+        # strategy must not populate it at all — zero hits AND zero
+        # misses recorded (first_hit counts neither when the cache is
+        # disabled) — while the route stays byte-identical.
+        layout = congested_layout()
+        result = RoutingPipeline().run(
+            RouteRequest(layout=layout, config=RouterConfig(ray_cache=True))
+        )
+        assert result.timings["ray_cache_hits"] == 0.0
+        assert result.timings["ray_cache_misses"] == 0.0
+        direct = GlobalRouter(congested_layout()).route_all()
+        assert trees_of(result.route) == trees_of(direct)
+
+    def test_cache_setting_restored_after_run(self):
+        router = GlobalRouter(congested_layout(), RouterConfig(ray_cache=True))
+        assert router.obstacles.ray_cache_enabled
+        from repro.api.strategies import SingleStrategy
+
+        SingleStrategy().run(router, RouteRequest(layout=router.layout))
+        assert router.obstacles.ray_cache_enabled
+
+    def test_iterative_strategies_still_use_the_memo(self):
+        layout = congested_layout()
+        result = RoutingPipeline().run(
+            RouteRequest(
+                layout=layout,
+                strategy="negotiated",
+                strategy_params={"max_iterations": 4},
+            )
+        )
+        assert result.timings["ray_cache_hits"] > 0

@@ -192,3 +192,19 @@ class TestToggleFieldsFromDisk:
         # zero cache traffic.
         assert result.timings["ray_cache_hits"] == 0.0
         assert result.timings["ray_cache_misses"] == 0.0
+
+
+class TestEngineSerialization:
+    def test_engine_round_trips(self):
+        for engine in ("scalar", "vectorized", "native"):
+            config = RouterConfig(engine=engine)
+            assert config_from_dict(config_to_dict(config)) == config
+
+    def test_old_dicts_default_to_scalar(self):
+        # Configs serialized before the engine axis existed must keep
+        # loading — and land on the conformance oracle.
+        assert config_from_dict({"workers": 2}).engine == "scalar"
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(RoutingError):
+            config_from_dict({"engine": "turbo"})

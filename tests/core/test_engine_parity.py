@@ -1,0 +1,232 @@
+"""Differential parity: the batched engines vs the scalar oracle.
+
+The ``vectorized`` and ``native`` engines promise *byte identity* with
+the scalar engine — same paths, same float costs, same node counters,
+same expansion order.  These tests pin the promise at three layers:
+one ``find_path`` search (golden expansion traces), a whole multi-net
+negotiated routing run (route fingerprints), and the numeric kernel
+whose accumulation order the promise hinges on (an adversarial
+sequential-summation canary).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CongestionPenaltyCost
+from repro.core.negotiate import NegotiatedRouter, NegotiationConfig
+from repro.core.pathfinder import ENGINES, PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.core.router import GlobalRouter, RouterConfig
+from repro.errors import RoutingError
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+from repro.layout.generators import LayoutSpec, grid_layout, random_netlist
+from repro.scenarios import route_fingerprint
+from repro.search.native import NATIVE_AVAILABLE
+
+
+def _congested_grid(n_nets=12, seed=5):
+    layout = grid_layout(3, 3, cell_width=14, cell_height=14, gap=3, margin=6)
+    rng = random.Random(seed)
+    spec = LayoutSpec(terminals_per_net=(2, 4), pad_fraction=0.0)
+    for net in random_netlist(layout, n_nets, rng=rng, spec=spec):
+        layout.add_net(net)
+    return layout
+
+
+def _scene():
+    obs = ObstacleSet(
+        Rect(0, 0, 48, 48),
+        [Rect(8, 8, 18, 20), Rect(24, 4, 34, 16), Rect(12, 28, 30, 38)],
+    )
+    regions = [
+        (Rect(6, 6, 20, 22), 0.75),
+        (Rect(22, 2, 36, 18), 1.5),
+        (Rect(10, 26, 32, 40), 0.3),
+        (Rect(0, 0, 48, 48), 0.01),
+    ]
+    return obs, regions
+
+
+class TestFindPathParity:
+    @pytest.mark.parametrize("engine", ["vectorized", "native"])
+    def test_golden_expansion_trace(self, engine):
+        obs, regions = _scene()
+        model = CongestionPenaltyCost(regions)
+
+        def run(eng):
+            return find_path(
+                PathRequest(
+                    obstacles=obs,
+                    sources=[(Point(2, 2), 0.0)],
+                    targets=TargetSet(points=[Point(44, 44)]),
+                    cost_model=model,
+                    trace=True,
+                    engine=eng,
+                )
+            )
+
+        scalar = run("scalar")
+        batched = run(engine)
+        assert batched.path.points == scalar.path.points
+        assert batched.path.cost == scalar.path.cost  # bit-exact, not approx
+        assert batched.stats.nodes_expanded == scalar.stats.nodes_expanded
+        assert batched.stats.nodes_generated == scalar.stats.nodes_generated
+        assert batched.stats.nodes_reopened == scalar.stats.nodes_reopened
+        assert batched.trace.entries == scalar.trace.entries
+
+    def test_multi_source_and_segment_targets(self):
+        obs, regions = _scene()
+        model = CongestionPenaltyCost(regions)
+        targets = TargetSet(
+            points=[Point(44, 44)],
+            segments=[
+                Segment(Point(40, 2), Point(40, 10)),
+                Segment(Point(2, 40), Point(10, 40)),
+            ],
+        )
+
+        def run(eng):
+            result = find_path(
+                PathRequest(
+                    obstacles=obs,
+                    sources=[(Point(2, 2), 0.0), (Point(6, 24), 1.5)],
+                    targets=targets,
+                    cost_model=model,
+                    engine=eng,
+                )
+            )
+            return result.path.points, result.path.cost, result.stats.nodes_expanded
+
+        assert run("vectorized") == run("scalar")
+
+
+class TestRouterParity:
+    @pytest.mark.parametrize("engine", ["vectorized", "native"])
+    def test_negotiated_run_fingerprints(self, engine):
+        def run(eng):
+            router = NegotiatedRouter(
+                _congested_grid(),
+                RouterConfig(engine=eng),
+                negotiation=NegotiationConfig(max_iterations=6),
+            )
+            result = router.run()
+            return (
+                route_fingerprint(result.final),
+                result.converged,
+                [(it.total_overflow, it.wirelength) for it in result.iterations],
+                result.search_stats.nodes_expanded,
+            )
+
+        assert run(engine) == run("scalar")
+
+    def test_single_pass_fingerprints(self):
+        def run(eng):
+            router = GlobalRouter(_congested_grid(n_nets=8), RouterConfig(engine=eng))
+            route = router.route_all(on_unroutable="skip")
+            return route_fingerprint(route), route.stats.nodes_expanded
+
+        scalar = run("scalar")
+        assert run("vectorized") == scalar
+        assert run("native") == scalar
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(RoutingError, match="engine"):
+            RouterConfig(engine="turbo")
+        assert set(ENGINES) == {"scalar", "vectorized", "native"}
+
+
+class TestNativeFallback:
+    def test_native_matches_vectorized_without_numba(self):
+        # With numba absent the native engine must silently use the
+        # numpy path; with numba present the jitted kernels must still
+        # be bit-identical.  Either way: native == vectorized.
+        obs, regions = _scene()
+        model = CongestionPenaltyCost(regions)
+
+        def run(eng):
+            result = find_path(
+                PathRequest(
+                    obstacles=obs,
+                    sources=[(Point(2, 2), 0.0)],
+                    targets=TargetSet(points=[Point(44, 44)]),
+                    cost_model=model,
+                    engine=eng,
+                )
+            )
+            return result.path.points, result.path.cost
+
+        assert run("native") == run("vectorized")
+
+    def test_jitted_kernels_match_numpy(self):
+        pytest.importorskip("numba")
+        assert NATIVE_AVAILABLE
+        from repro.search.native import congestion_surcharge_on_track
+
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 50, size=20).astype(np.int64)
+        b = a + rng.integers(0, 30, size=20)
+        span_lo = rng.integers(0, 40, size=9).astype(np.int64)
+        span_hi = span_lo + rng.integers(1, 25, size=9)
+        weights = rng.uniform(0.01, 3.0, size=9)
+        jitted = np.zeros(20)
+        congestion_surcharge_on_track(a, b, span_lo, span_hi, weights, jitted)
+        reference = np.zeros(20)
+        for r in range(9):
+            overlap = np.minimum(span_hi[r], b) - np.maximum(span_lo[r], a)
+            reference += weights[r] * np.maximum(overlap, 0)
+        assert np.array_equal(jitted, reference)
+
+
+class TestAccumulationOrder:
+    """The canary for the one numerics assumption the parity rests on.
+
+    The batched congestion surcharge folds per-region contributions
+    into the running cost in declaration order with strictly sequential
+    float64 additions — numpy's pairwise summation would drift an ULP
+    from the scalar loop on adversarial magnitudes (empirically it does
+    for (R, 1) column batches, which is why ``_surcharge_into`` has a
+    Python-float path for single-successor batches).  This test feeds
+    magnitudes spanning 24 orders of magnitude through both the real
+    batched pricer and a pure-Python sequential reference, for batch
+    sizes 1 (the pairwise-prone shape) through many, and requires bit
+    equality.
+    """
+
+    @pytest.mark.parametrize("n_coords", [1, 2, 7])
+    @pytest.mark.parametrize("trial_seed", range(6))
+    def test_batched_pricing_is_sequential(self, n_coords, trial_seed):
+        rng = random.Random(trial_seed)
+        n_regions = rng.randint(1, 9)
+        y = 10
+        regions = []
+        for _ in range(n_regions):
+            x0 = rng.randint(0, 40)
+            x1 = x0 + rng.randint(1, 20)
+            # Magnitudes from 1e-12 to 1e12, with zeros mixed in.
+            weight = 0.0 if rng.random() < 0.3 else 10.0 ** rng.uniform(-12, 12)
+            regions.append((Rect(x0, 0, x1, 20), weight))
+        model = CongestionPenaltyCost(regions)
+        origin = rng.randint(0, 60)
+        coords = np.array(
+            sorted(rng.sample(range(0, 64), n_coords)), dtype=np.int64
+        )
+
+        batched = model.segment_costs_from(origin, y, coords, True)
+
+        for j, coord in enumerate(coords.tolist()):
+            a, b = min(coord, origin), max(coord, origin)
+            expected = float(abs(coord - origin))  # base wirelength
+            for region, weight in regions:
+                if region.y0 <= y <= region.y1:
+                    lo, hi = max(region.x0, a), min(region.x1, b)
+                    expected += weight * max(hi - lo, 0)
+                else:
+                    expected += 0.0
+            assert batched[j] == expected, (
+                f"coord {coord}: {batched[j]!r} != sequential {expected!r}"
+            )

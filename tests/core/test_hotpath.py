@@ -115,7 +115,11 @@ class TestNegotiationPruning:
 class TestPipelineTelemetry:
     def test_timings_report_cache_statistics(self, layout):
         result = RoutingPipeline().run(
-            RouteRequest(layout=layout, strategy="single")
+            RouteRequest(
+                layout=layout,
+                strategy="negotiated",
+                strategy_params={"max_iterations": 4},
+            )
         )
         assert "ray_cache_hits" in result.timings
         assert "ray_cache_misses" in result.timings
@@ -123,6 +127,15 @@ class TestPipelineTelemetry:
         assert 0.0 <= rate <= 1.0
         lookups = result.timings["ray_cache_hits"] + result.timings["ray_cache_misses"]
         assert lookups > 0
+
+    def test_single_pass_skips_the_memo_entirely(self, layout):
+        # One pass can't pay the memo back, so SingleStrategy disables
+        # it for the duration — zero hits AND zero misses recorded.
+        result = RoutingPipeline().run(
+            RouteRequest(layout=layout, strategy="single")
+        )
+        assert result.timings["ray_cache_hits"] == 0.0
+        assert result.timings["ray_cache_misses"] == 0.0
 
     def test_cache_off_request_round_trips(self, layout):
         request = RouteRequest(

@@ -1,0 +1,98 @@
+"""Property-based differential parity for the batched search engines.
+
+Random scenes, random endpoints, random congestion regions: whatever
+hypothesis constructs, the vectorized engine must return the exact
+path, the exact float cost, and the exact node counters of the scalar
+oracle.  This is the adversarial complement of the fixed golden-trace
+tests in ``tests/core/test_engine_parity.py``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import CongestionPenaltyCost
+from repro.core.pathfinder import PathRequest, find_path
+from repro.core.route import TargetSet
+from repro.geometry.point import Point
+from repro.geometry.raytrace import ObstacleSet
+from repro.geometry.rect import Rect
+
+SIZE = 64
+
+
+@st.composite
+def scenes(draw):
+    """A routable scene: disjoint-ish random cells on a 64x64 surface."""
+    n = draw(st.integers(min_value=0, max_value=6))
+    rects = []
+    for _ in range(n):
+        x0 = draw(st.integers(min_value=1, max_value=SIZE - 12))
+        y0 = draw(st.integers(min_value=1, max_value=SIZE - 12))
+        w = draw(st.integers(min_value=3, max_value=10))
+        h = draw(st.integers(min_value=3, max_value=10))
+        candidate = Rect(x0, y0, min(x0 + w, SIZE - 1), min(y0 + h, SIZE - 1))
+        if all(not candidate.inflated(1).intersects(r, strict=True) for r in rects):
+            rects.append(candidate)
+    return ObstacleSet(Rect(0, 0, SIZE, SIZE), rects)
+
+
+@st.composite
+def parity_cases(draw):
+    obs = draw(scenes())
+    free = st.builds(
+        Point,
+        st.integers(min_value=0, max_value=SIZE),
+        st.integers(min_value=0, max_value=SIZE),
+    ).filter(obs.point_free)
+    s = draw(free)
+    d = draw(free)
+    n_regions = draw(st.integers(min_value=0, max_value=5))
+    regions = []
+    for _ in range(n_regions):
+        x0 = draw(st.integers(min_value=0, max_value=SIZE - 4))
+        y0 = draw(st.integers(min_value=0, max_value=SIZE - 4))
+        w = draw(st.integers(min_value=1, max_value=24))
+        h = draw(st.integers(min_value=1, max_value=24))
+        weight = draw(
+            st.floats(
+                min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+            )
+        )
+        regions.append((Rect(x0, y0, min(x0 + w, SIZE), min(y0 + h, SIZE)), weight))
+    return obs, s, d, regions
+
+
+def _run(obs, s, d, regions, engine):
+    model = CongestionPenaltyCost(regions) if regions else None
+    kwargs = {"cost_model": model} if model is not None else {}
+    result = find_path(
+        PathRequest(
+            obstacles=obs,
+            sources=[(s, 0.0)],
+            targets=TargetSet(points=[d]),
+            engine=engine,
+            **kwargs,
+        )
+    )
+    return (
+        result.path.points,
+        result.path.cost,
+        result.stats.nodes_expanded,
+        result.stats.nodes_generated,
+        result.stats.nodes_reopened,
+    )
+
+
+class TestEngineParityProperties:
+    @given(parity_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_matches_scalar_exactly(self, case):
+        obs, s, d, regions = case
+        assert _run(obs, s, d, regions, "vectorized") == _run(
+            obs, s, d, regions, "scalar"
+        )
+
+    @given(parity_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_native_matches_scalar_exactly(self, case):
+        obs, s, d, regions = case
+        assert _run(obs, s, d, regions, "native") == _run(obs, s, d, regions, "scalar")

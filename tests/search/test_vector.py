@@ -1,0 +1,146 @@
+"""Unit tests for the batched OPEN/CLOSED engine.
+
+The vectorized loop must mirror the scalar engine node for node: same
+result, same path, same stats counters, same trace, same tie-breaking.
+These tests pin that on small synthetic graphs where every quantity is
+enumerable by hand; the differential parity suites pin it on real
+routing problems.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.search.engine import Order, search
+from repro.search.problem import SearchProblem
+from repro.search.vector import VectorSearchProblem, search_vectorized
+
+
+class GridProblem(SearchProblem):
+    """Unit-step 2D grid walk to a goal, scalar form."""
+
+    def __init__(self, size=6, start=(0, 0), goal=(5, 5), blocked=()):
+        self.size = size
+        self.start = start
+        self.goal = goal
+        self.blocked = set(blocked)
+
+    def start_states(self):
+        return [(self.start, 0.0)]
+
+    def is_goal(self, state):
+        return state == self.goal
+
+    def heuristic(self, state):
+        return float(abs(state[0] - self.goal[0]) + abs(state[1] - self.goal[1]))
+
+    def _neighbors(self, state):
+        x, y = state
+        for nx_, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+            if 0 <= nx_ < self.size and 0 <= ny < self.size:
+                if (nx_, ny) not in self.blocked:
+                    yield (nx_, ny)
+
+    def successors(self, state):
+        for succ in self._neighbors(state):
+            yield succ, 1.0
+
+
+class VectorGridProblem(VectorSearchProblem):
+    """The same grid walk, batched form (same successor order)."""
+
+    def __init__(self, scalar: GridProblem):
+        self.scalar = scalar
+
+    def start_states(self):
+        return self.scalar.start_states()
+
+    def is_goal(self, state):
+        return self.scalar.is_goal(state)
+
+    def heuristic(self, state):
+        return self.scalar.heuristic(state)
+
+    def expand(self, state, with_h):
+        states = list(self.scalar._neighbors(state))
+        costs = np.ones(len(states), dtype=np.float64)
+        hs = None
+        if with_h:
+            hs = np.array([self.scalar.heuristic(s) for s in states], dtype=np.float64)
+        return states, costs, hs
+
+
+class NegativeEdgeProblem(VectorGridProblem):
+    def expand(self, state, with_h):
+        states, costs, hs = super().expand(state, with_h)
+        if costs.size:
+            costs[-1] = -0.5
+        return states, costs, hs
+
+
+def _stats_tuple(stats):
+    return (
+        stats.nodes_expanded,
+        stats.nodes_generated,
+        stats.nodes_reopened,
+        stats.max_open_size,
+        stats.termination,
+    )
+
+
+@pytest.mark.parametrize("order", [Order.A_STAR, Order.BEST_FIRST])
+def test_matches_scalar_engine_exactly(order):
+    scalar = GridProblem(blocked=[(2, y) for y in range(5)])
+    s_result = search(scalar, order, trace=True)
+    v_result = search_vectorized(VectorGridProblem(scalar), order, trace=True)
+    assert v_result.goal is not None and s_result.goal is not None
+    assert v_result.goal.g == s_result.goal.g
+    assert v_result.path == s_result.path
+    assert _stats_tuple(v_result.stats) == _stats_tuple(s_result.stats)
+    assert v_result.trace.entries == s_result.trace.entries
+
+
+def test_blind_orders_rejected():
+    scalar = GridProblem()
+    with pytest.raises(SearchError, match="cost-ordered"):
+        search_vectorized(VectorGridProblem(scalar), Order.BREADTH_FIRST)
+
+
+def test_negative_edge_cost_rejected():
+    with pytest.raises(SearchError, match="negative edge cost"):
+        search_vectorized(NegativeEdgeProblem(GridProblem()))
+
+
+def test_negative_start_cost_rejected():
+    scalar = GridProblem()
+    scalar.start_states = lambda: [((0, 0), -1.0)]
+    with pytest.raises(SearchError, match="negative start cost"):
+        search_vectorized(VectorGridProblem(scalar))
+
+
+def test_node_limit_matches_scalar():
+    scalar = GridProblem()
+    s_result = search(scalar, node_limit=7)
+    v_result = search_vectorized(VectorGridProblem(scalar), node_limit=7)
+    assert s_result.goal is None and v_result.goal is None
+    assert _stats_tuple(v_result.stats) == _stats_tuple(s_result.stats)
+    assert v_result.stats.termination == "limit"
+
+
+def test_exhaustive_returns_best_goal():
+    scalar = GridProblem(size=3, goal=(2, 2))
+    s_result = search(scalar, exhaustive=True)
+    v_result = search_vectorized(VectorGridProblem(scalar), exhaustive=True)
+    assert v_result.goal is not None
+    assert v_result.goal.g == s_result.goal.g
+    assert _stats_tuple(v_result.stats) == _stats_tuple(s_result.stats)
+
+
+def test_unreachable_goal_exhausts():
+    blocked = [(1, 0), (1, 1), (0, 1)]  # seal the start corner
+    scalar = GridProblem(start=(0, 0), goal=(5, 5), blocked=blocked)
+    s_result = search(scalar)
+    v_result = search_vectorized(VectorGridProblem(scalar))
+    assert v_result.goal is None
+    assert v_result.stats.termination == "exhausted"
+    assert _stats_tuple(v_result.stats) == _stats_tuple(s_result.stats)

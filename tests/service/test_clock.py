@@ -1,0 +1,86 @@
+"""Regression tests: job interval math must survive wall-clock steps.
+
+``Job.timings()`` used to subtract ``time.time()`` stamps, so an NTP
+step (or DST shift, or manual clock change) landing mid-job produced
+negative or wildly inflated queued/route/total durations — and fed the
+same garbage into the completion metrics.  Intervals now come from
+``time.monotonic()`` twins of the wall-clock fields; the wall fields
+survive only for the absolute ``*_at`` display values.
+"""
+
+import time
+
+from repro.service import RoutingService
+from repro.service.jobs import Job
+from tests.service.conftest import small_layout
+from repro.api import RouteRequest
+
+
+class SteppedClock:
+    """A ``time.time`` stand-in that jumps around on every call."""
+
+    def __init__(self, start=1_700_000_000.0):
+        self.now = start
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        # Lurch an hour backward, then forward, alternately — the
+        # worst case for naive wall-clock subtraction.
+        self.now += -3600.0 if self.calls % 2 else 7200.0
+        return self.now
+
+
+class TestTimingsUseMonotonicClock:
+    def test_timings_ignore_wall_fields(self):
+        # Wall stamps claim the job finished an hour before it started;
+        # the monotonic twins know better.
+        job = Job(
+            id="j1",
+            key="k",
+            submitted_at=1_700_003_600.0,
+            started_at=1_700_003_700.0,
+            finished_at=1_700_000_000.0,  # wall clock stepped back
+            submitted_mono=50.0,
+            started_mono=50.25,
+            finished_mono=51.0,
+        )
+        timings = job.timings()
+        assert timings["queued"] == 0.25
+        assert timings["route"] == 0.75
+        assert timings["total"] == 1.0
+
+    def test_pending_jobs_report_none(self):
+        job = Job(id="j2", key="k", submitted_mono=10.0)
+        assert job.timings() == {"queued": None, "route": None, "total": None}
+
+    def test_live_job_survives_clock_steps(self, monkeypatch):
+        # Route a real job while time.time() lurches by hours between
+        # calls; every interval must stay sane (sub-minute, >= 0) and
+        # the completion metric must not absorb the step.
+        monkeypatch.setattr(time, "time", SteppedClock())
+        with RoutingService(workers=1, queue_limit=4) as service:
+            job = service.submit(RouteRequest(layout=small_layout(1)))
+            job = service.wait(job.id, timeout=30)
+            assert job.state == "done"
+            timings = job.timings()
+            for name, value in timings.items():
+                assert value is not None, name
+                assert 0 <= value < 60, f"{name} = {value} (clock step leaked in)"
+            assert timings["total"] >= timings["route"]
+            snapshot = service.snapshot()
+            assert 0 <= snapshot["uptime_seconds"] < 60
+            p95 = snapshot["route_seconds_p95"]
+            assert p95 is None or 0 <= p95 < 60
+
+    def test_cache_hit_job_timings_are_zero(self):
+        with RoutingService(workers=1, queue_limit=4) as service:
+            request = RouteRequest(layout=small_layout(2))
+            first = service.wait(service.submit(request).id, timeout=30)
+            assert first.state == "done"
+            hit = service.submit(request)
+            assert hit.cache_hit and hit.finished
+            timings = hit.timings()
+            assert timings["queued"] == 0.0
+            assert timings["route"] == 0.0
+            assert timings["total"] == 0.0
