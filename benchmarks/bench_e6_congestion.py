@@ -17,7 +17,7 @@ def bench_e6_congestion(benchmark):
     layout = congested_layout(n_nets=24, seed=5, gap=3)
 
     def run_two_pass():
-        return GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=2)
+        return GlobalRouter(layout)._two_pass(penalty_weight=4.0, passes=2)
 
     two_pass = benchmark(run_two_pass)
 
@@ -31,7 +31,7 @@ def bench_e6_congestion(benchmark):
         ]
     ]
     for passes in (2, 4, 6):
-        result = GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=passes)
+        result = GlobalRouter(layout)._two_pass(penalty_weight=4.0, passes=passes)
         rows.append(
             [
                 passes,

@@ -40,7 +40,7 @@ def bench_x1_placement_feedback(benchmark):
     rows = []
     for (gap, seed), result in zip(cases, results):
         layout = tight_floorplan(gap, seed)
-        two_pass = GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=4)
+        two_pass = GlobalRouter(layout)._two_pass(penalty_weight=4.0, passes=4)
         outcome = (
             "converged"
             if result.converged

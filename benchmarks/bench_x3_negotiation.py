@@ -26,7 +26,7 @@ def bench_x3_negotiation(benchmark):
     rows = []
     for n_nets in (12, 16, 20, 24):
         layout = congested_layout(n_nets=n_nets, seed=5, gap=3)
-        two_pass = GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=2)
+        two_pass = GlobalRouter(layout)._two_pass(penalty_weight=4.0, passes=2)
         result = NegotiatedRouter(
             layout, negotiation=NegotiationConfig(max_iterations=30)
         ).run()

@@ -1,0 +1,321 @@
+#!/usr/bin/env python
+"""X7 — timing-driven routing: critical-net delay, measured and gated.
+
+The timing-driven strategy's pitch is that criticality-blended costs
+and most-critical-first wave ordering protect the long nets that
+dominate the delay profile.  This bench pins that claim on tracked
+``long-critical-nets`` workloads and emits ``BENCH_timing.json`` so
+the trajectory is auditable PR over PR:
+
+* **delay** — worst critical-net (``crit*``) delay under
+  ``timing-driven`` vs plain ``negotiated`` on the same scene, both
+  judged by the same tree-walk delay model
+  (:func:`repro.core.timing.analyze_route_timing`).  Workloads with
+  ``gated: True`` must come out *strictly* lower — the same strict
+  contract the conformance harness's ``timing-delay`` check enforces
+  on the corpus.
+* **validity / wirelength** — every routed result must verify clean
+  with no failed nets, and the timing-driven wirelength must stay
+  within the conformance :data:`~repro.scenarios.conformance.WIRELENGTH_BAND`
+  of the single-pass baseline (delay protection must not buy its wins
+  with unbounded detours elsewhere).
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_x7_timing.py            # full
+    PYTHONPATH=src python benchmarks/bench_x7_timing.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_x7_timing.py --quick \\
+        --check BENCH_timing.json                                  # gate
+
+With ``--check BASELINE``, timing-driven wall times are compared
+workload by workload against the recorded baseline and the driver
+exits non-zero past ``--max-regression`` (default 3x — it catches
+algorithmic blowups, not CI-box jitter).  The delay, validity, and
+wirelength gates apply on every run, baseline or not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.api.pipeline import RoutingPipeline  # noqa: E402
+from repro.api.request import RouteRequest  # noqa: E402
+from repro.core.router import RouterConfig  # noqa: E402
+from repro.core.timing import analyze_route_timing  # noqa: E402
+from repro.scenarios import load_corpus  # noqa: E402
+from repro.scenarios.conformance import WIRELENGTH_BAND  # noqa: E402
+from repro.scenarios.families import FAMILIES  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: Best-of-N wall measurements; the workloads are sub-second, so the
+#: minimum is the honest estimate of the work itself.
+REPEATS = 3
+
+#: Workload definitions.  Corpus workloads route the checked-in
+#: ``long-critical-nets`` scenes (the same ones the conformance
+#: timing-delay gate covers); the generated workload scales the family
+#: up beyond corpus size.  ``gated`` marks the workloads the strict
+#: delay win applies to.
+WORKLOADS: dict[str, dict] = {
+    "corpus_long_critical_s79": {
+        "kind": "corpus",
+        "scenario": "long-critical-nets-s79",
+        "max_iterations": 8,
+        "gated": True,
+    },
+    "corpus_long_critical_s107": {
+        "kind": "corpus",
+        "scenario": "long-critical-nets-s107",
+        "max_iterations": 8,
+        "gated": True,
+    },
+    "generated_3x3_18f_5c": {
+        "kind": "generated",
+        "seed": 131,
+        "overrides": {
+            "rows": 3, "cols": 3, "cell_side": 14, "gap": 3,
+            "n_filler": 18, "n_critical": 5,
+        },
+        "max_iterations": 10,
+        "gated": True,
+    },
+}
+
+QUICK_WORKLOADS = ("corpus_long_critical_s79", "corpus_long_critical_s107")
+
+
+def _layout(spec: dict):
+    if spec["kind"] == "corpus":
+        for scenario in load_corpus():
+            if scenario.name == spec["scenario"]:
+                return scenario.layout
+        raise RuntimeError(f"corpus scenario {spec['scenario']!r} not found")
+    return FAMILIES["long-critical-nets"].build(spec["seed"], **spec["overrides"])
+
+
+def _best_wall(fn) -> tuple[float, object]:
+    """Minimum wall over :data:`REPEATS` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _worst_critical_delay(result, layout) -> float:
+    analysis = analyze_route_timing(result.route, layout)
+    return max(
+        t.delay for name, t in analysis.nets.items() if name.startswith("crit")
+    )
+
+
+def run_workload(spec: dict) -> dict:
+    """Route one workload under both strategies; measure the delay gap."""
+    layout = _layout(spec)
+    pipeline = RoutingPipeline()
+
+    def _request(strategy: str, params: dict) -> RouteRequest:
+        return RouteRequest(
+            layout=layout,
+            config=RouterConfig(),
+            strategy=strategy,
+            strategy_params=params,
+            on_unroutable="skip",
+            verify=True,
+        )
+
+    single = pipeline.run(_request("single", {}))
+    params = {"max_iterations": spec["max_iterations"]}
+    wall_negotiated, negotiated = _best_wall(
+        lambda: pipeline.run(_request("negotiated", dict(params)))
+    )
+    wall_timing, timing = _best_wall(
+        lambda: pipeline.run(_request("timing-driven", dict(params)))
+    )
+
+    delay_negotiated = _worst_critical_delay(negotiated, layout)
+    delay_timing = _worst_critical_delay(timing, layout)
+    problems = []
+    for name, result in (("negotiated", negotiated), ("timing-driven", timing)):
+        if result.violations:
+            problems.append(f"{name}: verification violations")
+        if result.route.failed_nets:
+            problems.append(f"{name}: {len(result.route.failed_nets)} failed nets")
+    wirelength_ratio = (
+        timing.total_length / single.total_length if single.total_length else 1.0
+    )
+    return {
+        "nets": len(layout.nets),
+        "critical_nets": sum(
+            1 for net in layout.nets if net.name.startswith("crit")
+        ),
+        "gated": spec["gated"],
+        "worst_critical_delay_negotiated": delay_negotiated,
+        "worst_critical_delay_timing": delay_timing,
+        "delay_improvement": round(
+            (delay_negotiated - delay_timing) / delay_negotiated, 4
+        ) if delay_negotiated else 0.0,
+        "wirelength_ratio_vs_single": round(wirelength_ratio, 4),
+        "overflow_after_timing": (
+            None if timing.congestion_after is None
+            else timing.congestion_after.total_overflow
+        ),
+        "wall_seconds_negotiated": round(wall_negotiated, 4),
+        "wall_seconds_timing": round(wall_timing, 4),
+        "validity_problems": problems,
+    }
+
+
+def run_suite(quick: bool = False) -> dict[str, dict]:
+    """Run the (quick or full) workload set; returns per-workload metrics."""
+    names = QUICK_WORKLOADS if quick else tuple(WORKLOADS)
+    return {name: run_workload(WORKLOADS[name]) for name in names}
+
+
+def _gate_failures(results: dict[str, dict]) -> list[str]:
+    """Machine-independent gates: strict delay win, validity, wirelength."""
+    failures = []
+    lo, hi = WIRELENGTH_BAND
+    for name, entry in results.items():
+        if entry["validity_problems"]:
+            failures.append(f"{name}: " + "; ".join(entry["validity_problems"]))
+        if entry["gated"] and not (
+            entry["worst_critical_delay_timing"]
+            < entry["worst_critical_delay_negotiated"]
+        ):
+            failures.append(
+                f"{name}: timing-driven worst critical delay "
+                f"{entry['worst_critical_delay_timing']:g} is not strictly below "
+                f"negotiated {entry['worst_critical_delay_negotiated']:g}"
+            )
+        if not lo <= entry["wirelength_ratio_vs_single"] <= hi:
+            failures.append(
+                f"{name}: wirelength ratio {entry['wirelength_ratio_vs_single']} "
+                f"outside band [{lo}, {hi}]"
+            )
+    return failures
+
+
+def _load_baseline(path: pathlib.Path) -> dict | None:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_x7: unreadable baseline {path}: {exc}", file=sys.stderr)
+        return None
+    if data.get("schema") != SCHEMA_VERSION:
+        print(
+            f"bench_x7: baseline {path} has schema {data.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}; skipping regression check",
+            file=sys.stderr,
+        )
+        return None
+    return data
+
+
+def _check_regressions(
+    baseline: dict, current: dict[str, dict], max_regression: float
+) -> list[str]:
+    """Timing-driven wall time vs the recorded baseline, per workload."""
+    failures = []
+    for name, entry in current.items():
+        base_entry = baseline.get("workloads", {}).get(name)
+        if base_entry is None:
+            continue
+        base_wall = base_entry.get("wall_seconds_timing")
+        new_wall = entry.get("wall_seconds_timing")
+        if base_wall and new_wall:
+            ratio = new_wall / base_wall
+            verdict = "REGRESSED" if ratio > max_regression else "ok"
+            print(
+                f"  {name}: timing wall {base_wall:.3f}s -> {new_wall:.3f}s "
+                f"({ratio:.2f}x, limit {max_regression:.1f}x) {verdict}"
+            )
+            if ratio > max_regression:
+                failures.append(
+                    f"{name}: timing wall {ratio:.2f}x over baseline "
+                    f"(limit {max_regression:.1f}x)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run only the quick workload subset (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=_REPO_ROOT / "BENCH_timing.json",
+        help="where to write the JSON artifact "
+             "(default: repo-root BENCH_timing.json)",
+    )
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None, metavar="BASELINE",
+        help="compare timing-driven walls against a recorded baseline JSON; "
+             "exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=3.0,
+        help="allowed timing wall-time ratio over the baseline before "
+             "failing (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load_baseline(args.check) if args.check else None
+
+    mode = "quick" if args.quick else "full"
+    print(f"bench_x7: timing suite ({mode}) ...")
+    results = run_suite(quick=args.quick)
+    for name, entry in results.items():
+        print(
+            f"  {name}: {entry['critical_nets']}/{entry['nets']} critical, "
+            f"worst delay negotiated {entry['worst_critical_delay_negotiated']:g} "
+            f"-> timing {entry['worst_critical_delay_timing']:g} "
+            f"({entry['delay_improvement'] * 100:.0f}% better), "
+            f"wirelength {entry['wirelength_ratio_vs_single']:.3f}x single, "
+            f"wall {entry['wall_seconds_timing']:.3f}s"
+        )
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "suite": "timing",
+        "mode": mode,
+        "python": platform.python_version(),
+        "wirelength_band": list(WIRELENGTH_BAND),
+        "workloads": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"bench_x7: wrote {args.out}")
+
+    failures = _gate_failures(results)
+    if baseline is not None:
+        print(f"bench_x7: regression check against {args.check}")
+        failures += _check_regressions(baseline, results, args.max_regression)
+        if not failures:
+            print("bench_x7: no regressions")
+    elif args.check:
+        print("bench_x7: no usable baseline; skipping regression check")
+    if failures:
+        for failure in failures:
+            print(f"bench_x7: FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Timing-driven negotiation protecting chip-spanning critical nets.
+
+Plain negotiation (``negotiated_routing.py``) optimizes overflow then
+wirelength, so it happily detours a chip-spanning net to shorten a
+local one — exactly backwards for timing, where the long net *is* the
+critical path.  The ``timing-driven`` strategy layers a delay model on
+top: per-net criticality (delay / worst delay, recomputed every wave)
+blends a delay term into the congestion cost and orders each rip-up
+wave most-critical-first, so critical nets hold their shortest paths
+while the filler nets absorb the detours.
+
+Run:  python examples/timing_driven.py
+"""
+
+from repro.api import RouteRequest, RoutingPipeline
+from repro.core.timing import analyze_route_timing
+from repro.scenarios.families import FAMILIES
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    # Three cross-chip critical pairs over a congested 2x3 macro grid,
+    # plus ten local filler nets — the same family the conformance
+    # harness and benchmarks/bench_x7_timing.py gate.
+    layout = FAMILIES["long-critical-nets"].build(79)
+    critical = sorted(n.name for n in layout.nets if n.name.startswith("crit"))
+    print(f"{len(layout.cells)} macros, {len(layout.nets)} nets "
+          f"({len(critical)} critical: {', '.join(critical)})\n")
+
+    pipeline = RoutingPipeline()
+
+    def route(strategy: str):
+        return pipeline.run(RouteRequest(
+            layout=layout,
+            strategy=strategy,
+            strategy_params={"max_iterations": 8},
+            on_unroutable="skip",
+        ))
+
+    negotiated = route("negotiated")
+    timing = route("timing-driven")
+
+    # The timing-driven result carries its analysis; judge the
+    # timing-blind result with the same delay model for a fair compare.
+    blind = analyze_route_timing(negotiated.route, layout)
+    aware = timing.timing
+    assert aware is not None  # the strategy always computes it
+
+    rows = []
+    for name in critical:
+        before, after = blind.nets[name].delay, aware.nets[name].delay
+        rows.append([
+            name,
+            f"{before:g}",
+            f"{after:g}",
+            f"{(before - after) / before * 100:+.0f}%" if before else "-",
+            f"{aware.nets[name].criticality:.2f}",
+        ])
+    print(format_table(
+        ["net", "negotiated delay", "timing-driven delay", "change",
+         "criticality"],
+        rows,
+        title="critical-net delay, same layout, same iteration budget",
+    ))
+
+    worst_before = max(blind.nets[name].delay for name in critical)
+    worst_after = max(aware.nets[name].delay for name in critical)
+    print(f"\nworst critical-net delay: {worst_before:g} -> {worst_after:g}")
+    print(f"overflow: negotiated {negotiated.congestion_after.total_overflow}, "
+          f"timing-driven {timing.congestion_after.total_overflow}")
+    print(f"wirelength price of delay protection: "
+          f"{negotiated.route.total_length} -> {timing.route.total_length}")
+
+
+if __name__ == "__main__":
+    main()

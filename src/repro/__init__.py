@@ -66,12 +66,19 @@ from repro.core import (
     NegotiatedRouter,
     NegotiationConfig,
     NegotiationResult,
+    NetTiming,
     PathRequest,
     RoutePath,
     RouteTree,
     RouterConfig,
     TargetSet,
+    TimingAnalysis,
+    TimingConfig,
+    TimingDrivenCost,
+    TimingDrivenRouter,
+    TimingResult,
     WirelengthCost,
+    analyze_route_timing,
     find_path,
     route_net,
 )
@@ -108,6 +115,7 @@ from repro.api import (
     RouteResult,
     RoutingPipeline,
     StrategyOutcome,
+    StrategyParamError,
     StrategyRegistry,
     layout_fingerprint,
     register_strategy,
@@ -162,6 +170,7 @@ __all__ = [
     "NegotiationConfig",
     "NegotiationResult",
     "Net",
+    "NetTiming",
     "ObstacleSet",
     "Order",
     "OrthoPolygon",
@@ -189,12 +198,19 @@ __all__ = [
     "SequentialRouter",
     "ServiceError",
     "StrategyOutcome",
+    "StrategyParamError",
     "StrategyRegistry",
     "TargetSet",
     "Terminal",
+    "TimingAnalysis",
+    "TimingConfig",
+    "TimingDrivenCost",
+    "TimingDrivenRouter",
+    "TimingResult",
     "UnroutableError",
     "ValidationError",
     "WirelengthCost",
+    "analyze_route_timing",
     "apply_delta",
     "build_scenario",
     "classify_nets",

@@ -9,8 +9,11 @@ One declarative contract for every frontend::
   verify/detail/report toggles).
 * :class:`~repro.api.pipeline.RoutingPipeline` — resolves the strategy
   from a :class:`~repro.api.registry.StrategyRegistry` (``"single"``,
-  ``"two-pass"``, ``"negotiated"`` built in; third parties register via
-  :func:`~repro.api.registry.register_strategy`) and executes it.
+  ``"two-pass"``, ``"negotiated"``, ``"timing-driven"`` built in; third
+  parties register via :func:`~repro.api.registry.register_strategy`)
+  and executes it.  Each built-in declares a typed params schema
+  (:mod:`repro.api.params`), published by
+  :meth:`~repro.api.registry.StrategyRegistry.describe`.
 * :class:`~repro.api.result.RouteResult` — the unified outcome: final
   route, congestion before/after, per-iteration stats, timings,
   verification violations, optional detailed-routing summary; JSON
@@ -28,10 +31,10 @@ One declarative contract for every frontend::
   to a previously routed base request, with only the dirty nets routed
   (see :mod:`repro.incremental` and ``docs/incremental.md``).
 
-The CLI (``python -m repro route``) is a thin shim over this package,
-and the legacy ``GlobalRouter.route_two_pass`` /
-``GlobalRouter.route_negotiated`` entry points now delegate here with
-:class:`DeprecationWarning`.
+The CLI (``python -m repro route``) is a thin shim over this package.
+(The long-deprecated ``GlobalRouter.route_two_pass`` /
+``GlobalRouter.route_negotiated`` delegates were removed; use
+``RouteRequest(strategy="two-pass")`` / ``strategy="negotiated"``.)
 """
 
 from repro.api.canonical import (
@@ -39,6 +42,7 @@ from repro.api.canonical import (
     layout_fingerprint,
     request_cache_key,
 )
+from repro.api.params import StrategyParamError
 from repro.api.request import (
     RouteRequest,
     config_from_dict,
@@ -65,7 +69,10 @@ from repro.api.rerouting import (
 from repro.api.strategies import (
     BUILTIN_STRATEGIES,
     NegotiatedStrategy,
+    SingleParams,
     SingleStrategy,
+    TimingDrivenStrategy,
+    TwoPassParams,
     TwoPassStrategy,
 )
 from repro.api.pipeline import RoutingPipeline, route
@@ -85,9 +92,13 @@ __all__ = [
     "RouteResult",
     "RoutingPipeline",
     "RoutingStrategy",
+    "SingleParams",
     "SingleStrategy",
     "StrategyOutcome",
+    "StrategyParamError",
     "StrategyRegistry",
+    "TimingDrivenStrategy",
+    "TwoPassParams",
     "TwoPassStrategy",
     "canonical_json",
     "config_from_dict",

@@ -217,6 +217,7 @@ class RoutingPipeline:
             iterations=tuple(outcome.iterations),
             rerouted_nets=tuple(outcome.rerouted_nets),
             converged=outcome.converged,
+            timing=outcome.timing,
             timings=timings,
             warnings=warnings,
             violations=violations,

@@ -5,9 +5,9 @@ names the layout (inline or by file reference), the router knobs
 (:class:`~repro.core.router.RouterConfig`), the strategy to drive the
 congestion loop with, and the post-routing toggles (independent
 verification, detailed routing, report rendering).  Because a strategy
-is one *name*, flag conflicts like the CLI's historical
-``--two-pass`` + ``--negotiate`` clash are structurally
-unrepresentable.
+is one *name*, conflicting strategy selections are structurally
+unrepresentable, and the strategy's typed params schema (see
+:mod:`repro.api.params`) is enforced at construction time.
 
 Requests are frozen and JSON round-trippable (:meth:`RouteRequest.to_json`
 / :meth:`RouteRequest.from_json`), so the CLI, tests, services, and
@@ -16,6 +16,7 @@ batch files all speak the same format.
 
 from __future__ import annotations
 
+import contextvars
 import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Optional
@@ -31,6 +32,20 @@ FORMAT_VERSION = 1
 
 #: The raise-vs-skip policies a request may ask for.
 UNROUTABLE_POLICIES = ("raise", "skip")
+
+#: Deserialization runs with lenient params validation (unknown keys
+#: warn and drop instead of raising) so old request/corpus JSON keeps
+#: round-tripping across schema growth.  A context var, not a flag
+#: argument: ``__post_init__`` has no way to receive one.
+_LENIENT_PARAMS = contextvars.ContextVar("repro_lenient_params", default=False)
+
+
+def _strategy_registry():
+    """The default registry with the built-ins guaranteed installed."""
+    from repro.api import strategies  # noqa: F401  (installs built-ins)
+    from repro.api.registry import DEFAULT_REGISTRY
+
+    return DEFAULT_REGISTRY
 
 
 def config_to_dict(config: RouterConfig) -> dict[str, Any]:
@@ -109,11 +124,17 @@ class RouteRequest:
     strategy:
         Name of the congestion strategy to resolve from the
         :class:`~repro.api.registry.StrategyRegistry` — ``"single"``,
-        ``"two-pass"``, and ``"negotiated"`` ship built in.
+        ``"two-pass"``, ``"negotiated"``, and ``"timing-driven"`` ship
+        built in.
     strategy_params:
         Keyword parameters for the strategy factory (e.g.
-        ``{"passes": 3}`` for two-pass, ``{"max_iterations": 30}`` for
-        negotiated).  Stored read-only.
+        ``{"passes": 3}`` for two-pass, ``{"delay_weight": 1.0}`` for
+        timing-driven).  Strategies with a declared params schema
+        validate here, at construction: unknown or ill-typed keys
+        raise :class:`~repro.api.params.StrategyParamError` (the
+        ``from_dict``/``from_json`` path relaxes *unknown* keys to a
+        warning so old serialized requests keep loading).  Stored
+        read-only.
     on_unroutable:
         ``"raise"`` propagates the first unroutable net; ``"skip"``
         records it and carries on.
@@ -153,7 +174,16 @@ class RouteRequest:
         # cannot reach into a frozen request.  A plain dict (not a
         # MappingProxyType) keeps requests picklable for process-pool
         # batches (repro.api.batch).
-        object.__setattr__(self, "strategy_params", dict(self.strategy_params))
+        params = dict(self.strategy_params)
+        registry = _strategy_registry()
+        if self.strategy in registry:
+            # Strategies the default registry does not know (third
+            # parties routed through a custom registry) are validated
+            # by their factory at create() time instead.
+            params = registry.validate_params(
+                self.strategy, params, strict=not _LENIENT_PARAMS.get()
+            )
+        object.__setattr__(self, "strategy_params", params)
 
     # ------------------------------------------------------------------
     # Layout resolution
@@ -190,7 +220,13 @@ class RouteRequest:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RouteRequest":
-        """Rebuild a request from :meth:`to_dict` output."""
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Unknown ``strategy_params`` keys are tolerated here (warned
+        about and dropped) so serialized requests survive schema
+        growth; ill-typed values still raise.
+        """
+        token = _LENIENT_PARAMS.set(True)
         try:
             version = data["version"]
             if version != FORMAT_VERSION:
@@ -209,6 +245,8 @@ class RouteRequest:
             )
         except (KeyError, TypeError) as exc:
             raise RoutingError(f"malformed route request: {exc}") from exc
+        finally:
+            _LENIENT_PARAMS.reset(token)
 
     def to_json(self, *, indent: int | None = 2) -> str:
         """Serialize to a JSON string."""

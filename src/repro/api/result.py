@@ -25,6 +25,7 @@ from repro.core.congestion import CongestionMap
 from repro.core.negotiate import IterationStats
 from repro.core.route import GlobalRoute
 from repro.core.route_io import route_from_dict, route_to_dict
+from repro.core.timing import TimingAnalysis
 from repro.detail.detailed import DetailedResult
 
 FORMAT_VERSION = 1
@@ -143,6 +144,10 @@ class RouteResult:
     converged:
         Whether the strategy reached zero overflow (``None`` when the
         strategy has no convergence notion).
+    timing:
+        Per-net delay/criticality/slack analysis of the final route
+        (:class:`~repro.core.timing.TimingAnalysis`; ``None`` unless
+        the strategy computed one — ``timing-driven`` always does).
     timings:
         Wall-clock seconds per pipeline phase (``route``, ``verify``,
         ``detail``, ``total``) plus ray-cache telemetry from the route
@@ -178,6 +183,7 @@ class RouteResult:
     iterations: tuple[IterationStats, ...] = ()
     rerouted_nets: tuple[str, ...] = ()
     converged: Optional[bool] = None
+    timing: Optional[TimingAnalysis] = None
     timings: dict[str, float] = field(default_factory=dict)
     warnings: list[dict[str, Any]] = field(default_factory=list)
     violations: dict[str, list[str]] = field(default_factory=dict)
@@ -227,6 +233,7 @@ class RouteResult:
             "iterations": [it.as_dict() for it in self.iterations],
             "rerouted_nets": list(self.rerouted_nets),
             "converged": self.converged,
+            "timing": None if self.timing is None else self.timing.as_dict(),
             "timings": dict(self.timings),
             "warnings": [dict(w) for w in self.warnings],
             "violations": {name: list(v) for name, v in self.violations.items()},
@@ -246,6 +253,7 @@ class RouteResult:
             before = data.get("congestion_before")
             after = data.get("congestion_after")
             detail = data.get("detail_summary")
+            timing = data.get("timing")
             return cls(
                 strategy=data["strategy"],
                 route=route_from_dict(data["route"]),
@@ -261,6 +269,7 @@ class RouteResult:
                 ),
                 rerouted_nets=tuple(data.get("rerouted_nets", ())),
                 converged=data.get("converged"),
+                timing=None if timing is None else TimingAnalysis.from_dict(timing),
                 timings=dict(data.get("timings", {})),
                 warnings=[dict(w) for w in data.get("warnings", ())],
                 violations={

@@ -1,6 +1,6 @@
-"""Built-in routing strategies: single pass, two-pass, negotiated.
+"""Built-in routing strategies: single, two-pass, negotiated, timing-driven.
 
-Importing this module installs the three built-ins on
+Importing this module installs the four built-ins on
 :data:`~repro.api.registry.DEFAULT_REGISTRY`:
 
 ``"single"``
@@ -15,14 +15,25 @@ Importing this module installs the three built-ins on
     The PathFinder-style generalization — iterated rip-up-and-reroute
     under present × history congestion costs
     (:mod:`repro.core.negotiate`).
+``"timing-driven"``
+    The negotiated loop with a delay model on top — per-net
+    criticality blends a delay term into the congestion cost and
+    orders each wave most-critical-first (:mod:`repro.core.timing`).
+
+Every built-in declares a typed params schema (a frozen dataclass —
+see :mod:`repro.api.params`): ``single`` and ``two-pass`` use the
+:class:`SingleParams`/:class:`TwoPassParams` mirrors defined here,
+the two negotiation strategies reuse their loop configs directly.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.congestion import find_passages, measure_congestion
 from repro.core.negotiate import NegotiatedRouter, NegotiationConfig
+from repro.core.timing import TimingConfig, TimingDrivenRouter
 from repro.incremental.engine import (
     IncrementalOutcome,
     incremental_negotiated,
@@ -55,7 +66,24 @@ def _adapt_incremental(outcome: IncrementalOutcome) -> StrategyOutcome:
     )
 
 
-@register_strategy("single")
+@dataclass(frozen=True)
+class SingleParams:
+    """Typed params schema of the ``single`` strategy."""
+
+    max_gap: Optional[int] = None
+    measure_congestion: bool = True
+
+
+@dataclass(frozen=True)
+class TwoPassParams:
+    """Typed params schema of the ``two-pass`` strategy."""
+
+    penalty_weight: float = 2.0
+    passes: int = 2
+    max_gap: Optional[int] = None
+
+
+@register_strategy("single", params=SingleParams)
 class SingleStrategy:
     """One independent pass of every net.
 
@@ -115,12 +143,12 @@ class SingleStrategy:
         )
 
 
-@register_strategy("two-pass")
+@register_strategy("two-pass", params=TwoPassParams)
 class TwoPassStrategy:
     """The paper's congestion-penalized repass scheme.
 
-    Parameters mirror the historical ``GlobalRouter.route_two_pass``
-    keywords: ``penalty_weight``, ``passes`` (>= 2), ``max_gap``.
+    Parameters: ``penalty_weight``, ``passes`` (>= 2), ``max_gap``
+    (see :class:`TwoPassParams`).
 
     Deliberately *not* incremental: the scheme's penalty regions
     accumulate from its own first pass, so there is no meaningful
@@ -157,7 +185,7 @@ class TwoPassStrategy:
         )
 
 
-@register_strategy("negotiated")
+@register_strategy("negotiated", params=NegotiationConfig)
 class NegotiatedStrategy:
     """PathFinder-style iterated negotiation.
 
@@ -199,5 +227,39 @@ class NegotiatedStrategy:
         )
 
 
+@register_strategy("timing-driven", params=TimingConfig)
+class TimingDrivenStrategy:
+    """Criticality-aware negotiation (delay-blended congestion costs).
+
+    Parameters are the :class:`~repro.core.timing.TimingConfig` knobs
+    — the negotiated set plus ``delay_weight``, ``load_factor``, and
+    ``target_delay``; unknown names are rejected.
+
+    Deliberately *not* incremental (like ``two-pass``): criticalities
+    derive from whole-netlist delays, which a warm start would carry
+    over stale — ``RoutingPipeline.reroute`` rejects it up front.
+    """
+
+    def __init__(self, **params):
+        self.timing = TimingConfig.from_params(params)
+
+    def run(self, router: "GlobalRouter", request: "RouteRequest") -> StrategyOutcome:
+        """Iterate criticality-ordered rip-up-and-reroute."""
+        result = TimingDrivenRouter.from_router(router, timing=self.timing).run(
+            on_unroutable=request.on_unroutable
+        )
+        return StrategyOutcome(
+            route=result.final,
+            first=result.first,
+            congestion_before=result.congestion_before,
+            congestion_after=result.congestion_after,
+            iterations=tuple(result.iterations),
+            rerouted_nets=tuple(result.rerouted_nets),
+            converged=result.converged,
+            search_stats=result.search_stats,
+            timing=result.timing,
+        )
+
+
 #: The names guaranteed to be available out of the box.
-BUILTIN_STRATEGIES = ("single", "two-pass", "negotiated")
+BUILTIN_STRATEGIES = ("single", "two-pass", "negotiated", "timing-driven")

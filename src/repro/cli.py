@@ -1,6 +1,6 @@
 """Command-line interface — a thin shim over :mod:`repro.api`.
 
-Five subcommands cover the library's everyday use without writing
+Six subcommands cover the library's everyday use without writing
 Python:
 
 ``generate``
@@ -11,6 +11,9 @@ Python:
     :class:`~repro.api.pipeline.RoutingPipeline`, and render the
     :class:`~repro.api.result.RouteResult` (tables, ASCII art, SVG,
     and/or ``--json-out`` result JSON).
+``strategies``
+    List the registered routing strategies and their typed parameter
+    schemas (``--json`` for the machine-readable form).
 ``conformance``
     Run the differential conformance harness: every scenario of the
     checked-in corpus through every strategy × config-toggle
@@ -27,15 +30,14 @@ Example::
 
     python -m repro generate --cells 12 --nets 10 --seed 7 -o chip.json
     python -m repro route chip.json --strategy two-pass --detail --svg chip.svg
-    python -m repro route chip.json --strategy negotiated --workers 4
+    python -m repro route chip.json --strategy timing-driven --workers 4
     python -m repro route --request request.json --json-out result.json
+    python -m repro strategies --json
     python -m repro conformance --quick --json-out conformance_report.json
     python -m repro serve --port 8080 --workers 4 --queue-limit 64
 
-The historical ``--two-pass`` / ``--negotiate N`` flags still work as
-aliases for ``--strategy two-pass`` / ``--strategy negotiated``; since
-a request holds exactly one strategy name, the old flag conflict is
-caught here at the flag boundary and is unrepresentable beyond it.
+The historical ``--two-pass`` / ``--negotiate N`` aliases were removed
+after a long deprecation; spell the strategy with ``--strategy``.
 """
 
 from __future__ import annotations
@@ -93,13 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the Figure 2 epsilon")
     route.add_argument("--refine", action="store_true",
                        help="rip-up-and-reconnect refinement per net")
-    route.add_argument("--two-pass", action="store_true",
-                       help="alias for --strategy two-pass")
     route.add_argument("--passes", type=int, default=2,
                        help="repasses for the two-pass strategy (default 2)")
-    route.add_argument("--negotiate", type=int, default=0, metavar="N",
-                       help="alias for --strategy negotiated with at most N "
-                            "iterations (0 disables; excludes --two-pass)")
     route.add_argument("--workers", type=int, default=1, metavar="K",
                        help="parallel net fan-out over K worker processes "
                             "(default 1 = serial)")
@@ -113,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--svg", metavar="PATH", help="write an SVG")
     route.add_argument("--skip-unroutable", action="store_true",
                        help="record failures instead of aborting")
+
+    strategies = sub.add_parser(
+        "strategies",
+        help="list registered strategies and their parameter schemas",
+    )
+    strategies.add_argument("--json", action="store_true",
+                            help="emit the machine-readable describe() document")
 
     conf = sub.add_parser(
         "conformance",
@@ -180,6 +184,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_generate(args)
         if args.command == "route":
             return _cmd_route(args)
+        if args.command == "strategies":
+            return _cmd_strategies(args)
         if args.command == "conformance":
             return _cmd_conformance(args)
         if args.command == "serve":
@@ -225,30 +231,11 @@ def _load_layout(path: str) -> Layout:
 
 
 def _strategy_from_flags(args: argparse.Namespace) -> tuple[str, dict]:
-    """Map the strategy flags (new and legacy) to (name, params).
-
-    A request carries exactly one strategy name, so conflicting legacy
-    flags must be rejected here — past this point the conflict cannot
-    even be expressed.
-    """
-    if args.two_pass and args.negotiate:
-        raise ReproError("--two-pass and --negotiate are mutually exclusive")
-    legacy = None
-    if args.two_pass:
-        legacy = "two-pass"
-    elif args.negotiate:
-        legacy = "negotiated"
-    if args.strategy is not None and legacy is not None and args.strategy != legacy:
-        raise ReproError(
-            f"--strategy {args.strategy} conflicts with the legacy "
-            f"--{'two-pass' if legacy == 'two-pass' else 'negotiate'} flag"
-        )
-    name = args.strategy or legacy or "single"
+    """Map the strategy flags to (name, params)."""
+    name = args.strategy or "single"
     params: dict = {}
     if name == "two-pass":
         params["passes"] = args.passes
-    elif name == "negotiated" and args.negotiate:
-        params["max_iterations"] = args.negotiate
     return name, params
 
 
@@ -278,7 +265,7 @@ def _request_from_flags(args: argparse.Namespace) -> RouteRequest:
 #: output-only flags --ascii/--svg/--json-out still apply).
 _REQUEST_CONFLICT_FLAGS = (
     ("strategy", None), ("mode", "full"), ("inverted_corner", False),
-    ("refine", False), ("two_pass", False), ("passes", 2), ("negotiate", 0),
+    ("refine", False), ("passes", 2),
     ("workers", 1), ("skip_unroutable", False), ("no_verify", False),
     ("detail", False), ("report", False),
 )
@@ -368,6 +355,18 @@ def _render_result(
             f"{result.congestion_after.total_overflow}, "
             f"{len(result.rerouted_nets)} nets rerouted"
         )
+    elif result.strategy == "timing-driven" and result.timing is not None:
+        timing = result.timing
+        status = "converged" if result.converged else "budget exhausted"
+        worst = timing.worst_net
+        print(
+            f"timing-driven {status}: overflow "
+            f"{result.congestion_before.total_overflow} -> "
+            f"{result.congestion_after.total_overflow}, "
+            f"worst delay {timing.worst_delay:g}"
+            + (f" ({worst})" if worst else "")
+            + f", {len(result.rerouted_nets)} nets rerouted"
+        )
 
     if request.report:
         from repro.analysis.report import routing_report
@@ -396,6 +395,34 @@ def _render_result(
     if args.svg:
         save_svg(args.svg, layout_to_svg(layout, route, detailed=result.detailed))
         print(f"wrote {args.svg}", file=sys.stderr)
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    """List the registered strategies and their parameter schemas."""
+    import json
+
+    from repro.api import DEFAULT_REGISTRY
+
+    described = DEFAULT_REGISTRY.describe()
+    if args.json:
+        print(json.dumps(described, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for name, info in sorted(described.items()):
+        params = info.get("params")
+        if params:
+            spec = ", ".join(
+                f"{pname}: {row['type']}"
+                + ("?" if row.get("optional") else "")
+                + (f" = {row['default']}" if row.get("default") is not None else "")
+                for pname, row in params.items()
+            )
+        else:
+            spec = "(no declared schema)"
+        rows.append([name, info.get("description") or "", spec])
+    print(format_table(["strategy", "description", "params"], rows,
+                       title="registered strategies"))
+    return 0
 
 
 def _cmd_conformance(args: argparse.Namespace) -> int:

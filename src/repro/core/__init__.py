@@ -13,9 +13,13 @@ Public surface:
 * :class:`~repro.core.negotiate.NegotiatedRouter` — the PathFinder-
   style generalization of that sketch: iterated rip-up-and-reroute
   under present-usage × accumulated-history congestion costs.
+* :class:`~repro.core.timing.TimingDrivenRouter` — the negotiated
+  loop with a tree-walk delay model on top: per-net criticality blends
+  a delay term into the congestion cost and orders each wave
+  most-critical-first (:mod:`repro.core.timing`).
 * Cost models (:mod:`repro.core.costs`) — the "generalized cost
   function concept": wirelength, inverted-corner epsilon, bend/via
-  penalties, congestion penalties (fixed and negotiated).
+  penalties, congestion penalties (fixed, negotiated, timing-blended).
 """
 
 from repro.core.escape import EscapeMode, escape_moves
@@ -25,6 +29,7 @@ from repro.core.costs import (
     CostModel,
     InvertedCornerCost,
     NegotiatedCongestionCost,
+    TimingDrivenCost,
     WirelengthCost,
 )
 from repro.core.route import GlobalRoute, RoutePath, RouteTree, TargetSet
@@ -44,6 +49,15 @@ from repro.core.negotiate import (
     NegotiationResult,
 )
 from repro.core.router import GlobalRouter, RouterConfig, TwoPassResult
+from repro.core.timing import (
+    NetTiming,
+    TimingAnalysis,
+    TimingConfig,
+    TimingDrivenRouter,
+    TimingResult,
+    analyze_route_timing,
+    net_delay,
+)
 from repro.core.feedback import FeedbackResult, adjust_placement, move_cell
 from repro.core.refine import refine_tree
 from repro.core.route_io import (
@@ -68,6 +82,7 @@ __all__ = [
     "NegotiatedRouter",
     "NegotiationConfig",
     "NegotiationResult",
+    "NetTiming",
     "adjust_placement",
     "move_cell",
     "InvertedCornerCost",
@@ -77,12 +92,19 @@ __all__ = [
     "RouteTree",
     "RouterConfig",
     "TargetSet",
+    "TimingAnalysis",
+    "TimingConfig",
+    "TimingDrivenCost",
+    "TimingDrivenRouter",
+    "TimingResult",
     "TwoPassResult",
     "WirelengthCost",
+    "analyze_route_timing",
     "escape_moves",
     "find_path",
     "find_passages",
     "measure_congestion",
+    "net_delay",
     "route_from_dict",
     "route_from_json",
     "refine_tree",

@@ -588,6 +588,65 @@ class NegotiatedCongestionCost(CongestionPenaltyCost):
         ) - 1.0
 
 
+class TimingDrivenCost(NegotiatedCongestionCost):
+    """Criticality-blended negotiated congestion surcharge.
+
+    The timing-driven strategy prices each net under its own model: a
+    net's criticality ``c`` (in ``[0, 1]``, from
+    :func:`repro.core.timing.analyze_route_timing`) blends a delay term
+    against the congestion term::
+
+        segment_cost = length
+                       + c * delay_weight * length          (delay term)
+                       + (1 - c) * negotiated_surcharge     (congestion term)
+
+    A critical net (``c`` near 1) pays for every unit of wire but is
+    nearly blind to congestion, so it holds the shortest attainable
+    path; a non-critical net (``c`` near 0) prices congestion at full
+    strength and detours on its behalf.  Both terms are >= 0, so the
+    model still dominates pure wirelength and A* stays admissible.
+
+    The per-net criticality makes this model net-specific, which is why
+    :attr:`supports_batched_costs` stays ``False`` (inherited exact-type
+    whitelist): every engine prices it through the scalar oracle, so
+    results cannot depend on the engine choice.
+    """
+
+    def __init__(
+        self,
+        terms: Sequence[tuple[Rect, float, float]],
+        *,
+        criticality: float,
+        delay_weight: float = 0.5,
+        present_weight: float = 1.0,
+        history_weight: float = 2.0,
+        base: Optional[CostModel] = None,
+    ):
+        if not 0.0 <= criticality <= 1.0:
+            raise RoutingError(f"criticality must be in [0, 1], got {criticality}")
+        if delay_weight < 0:
+            raise RoutingError(f"delay_weight must be >= 0, got {delay_weight}")
+        # region_weight runs inside super().__init__, so the blend
+        # factors must exist first.
+        self.criticality = float(criticality)
+        self.delay_weight = float(delay_weight)
+        super().__init__(
+            terms,
+            present_weight=present_weight,
+            history_weight=history_weight,
+            base=base,
+        )
+
+    def region_weight(self, present: float, history: float) -> float:
+        return (1.0 - self.criticality) * super().region_weight(present, history)
+
+    def segment_cost(self, seg: Segment) -> float:
+        return (
+            super().segment_cost(seg)
+            + self.criticality * self.delay_weight * seg.length
+        )
+
+
 def _overlap_length(seg: Segment, region: Rect) -> int:
     """Length of *seg* lying within the closed *region*.
 

@@ -3,7 +3,7 @@
 The paper's Conclusions sketch exactly one feedback round: "A first-pass
 route of all nets would reveal congested areas. ... A second route of
 the affected nets could penalize those paths which chose the congested
-area."  :meth:`GlobalRouter.route_two_pass` reproduces that sketch; this
+area."  The ``two-pass`` strategy reproduces that sketch; this
 module grows it into the scheme the field converged on a few years
 later (McMurchie & Ebeling's PathFinder, used by both cgra_pnr
 reference routers): iterate rip-up-and-reroute under a cost that

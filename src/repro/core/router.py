@@ -21,7 +21,6 @@ iteration a net is ripped up in) matters.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -515,60 +514,7 @@ class GlobalRouter:
             search_stats=current.stats,
         )
 
-    def route_two_pass(
-        self,
-        *,
-        penalty_weight: float = 2.0,
-        max_gap: Optional[int] = None,
-        on_unroutable: str = "raise",
-        passes: int = 2,
-    ) -> TwoPassResult:
-        """Deprecated alias for the ``"two-pass"`` pipeline strategy.
-
-        .. deprecated::
-            Build a :class:`repro.api.RouteRequest` with
-            ``strategy="two-pass"`` and run it through
-            :class:`repro.api.RoutingPipeline` instead.  This delegate
-            keeps the historical :class:`TwoPassResult` shape.
-        """
-        warnings.warn(
-            "GlobalRouter.route_two_pass is deprecated; use "
-            "repro.api.RoutingPipeline with RouteRequest(strategy='two-pass')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._two_pass(
-            penalty_weight=penalty_weight,
-            max_gap=max_gap,
-            on_unroutable=on_unroutable,
-            passes=passes,
-        )
-
-    # ------------------------------------------------------------------
-    # Negotiated congestion (PathFinder-style generalization)
-    # ------------------------------------------------------------------
-    def route_negotiated(
-        self, negotiation=None, *, on_unroutable: str = "raise"
-    ) -> "NegotiationResult":  # noqa: F821
-        """Deprecated alias for the ``"negotiated"`` pipeline strategy.
-
-        .. deprecated::
-            Build a :class:`repro.api.RouteRequest` with
-            ``strategy="negotiated"`` and run it through
-            :class:`repro.api.RoutingPipeline` instead (or use
-            :class:`repro.core.negotiate.NegotiatedRouter` directly).
-            *negotiation* is an optional
-            :class:`~repro.core.negotiate.NegotiationConfig`.
-        """
-        warnings.warn(
-            "GlobalRouter.route_negotiated is deprecated; use "
-            "repro.api.RoutingPipeline with RouteRequest(strategy='negotiated') "
-            "or repro.core.negotiate.NegotiatedRouter",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.core.negotiate import NegotiatedRouter
-
-        return NegotiatedRouter.from_router(self, negotiation=negotiation).run(
-            on_unroutable=on_unroutable
-        )
+    # The long-deprecated route_two_pass / route_negotiated delegates
+    # were removed; build a repro.api.RouteRequest with
+    # strategy="two-pass" / "negotiated" instead (or use
+    # repro.core.negotiate.NegotiatedRouter directly).

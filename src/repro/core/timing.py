@@ -1,0 +1,513 @@
+"""Delay analysis and timing-driven negotiated routing.
+
+The negotiated loop (:mod:`repro.core.negotiate`) optimizes overflow
+then wirelength, which happily trades a long detour on a chip-spanning
+net for a short one on a local net.  For timing that trade is exactly
+backwards: the chip-spanning net is the critical path.  This module
+adds the standard fix (cgra_pnr's timing-driven router is the direct
+reference): a cheap delay model over the routed trees, a per-net
+*criticality* in ``[0, 1]``, and a negotiation loop that re-prices and
+re-orders every wave so critical nets stay short while non-critical
+nets absorb the detours.
+
+The delay model is deliberately simple — Elmore-flavoured, not Elmore:
+a net's delay is its longest source→sink path length *along the routed
+tree*, plus ``load_factor`` times the total tree wirelength (the
+driver sees the whole tree as load).  That is enough to make "which
+net may detour" a principled choice without modelling RC at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import RoutingError
+from repro.core.congestion import (
+    CongestionHistory,
+    CongestionMap,
+    find_passages,
+    measure_congestion,
+)
+from repro.core.costs import CostModel, TimingDrivenCost
+from repro.core.negotiate import IterationStats
+from repro.core.route import GlobalRoute, RouteTree
+from repro.core.router import GlobalRouter, RouterConfig
+from repro.layout.layout import Layout
+from repro.layout.net import Net
+from repro.search.stats import SearchStats
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Knobs of the timing-driven negotiation loop.
+
+    The congestion knobs (``max_iterations`` .. ``max_gap``) mean
+    exactly what they mean in
+    :class:`~repro.core.negotiate.NegotiationConfig`; the last three
+    are timing-specific.
+
+    Attributes
+    ----------
+    delay_weight:
+        Per-unit-length delay surcharge a fully critical net pays
+        (:class:`~repro.core.costs.TimingDrivenCost`); 0 reduces the
+        blend to criticality-scaled congestion only.
+    load_factor:
+        Extra delay per unit of *total tree* wirelength added to every
+        sink (the driver loading term).  0 makes delay the pure longest
+        source→sink path length.
+    target_delay:
+        Delay target that per-net slack is measured against.  ``None``
+        uses the worst observed delay, so the most critical net has
+        exactly zero slack.
+    """
+
+    max_iterations: int = 20
+    present_weight: float = 1.0
+    history_weight: float = 2.0
+    history_gain: float = 2.0
+    max_gap: Optional[int] = None
+    delay_weight: float = 0.5
+    load_factor: float = 0.0
+    target_delay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise RoutingError(
+                f"timing negotiation needs max_iterations >= 1, got {self.max_iterations}"
+            )
+        for knob in (
+            "present_weight",
+            "history_weight",
+            "history_gain",
+            "delay_weight",
+            "load_factor",
+        ):
+            value = getattr(self, knob)
+            if value < 0:
+                raise RoutingError(f"timing {knob} must be >= 0, got {value}")
+        if self.target_delay is not None and self.target_delay < 0:
+            raise RoutingError(
+                f"timing target_delay must be >= 0, got {self.target_delay}"
+            )
+
+    @classmethod
+    def from_params(cls, params: dict) -> "TimingConfig":
+        """Build a config from a plain keyword dict, rejecting unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise RoutingError(
+                f"unknown timing parameter(s) {unknown}; known: {sorted(known)}"
+            )
+        return cls(**params)
+
+
+@dataclass(frozen=True)
+class NetTiming:
+    """One net's delay picture under the current routing."""
+
+    net_name: str
+    delay: float
+    criticality: float
+    slack: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by :mod:`repro.api.result`)."""
+        return {
+            "delay": self.delay,
+            "criticality": self.criticality,
+            "slack": self.slack,
+        }
+
+    @classmethod
+    def from_dict(cls, net_name: str, data: dict) -> "NetTiming":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            net_name=net_name,
+            delay=float(data["delay"]),
+            criticality=float(data["criticality"]),
+            slack=float(data["slack"]),
+        )
+
+
+@dataclass
+class TimingAnalysis:
+    """Per-net delays, criticalities, and slacks for one routing."""
+
+    nets: dict[str, NetTiming] = field(default_factory=dict)
+    worst_delay: float = 0.0
+    target: float = 0.0
+
+    @property
+    def worst_net(self) -> Optional[str]:
+        """Name of the net carrying the worst delay (``None`` if empty)."""
+        if not self.nets:
+            return None
+        return min(
+            self.nets, key=lambda name: (-self.nets[name].delay, name)
+        )
+
+    def criticality(self, net_name: str) -> float:
+        """Criticality of *net_name* (0 for unrouted/unknown nets)."""
+        timing = self.nets.get(net_name)
+        return timing.criticality if timing is not None else 0.0
+
+    def order_by_criticality(self, net_names: Iterable[str]) -> list[str]:
+        """*net_names* sorted most-critical-first (name breaks ties).
+
+        A permutation of the input: the rip-up loop routes critical
+        nets before the congestion map fills with everyone else's
+        detours.
+        """
+        return sorted(net_names, key=lambda name: (-self.criticality(name), name))
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "worst_delay": self.worst_delay,
+            "target": self.target,
+            "nets": {name: timing.as_dict() for name, timing in sorted(self.nets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimingAnalysis":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            nets={
+                name: NetTiming.from_dict(name, timing)
+                for name, timing in data.get("nets", {}).items()
+            },
+            worst_delay=float(data["worst_delay"]),
+            target=float(data["target"]),
+        )
+
+
+def _tree_distances(tree: RouteTree, sources: Sequence) -> Optional[dict]:
+    """Shortest along-tree distance from any *source* pin location.
+
+    Builds the tree's connectivity graph — every segment split at every
+    path point and pin location lying on it — and runs a multi-source
+    Dijkstra.  Returns ``{(x, y): distance}`` for every graph node, or
+    ``None`` when no source lies on the tree (degenerate geometry).
+    """
+    key_points = {(p.x, p.y) for p in tree.points}
+    key_points.update((p.x, p.y) for p in sources)
+    segments = tree.segments
+    if not segments:
+        # Every connection was zero-length: all terminals coincide.
+        on_tree = [(p.x, p.y) for p in sources if (p.x, p.y) in key_points]
+        return {xy: 0 for xy in key_points} if on_tree else None
+
+    adjacency: dict[tuple, list] = {}
+
+    def link(a: tuple, b: tuple, dist: int) -> None:
+        adjacency.setdefault(a, []).append((b, dist))
+        adjacency.setdefault(b, []).append((a, dist))
+
+    for seg in segments:
+        a, b = seg.a, seg.b  # normalized: a <= b
+        if seg.is_horizontal:
+            stops = sorted(
+                {x for x, y in key_points if y == a.y and a.x <= x <= b.x}
+                | {a.x, b.x}
+            )
+            for lo, hi in zip(stops, stops[1:]):
+                link((lo, a.y), (hi, a.y), hi - lo)
+        else:
+            stops = sorted(
+                {y for x, y in key_points if x == a.x and a.y <= y <= b.y}
+                | {a.y, b.y}
+            )
+            for lo, hi in zip(stops, stops[1:]):
+                link((a.x, lo), (a.x, hi), hi - lo)
+
+    starts = [(p.x, p.y) for p in sources if (p.x, p.y) in adjacency]
+    if not starts:
+        return None
+    distances: dict[tuple, int] = {}
+    frontier = [(0, xy) for xy in sorted(set(starts))]
+    heapq.heapify(frontier)
+    while frontier:
+        dist, xy = heapq.heappop(frontier)
+        if xy in distances:
+            continue
+        distances[xy] = dist
+        for neighbor, step in adjacency[xy]:
+            if neighbor not in distances:
+                heapq.heappush(frontier, (dist + step, neighbor))
+    return distances
+
+
+def net_delay(tree: RouteTree, net: Net, *, load_factor: float = 0.0) -> float:
+    """Delay of one routed net under the path-length model.
+
+    Longest source→sink distance measured *along the routed tree* (the
+    source is the net's first terminal, matching the router's seed),
+    plus ``load_factor`` times the total tree wirelength.  Unreachable
+    geometry (a tree the source does not touch — should not happen for
+    router output) falls back to the total wirelength bound.
+    """
+    sources = [pin.location for pin in net.terminals[0].pins]
+    total = tree.total_length
+    distances = _tree_distances(tree, sources)
+    if distances is None:
+        return float(total) + load_factor * total
+    longest = 0
+    for terminal in net.terminals[1:]:
+        reached = [
+            distances[(pin.location.x, pin.location.y)]
+            for pin in terminal.pins
+            if (pin.location.x, pin.location.y) in distances
+        ]
+        # An unconnected sink pin set (not router output) costs the
+        # conservative whole-tree bound.
+        arrival = min(reached) if reached else total
+        if arrival > longest:
+            longest = arrival
+    return float(longest) + load_factor * total
+
+
+def analyze_route_timing(
+    route: GlobalRoute,
+    layout: Layout,
+    *,
+    load_factor: float = 0.0,
+    target_delay: Optional[float] = None,
+) -> TimingAnalysis:
+    """Delay, criticality, and slack for every routed net.
+
+    Criticality is ``delay / worst_delay`` clamped to ``[0, 1]`` (all
+    zero when nothing has any delay); slack is measured against
+    *target_delay*, defaulting to the worst observed delay.
+    """
+    delays: dict[str, float] = {}
+    for net in layout.nets:
+        tree = route.trees.get(net.name)
+        if tree is None:
+            continue
+        delays[net.name] = net_delay(tree, net, load_factor=load_factor)
+    worst = max(delays.values(), default=0.0)
+    target = float(target_delay) if target_delay is not None else worst
+    nets = {
+        name: NetTiming(
+            net_name=name,
+            delay=delay,
+            criticality=min(1.0, max(0.0, delay / worst)) if worst > 0 else 0.0,
+            slack=target - delay,
+        )
+        for name, delay in delays.items()
+    }
+    return TimingAnalysis(nets=nets, worst_delay=worst, target=target)
+
+
+@dataclass
+class TimingResult:
+    """Outcome of timing-driven negotiation.
+
+    Same shape as :class:`~repro.core.negotiate.NegotiationResult`
+    plus the final route's :class:`TimingAnalysis`; ``search_stats``
+    again totals the whole run (every wave, not just up to the best
+    iteration).
+    """
+
+    first: GlobalRoute
+    final: GlobalRoute
+    congestion_before: CongestionMap
+    congestion_after: CongestionMap
+    timing: TimingAnalysis = field(default_factory=TimingAnalysis)
+    iterations: list[IterationStats] = field(default_factory=list)
+    rerouted_nets: list[str] = field(default_factory=list)
+    converged: bool = False
+    search_stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def iteration_count(self) -> int:
+        """Reroute waves actually run (excludes the first pass)."""
+        return max(0, len(self.iterations) - 1)
+
+
+class TimingDrivenRouter:
+    """Criticality-aware negotiated routing of one layout.
+
+    The loop mirrors :class:`~repro.core.negotiate.NegotiatedRouter`
+    with three timing twists, all recomputed per wave:
+
+    1. After every pass the routed trees are re-analyzed
+       (:func:`analyze_route_timing`) — criticalities always reflect
+       the *current* geometry.
+    2. Each wave routes its affected nets most-critical-first, every
+       net under its own frozen
+       :class:`~repro.core.costs.TimingDrivenCost` carrying that net's
+       criticality.  (Congestion terms stay frozen for the wave, so
+       the ordering only matters across waves, like the negotiated
+       loop.)
+    3. The best route is the lexicographically least
+       ``(total_overflow, worst_delay, wirelength)`` — delay outranks
+       wirelength, which is the whole point.
+    """
+
+    def __init__(
+        self,
+        layout: Optional[Layout] = None,
+        config: RouterConfig = RouterConfig(),
+        *,
+        cost_model: Optional[CostModel] = None,
+        timing: Optional[TimingConfig] = None,
+        router: Optional[GlobalRouter] = None,
+    ):
+        if (layout is None) == (router is None):
+            raise RoutingError("provide exactly one of layout or router")
+        self.router = (
+            router
+            if router is not None
+            else GlobalRouter(layout, config, cost_model=cost_model)
+        )
+        self.timing = timing if timing is not None else TimingConfig()
+
+    @classmethod
+    def from_router(
+        cls, router: GlobalRouter, *, timing: Optional[TimingConfig] = None
+    ) -> "TimingDrivenRouter":
+        """Wrap an existing configured router."""
+        return cls(router=router, timing=timing)
+
+    @property
+    def layout(self) -> Layout:
+        """The layout being routed."""
+        return self.router.layout
+
+    def analyze(self, route: GlobalRoute) -> TimingAnalysis:
+        """:func:`analyze_route_timing` under this loop's knobs."""
+        return analyze_route_timing(
+            route,
+            self.layout,
+            load_factor=self.timing.load_factor,
+            target_delay=self.timing.target_delay,
+        )
+
+    def run(self, *, on_unroutable: str = "raise") -> TimingResult:
+        """Negotiate until congestion-free or out of budget."""
+        if on_unroutable not in ("raise", "skip"):
+            raise RoutingError(
+                f"on_unroutable must be 'raise' or 'skip', not {on_unroutable!r}"
+            )
+        # The first (unpenalized) pass can fan out over a pool; the
+        # waves route net-by-net (each net has its own cost model) and
+        # stay serial regardless of workers, so results never depend
+        # on the worker count.
+        pool = self.router.open_pool()
+        try:
+            return self._run(on_unroutable, pool)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _run(self, on_unroutable: str, pool) -> TimingResult:
+        """The timing negotiation loop proper."""
+        knobs = self.timing
+        passages = find_passages(self.layout, max_gap=knobs.max_gap)
+        history = CongestionHistory(gain=knobs.history_gain)
+
+        started = time.perf_counter()
+        first = self.router.route_all(on_unroutable=on_unroutable, pool=pool)
+        before = measure_congestion(passages, first)
+        analysis = self.analyze(first)
+        iterations = [
+            IterationStats(
+                iteration=0,
+                overflowed_passages=before.overflow_count,
+                total_overflow=before.total_overflow,
+                max_overflow=before.max_overflow,
+                wirelength=first.total_length,
+                wirelength_delta=0,
+                rerouted=0,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        ]
+
+        current, current_map = first, before
+        best, best_map, best_analysis = first, before, analysis
+        rerouted: set[str] = set()
+        prune = self.router.config.prune_clean_nets
+        fail_fast = on_unroutable == "raise"
+        for iteration in range(1, knobs.max_iterations + 1):
+            if current_map.total_overflow == 0:
+                break
+            wave_started = time.perf_counter()
+            history.update(current_map)
+            terms = history.penalty_terms(current_map)
+            if prune:
+                affected = sorted(current_map.affected_nets())
+            else:
+                affected = sorted(current.trees)
+            candidate = GlobalRoute(
+                trees=dict(current.trees),
+                stats=current.stats,
+                failed_nets=list(current.failed_nets),
+            )
+            moved = 0
+            for name in analysis.order_by_criticality(affected):
+                model = TimingDrivenCost(
+                    terms,
+                    criticality=analysis.criticality(name),
+                    delay_weight=knobs.delay_weight,
+                    present_weight=knobs.present_weight,
+                    history_weight=knobs.history_weight,
+                    base=self.router.cost_model,
+                )
+                outcomes = self.router.route_each(
+                    [name], cost_model=model, fail_fast=fail_fast
+                )
+                moved += self.router.merge_outcomes(
+                    candidate,
+                    outcomes,
+                    on_unroutable=on_unroutable,
+                    keep_previous=True,
+                    rerouted=rerouted,
+                )
+            candidate_map = measure_congestion(passages, candidate)
+            candidate_analysis = self.analyze(candidate)
+            iterations.append(
+                IterationStats(
+                    iteration=iteration,
+                    overflowed_passages=candidate_map.overflow_count,
+                    total_overflow=candidate_map.total_overflow,
+                    max_overflow=candidate_map.max_overflow,
+                    wirelength=candidate.total_length,
+                    wirelength_delta=candidate.total_length - current.total_length,
+                    rerouted=moved,
+                    elapsed_seconds=time.perf_counter() - wave_started,
+                )
+            )
+            current, current_map, analysis = (
+                candidate,
+                candidate_map,
+                candidate_analysis,
+            )
+            if (
+                candidate_map.total_overflow,
+                candidate_analysis.worst_delay,
+                candidate.total_length,
+            ) < (best_map.total_overflow, best_analysis.worst_delay, best.total_length):
+                best, best_map, best_analysis = (
+                    candidate,
+                    candidate_map,
+                    candidate_analysis,
+                )
+
+        return TimingResult(
+            first=first,
+            final=best,
+            congestion_before=before,
+            congestion_after=best_map,
+            timing=best_analysis,
+            iterations=iterations,
+            rerouted_nets=sorted(rerouted),
+            converged=best_map.total_overflow == 0,
+            search_stats=current.stats,
+        )

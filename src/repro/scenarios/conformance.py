@@ -22,6 +22,12 @@ promises:
    wirelength must stay within :data:`WIRELENGTH_BAND` of the
    single-pass baseline, and a congestion strategy must never end with
    more overflow than it started with.
+4. **Timing separation** — on scenarios with designated critical nets
+   (the ``long-critical-nets`` family names them ``crit*``), the
+   ``timing-driven`` strategy must finish with a *strictly* lower
+   worst critical-net delay than plain ``negotiated`` routing of the
+   same scene: the criticality machinery has to buy something real, on
+   every corpus entry of the family, forever.
 
 With ``incremental=True`` a fourth axis replays scripted layout deltas
 (:mod:`repro.incremental.scripts`) through
@@ -56,6 +62,7 @@ from repro.api.result import RouteResult
 from repro.core.route import GlobalRoute
 from repro.core.router import RouterConfig
 from repro.incremental.delta import LayoutDelta
+from repro.core.timing import analyze_route_timing
 from repro.incremental.scripts import disjoint_delta, empty_delta, geometry_delta
 from repro.scenarios.families import Scenario
 
@@ -65,6 +72,7 @@ DEFAULT_STRATEGIES: dict[str, dict[str, Any]] = {
     "single": {},
     "two-pass": {"passes": 2},
     "negotiated": {"max_iterations": 8},
+    "timing-driven": {"max_iterations": 8},
 }
 
 #: Strategies exercised by the incremental axis: the ones whose
@@ -175,6 +183,10 @@ class CaseRecord:
     overflow_before: Optional[int]
     overflow_after: Optional[int]
     elapsed_seconds: float
+    #: max routed-tree delay over the scenario's designated ``crit*``
+    #: nets; None when the scenario has none (or the cell is a reroute
+    #: of a mutated layout, where the stored scene no longer applies).
+    worst_critical_delay: Optional[float] = None
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready representation."""
@@ -185,7 +197,7 @@ class CaseRecord:
 class CheckRecord:
     """One conformance assertion's outcome (identity or tolerance)."""
 
-    kind: str  # "validity" | "identity" | "warning-contract" | "wirelength-band" | "overflow"
+    kind: str  # "validity" | "identity" | "warning-contract" | "wirelength-band" | "overflow" | "timing-delay"
     scenario: str
     strategy: str
     ok: bool
@@ -243,13 +255,14 @@ class ConformanceReport:
 def _identity_key(strategy: str, point: MatrixPoint) -> tuple:
     """Configs mapping to the same key must route byte-identically.
 
-    Only the negotiation loop reads ``prune_clean_nets``, so it splits
-    identity groups for ``negotiated`` alone; ``ray_cache``,
-    ``workers``, and ``engine`` are documented result-preserving
-    everywhere — the engine deliberately does *not* split groups, which
-    is exactly what makes this matrix the cross-engine parity gate.
+    Only the negotiation-style loops read ``prune_clean_nets``, so it
+    splits identity groups for ``negotiated`` and ``timing-driven``
+    alone; ``ray_cache``, ``workers``, and ``engine`` are documented
+    result-preserving everywhere — the engine deliberately does *not*
+    split groups, which is exactly what makes this matrix the
+    cross-engine parity gate.
     """
-    if strategy == "negotiated":
+    if strategy in ("negotiated", "timing-driven"):
         return (strategy, point.prune_clean_nets)
     return (strategy,)
 
@@ -327,10 +340,16 @@ def _route_case(
     params: Mapping[str, Any],
     point: MatrixPoint,
 ) -> tuple[CaseRecord, RouteResult] | CheckRecord:
-    """Route one matrix cell; a pipeline crash becomes a failed check."""
-    request = _cell_request(scenario, strategy, params, point)
+    """Route one matrix cell; a pipeline crash becomes a failed check.
+
+    Request construction sits inside the try: the typed params schemas
+    reject bad ``strategy_params`` at :class:`RouteRequest` creation
+    now, and that rejection must land in the report like any other
+    broken cell.
+    """
     started = time.perf_counter()
     try:
+        request = _cell_request(scenario, strategy, params, point)
         result = pipeline.run(request)
     except Exception as exc:  # noqa: BLE001 - any crash must stay in its cell
         # A crash becomes a failing validity check so the rest of the
@@ -347,7 +366,24 @@ def _route_case(
         )
     elapsed = time.perf_counter() - started
     case = _case_record(scenario.name, strategy, point.name, result, elapsed)
+    case.worst_critical_delay = _worst_critical_delay(result, scenario)
     return case, result
+
+
+def _worst_critical_delay(result: RouteResult, scenario: Scenario) -> Optional[float]:
+    """Max routed-tree delay over the scenario's ``crit*`` nets, if any.
+
+    Computed with the same tree-walk delay model every strategy is
+    judged by (:func:`repro.core.timing.analyze_route_timing`), so the
+    timing-blind strategies are measured on exactly the metric the
+    timing-driven one optimizes.
+    """
+    names = [net.name for net in scenario.layout.nets if net.name.startswith("crit")]
+    if not names:
+        return None
+    analysis = analyze_route_timing(result.route, scenario.layout)
+    delays = [analysis.nets[name].delay for name in names if name in analysis.nets]
+    return max(delays) if delays else None
 
 
 def _cell_request(
@@ -462,7 +498,7 @@ def _identity_check(
         detail = "configs diverge: " + "; ".join(
             f"{digest} <- {', '.join(configs)}" for digest, configs in by_digest.items()
         )
-    if strategy == "negotiated":
+    if len(key) > 1:
         detail = f"prune={'on' if key[-1] else 'off'}: {detail}"
     return CheckRecord(
         kind="identity", scenario=scenario, strategy=strategy, ok=ok, detail=detail
@@ -472,7 +508,12 @@ def _identity_check(
 def _cross_strategy_checks(
     report: ConformanceReport, scenario: str, baselines: Mapping[str, CaseRecord]
 ) -> None:
-    """Wirelength band vs the single-pass baseline; overflow never worsens."""
+    """Wirelength band vs single-pass; overflow never worsens; timing wins.
+
+    The ``timing-delay`` check fires only on scenarios carrying
+    designated critical nets (``crit*``): there, timing-driven must
+    beat plain negotiation on worst critical-net delay, strictly.
+    """
     single = baselines.get("single")
     for strategy, case in baselines.items():
         if strategy != "single" and single is not None and single.wirelength > 0:
@@ -506,6 +547,27 @@ def _cross_strategy_checks(
                     ),
                 )
             )
+    timing = baselines.get("timing-driven")
+    negotiated = baselines.get("negotiated")
+    if (
+        timing is not None
+        and negotiated is not None
+        and timing.worst_critical_delay is not None
+        and negotiated.worst_critical_delay is not None
+    ):
+        report.checks.append(
+            CheckRecord(
+                kind="timing-delay",
+                scenario=scenario,
+                strategy="timing-driven",
+                ok=timing.worst_critical_delay < negotiated.worst_critical_delay,
+                detail=(
+                    f"worst critical-net delay {timing.worst_critical_delay:g} vs "
+                    f"negotiated {negotiated.worst_critical_delay:g} "
+                    f"(must be strictly lower)"
+                ),
+            )
+        )
 
 
 # ----------------------------------------------------------------------

@@ -36,6 +36,8 @@ DEFAULT_CORPUS_SPECS: tuple[tuple[str, int, dict[str, Any]], ...] = (
     ("steiner-stress", 41, {}),
     ("congestion-hotspot", 53, {}),
     ("congestion-hotspot", 59, {"rows": 3, "cols": 2, "n_nets": 10, "gap": 2}),
+    ("long-critical-nets", 79, {}),
+    ("long-critical-nets", 107, {"rows": 3, "cols": 2, "n_filler": 12, "n_critical": 4}),
     ("zero-nets", 61, {}),
     ("single-cell", 67, {}),
     ("min-separation", 71, {}),

@@ -23,6 +23,12 @@ family here targets a distinct regime:
     A tight grid of macros with deliberately narrow passages, so
     passage capacity overflows and the congestion strategies must
     actually negotiate.
+``long-critical-nets``
+    A congested macro grid plus hand-placed cross-chip two-pin pairs
+    (``crit*``): the long nets dominate the delay profile, so the
+    timing-driven strategy must protect them while plain negotiation
+    happily detours them — the timing-delay conformance gate lives on
+    this family.
 ``zero-nets``
     Degenerate: a placed layout with an empty netlist.
 ``single-cell``
@@ -340,6 +346,54 @@ def _congestion_hotspot(
     )
     spec = LayoutSpec(terminals_per_net=(2, 2), pad_fraction=0.0)
     for net in random_netlist(layout, n_nets, rng=rng, spec=spec):
+        layout.add_net(net)
+    return layout
+
+
+@_family(
+    "long-critical-nets",
+    "Cross-chip critical pairs over a congested macro grid split the timing-aware strategies from the timing-blind ones",
+    rows=2,
+    cols=3,
+    cell_side=14,
+    gap=3,
+    margin=5,
+    n_critical=3,
+    n_filler=10,
+)
+def _long_critical_nets(
+    rng: random.Random,
+    *,
+    rows: int,
+    cols: int,
+    cell_side: int,
+    gap: int,
+    margin: int,
+    n_critical: int,
+    n_filler: int,
+) -> Layout:
+    layout = grid_layout(
+        rows, cols, cell_width=cell_side, cell_height=cell_side, gap=gap, margin=margin
+    )
+    width = layout.outline.width
+    height = layout.outline.height
+    # The critical pairs span the full chip width at rng-chosen heights;
+    # their source→sink path length towers over every filler net, so
+    # they own the worst-delay slot whatever the router does with them.
+    for index in range(n_critical):
+        left = Point(0, rng.randint(2, height - 2))
+        right = Point(width, rng.randint(2, height - 2))
+        layout.add_net(
+            Net(
+                f"crit{index}",
+                [
+                    Terminal(f"crit{index}.s", [Pin(f"crit{index}.s.p0", left, None)]),
+                    Terminal(f"crit{index}.d", [Pin(f"crit{index}.d.p0", right, None)]),
+                ],
+            )
+        )
+    spec = LayoutSpec(terminals_per_net=(2, 2), pad_fraction=0.0)
+    for net in random_netlist(layout, n_filler, rng=rng, spec=spec):
         layout.add_net(net)
     return layout
 

@@ -156,6 +156,10 @@ class Client:
         """``GET /metrics`` — the counter snapshot."""
         return self._call("GET", "/metrics")
 
+    def strategies(self) -> dict:
+        """``GET /strategies`` — registered strategies + params schemas."""
+        return self._call("GET", "/strategies")["strategies"]
+
     def submit(self, request: RequestLike, *, wait: bool = False,
                wait_timeout: float = 120.0) -> dict:
         """``POST /route`` — returns the job document.

@@ -1,7 +1,7 @@
 """Stdlib HTTP frontend over :class:`~repro.service.jobs.RoutingService`.
 
 No framework, no dependencies: a :class:`http.server.ThreadingHTTPServer`
-whose handler translates six endpoints into service calls and JSON —
+whose handler translates seven endpoints into service calls and JSON —
 the serving surface ``python -m repro serve`` exposes.
 
 ==========================  =============================================
@@ -33,6 +33,9 @@ Endpoint                    Meaning
 ``GET /healthz``            Liveness: ``{"status": "ok", ...}``.
 ``GET /metrics``            The counter snapshot (requests, cache hits,
                             queue depth, p50/p95 route seconds, ...).
+``GET /strategies``         The strategy registry's ``describe()``
+                            document: every registered strategy with
+                            its description and typed params schema.
 ==========================  =============================================
 
 Failure mapping: malformed JSON / bad requests → ``400``; a full
@@ -158,6 +161,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_healthz()
             elif method == "GET" and path == "/metrics":
                 self._send_json(200, self.service.snapshot())
+            elif method == "GET" and path == "/strategies":
+                self._handle_strategies()
             elif method == "GET" and path.startswith("/jobs/"):
                 self._handle_job(path.removeprefix("/jobs/"))
             elif method == "POST" and path == "/route":
@@ -194,6 +199,13 @@ class _Handler(BaseHTTPRequestHandler):
                 "store": service.store.backend,
             },
         )
+
+    def _handle_strategies(self) -> None:
+        from repro.api.registry import DEFAULT_REGISTRY
+
+        # The same document the CLI's `strategies --json` prints, so
+        # remote callers can validate params before submitting.
+        self._send_json(200, {"strategies": DEFAULT_REGISTRY.describe()})
 
     def _handle_job(self, job_id: str) -> None:
         if not job_id or "/" in job_id:

@@ -63,15 +63,22 @@ class TestRequestCacheKey:
         assert request_cache_key(inline) == request_cache_key(referenced)
 
     def test_nested_param_difference_changes_key(self):
+        # An unregistered (third-party) strategy name: the built-ins'
+        # typed schemas reject free-form nested params up front, but
+        # the canonical key must still hash them faithfully.
         layout = make_layout(1)
-        a = RouteRequest(layout=layout, strategy_params={"opts": {"depth": 1}})
-        b = RouteRequest(layout=layout, strategy_params={"opts": {"depth": 2}})
+        a = RouteRequest(layout=layout, strategy="custom",
+                         strategy_params={"opts": {"depth": 1}})
+        b = RouteRequest(layout=layout, strategy="custom",
+                         strategy_params={"opts": {"depth": 2}})
         assert request_cache_key(a) != request_cache_key(b)
 
     def test_param_order_does_not_change_key(self):
         layout = make_layout(1)
-        a = RouteRequest(layout=layout, strategy_params={"x": 1, "y": {"b": 2, "a": 3}})
-        b = RouteRequest(layout=layout, strategy_params={"y": {"a": 3, "b": 2}, "x": 1})
+        a = RouteRequest(layout=layout, strategy="custom",
+                         strategy_params={"x": 1, "y": {"b": 2, "a": 3}})
+        b = RouteRequest(layout=layout, strategy="custom",
+                         strategy_params={"y": {"a": 3, "b": 2}, "x": 1})
         assert request_cache_key(a) == request_cache_key(b)
 
     @pytest.mark.parametrize(
@@ -106,6 +113,7 @@ class TestRequestCacheKey:
         )
 
     def test_non_canonicalizable_params_raise(self):
-        request = RouteRequest(layout=make_layout(1), strategy_params={"fn": object()})
+        request = RouteRequest(layout=make_layout(1), strategy="custom",
+                               strategy_params={"fn": object()})
         with pytest.raises(RoutingError):
             request_cache_key(request)

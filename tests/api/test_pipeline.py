@@ -193,25 +193,38 @@ class TestResultRoundTrip:
 
 
 class TestDeprecatedDelegates:
-    """Legacy entry points still work but warn (satellite task)."""
+    """The legacy entry points are gone; the API is the one path."""
 
-    def test_route_two_pass_warns_and_matches(self):
+    def test_legacy_delegates_removed(self, small_layout):
+        router = GlobalRouter(small_layout)
+        assert not hasattr(router, "route_two_pass")
+        assert not hasattr(router, "route_negotiated")
+
+    def test_api_replaces_two_pass_delegate(self):
         layout = congested_layout()
-        with pytest.warns(DeprecationWarning, match="route_two_pass"):
-            legacy = GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=3)
-        direct = GlobalRouter(layout)._two_pass(penalty_weight=4.0, passes=3)
-        assert trees_of(legacy.final) == trees_of(direct.final)
-        assert legacy.rerouted_nets == direct.rerouted_nets
-
-    def test_route_negotiated_warns_and_matches(self, small_layout):
-        with pytest.warns(DeprecationWarning, match="route_negotiated"):
-            legacy = GlobalRouter(small_layout).route_negotiated(
-                NegotiationConfig(max_iterations=3)
+        via_api = RoutingPipeline().run(
+            RouteRequest(
+                layout=layout,
+                strategy="two-pass",
+                strategy_params={"penalty_weight": 4.0, "passes": 3},
             )
+        )
+        direct = GlobalRouter(layout)._two_pass(penalty_weight=4.0, passes=3)
+        assert trees_of(via_api.route) == trees_of(direct.final)
+        assert list(via_api.rerouted_nets) == direct.rerouted_nets
+
+    def test_api_replaces_negotiated_delegate(self, small_layout):
+        via_api = RoutingPipeline().run(
+            RouteRequest(
+                layout=small_layout,
+                strategy="negotiated",
+                strategy_params={"max_iterations": 3},
+            )
+        )
         direct = NegotiatedRouter(
             small_layout, negotiation=NegotiationConfig(max_iterations=3)
         ).run()
-        assert trees_of(legacy.final) == trees_of(direct.final)
+        assert trees_of(via_api.route) == trees_of(direct.final)
 
     def test_pipeline_strategies_do_not_warn(self, recwarn):
         layout = congested_layout()

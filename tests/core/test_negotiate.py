@@ -48,7 +48,7 @@ def trees_of(route):
 class TestConvergence:
     def test_legalizes_what_two_pass_cannot(self):
         layout = oversubscribed_layout()
-        two_pass = GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=2)
+        two_pass = GlobalRouter(layout)._two_pass(penalty_weight=4.0, passes=2)
         assert two_pass.congestion_after.total_overflow > 0
 
         result = NegotiatedRouter(layout).run()
@@ -124,11 +124,10 @@ class TestConvergence:
         with pytest.raises(RoutingError):
             NegotiatedRouter()
 
-    def test_route_negotiated_delegate(self, small_layout):
-        result = GlobalRouter(small_layout).route_negotiated(
-            NegotiationConfig(max_iterations=3)
-        )
-        assert result.final.routed_count == len(small_layout.nets)
+    def test_legacy_delegates_removed(self, small_layout):
+        router = GlobalRouter(small_layout)
+        assert not hasattr(router, "route_negotiated")
+        assert not hasattr(router, "route_two_pass")
 
 
 class TestParallelParity:
@@ -200,8 +199,8 @@ class TestParallelParity:
 
     def test_two_pass_uses_workers(self):
         layout = oversubscribed_layout()
-        serial = GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=3)
-        parallel = GlobalRouter(layout, RouterConfig(workers=2)).route_two_pass(
+        serial = GlobalRouter(layout)._two_pass(penalty_weight=4.0, passes=3)
+        parallel = GlobalRouter(layout, RouterConfig(workers=2))._two_pass(
             penalty_weight=4.0, passes=3
         )
         assert serial.rerouted_nets == parallel.rerouted_nets
@@ -230,7 +229,7 @@ class TestParallelParity:
 
     def test_two_pass_skip_never_contradicts(self):
         layout = oversubscribed_layout()
-        result = GlobalRouter(layout).route_two_pass(
+        result = GlobalRouter(layout)._two_pass(
             penalty_weight=4.0, passes=3, on_unroutable="skip"
         )
         assert not (set(result.final.failed_nets) & set(result.final.trees))
@@ -250,7 +249,7 @@ class TestParallelParity:
         ):
             layout.add_cell(cell)
         layout.add_net(Net.two_point("walled", Point(4, 4), Point(60, 60)))
-        result = GlobalRouter(layout).route_two_pass(
+        result = GlobalRouter(layout)._two_pass(
             penalty_weight=4.0, passes=3, on_unroutable="skip"
         )
         assert "walled" in result.first.failed_nets

@@ -44,7 +44,7 @@ class TestRoute:
         assert "len/hpwl" in out
 
     def test_route_two_pass(self, layout_file, capsys):
-        assert main(["route", str(layout_file), "--two-pass"]) == 0
+        assert main(["route", str(layout_file), "--strategy", "two-pass"]) == 0
         assert "two-pass" in capsys.readouterr().out
 
     def test_route_with_detail(self, layout_file, capsys):
@@ -70,7 +70,8 @@ class TestRoute:
         assert main(["route", str(layout_file), "--refine"]) == 0
 
     def test_route_two_pass_with_extra_passes(self, layout_file):
-        assert main(["route", str(layout_file), "--two-pass", "--passes", "3"]) == 0
+        assert main(["route", str(layout_file), "--strategy", "two-pass",
+                     "--passes", "3"]) == 0
 
     def test_route_report(self, layout_file, capsys):
         assert main(["route", str(layout_file), "--report", "--detail"]) == 0
@@ -81,21 +82,29 @@ class TestRoute:
     def test_route_skip_unroutable(self, layout_file):
         assert main(["route", str(layout_file), "--skip-unroutable"]) == 0
 
-    def test_route_negotiate(self, layout_file, capsys):
-        assert main(["route", str(layout_file), "--negotiate", "3"]) == 0
+    def test_route_negotiated(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--strategy", "negotiated"]) == 0
         out = capsys.readouterr().out
         assert "negotiated congestion" in out
         assert "negotiation" in out
 
-    def test_route_negotiate_with_workers(self, layout_file, capsys):
-        assert main(["route", str(layout_file), "--negotiate", "2",
+    def test_route_negotiated_with_workers(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--strategy", "negotiated",
                      "--workers", "2"]) == 0
         assert "negotiated congestion" in capsys.readouterr().out
 
-    def test_negotiate_excludes_two_pass(self, layout_file, capsys):
-        assert main(["route", str(layout_file), "--two-pass",
-                     "--negotiate", "2"]) == 1
-        assert "mutually exclusive" in capsys.readouterr().err
+    def test_route_timing_driven(self, layout_file, capsys):
+        assert main(["route", str(layout_file), "--strategy",
+                     "timing-driven"]) == 0
+        assert "timing" in capsys.readouterr().out
+
+    def test_legacy_alias_flags_removed(self, layout_file, capsys):
+        # --two-pass / --negotiate were removed; argparse now rejects
+        # them as unknown flags (usage error, not a routing run).
+        with pytest.raises(SystemExit):
+            main(["route", str(layout_file), "--two-pass"])
+        with pytest.raises(SystemExit):
+            main(["route", str(layout_file), "--negotiate", "2"])
 
     def test_bad_workers_fails_cleanly(self, layout_file, capsys):
         assert main(["route", str(layout_file), "--workers", "0"]) == 1
@@ -119,10 +128,10 @@ class TestPipelineCli:
         assert main(["route", str(layout_file), "--strategy", "negotiated"]) == 0
         assert "negotiated congestion" in capsys.readouterr().out
 
-    def test_strategy_conflicts_with_legacy_flag(self, layout_file, capsys):
-        assert main(["route", str(layout_file), "--strategy", "single",
-                     "--two-pass"]) == 1
-        assert "conflicts" in capsys.readouterr().err
+    def test_unknown_strategy_rejected(self, layout_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["route", str(layout_file), "--strategy", "fancy"])
+        assert "invalid choice" in capsys.readouterr().err
 
     def test_json_out_round_trips(self, layout_file, tmp_path, capsys):
         from repro.api import RouteResult
@@ -226,6 +235,26 @@ class TestRender:
         assert max(len(line) for line in out.splitlines()) == 42
 
 
+class TestStrategiesCli:
+    """The strategies subcommand publishes the registry's describe()."""
+
+    def test_table_lists_every_builtin(self, capsys):
+        from repro.api.strategies import BUILTIN_STRATEGIES
+
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_STRATEGIES:
+            assert name in out
+        assert "delay_weight: float = 0.5" in out
+
+    def test_json_matches_registry_describe(self, capsys):
+        from repro.api.registry import DEFAULT_REGISTRY
+
+        assert main(["strategies", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document == DEFAULT_REGISTRY.describe()
+
+
 class TestConformanceCli:
     """The conformance subcommand drives the scenario harness."""
 
@@ -247,7 +276,7 @@ class TestConformanceCli:
         assert document["ok"] is True
         assert document["cases"]
         assert {c["strategy"] for c in document["cases"]} == {
-            "single", "two-pass", "negotiated"
+            "single", "two-pass", "negotiated", "timing-driven"
         }
 
     def test_json_stdout_is_pure_json(self, capsys):

@@ -73,7 +73,7 @@ def test_two_pass_then_detail_reduces_overcapacity():
         layout.add_net(net)
 
     single = GlobalRouter(layout).route_all()
-    multi = GlobalRouter(layout).route_two_pass(penalty_weight=4.0, passes=4)
+    multi = GlobalRouter(layout)._two_pass(penalty_weight=4.0, passes=4)
     detailed_single = DetailedRouter(layout).run(single)
     detailed_multi = DetailedRouter(layout).run(multi.final)
     # relief in global congestion should not worsen detailed packing

@@ -44,6 +44,16 @@ class TestPlumbing:
         assert health["status"] == "ok"
         assert health["workers"] == 2
 
+    def test_strategies_publishes_registry_describe(self, served):
+        from repro.api.registry import DEFAULT_REGISTRY
+        from repro.api.strategies import BUILTIN_STRATEGIES
+
+        _, client = served()
+        described = client.strategies()
+        assert described == DEFAULT_REGISTRY.describe()
+        for name in BUILTIN_STRATEGIES:
+            assert described[name]["params"]  # every built-in is schema'd
+
     def test_unknown_endpoint_404(self, served):
         _, client = served()
         with pytest.raises(ServiceError) as excinfo:
